@@ -1,0 +1,88 @@
+"""F1 / F2 — Figures 1 and 2: Euler-tour maintenance under insertion and deletion.
+
+The two figures illustrate the index arithmetic on a 7-vertex forest: the
+benchmark reproduces the exact published tours and then times the two
+implementations (explicit reference vs index-arithmetic) on larger random
+link/cut workloads, which is the operation count that drives the Section 5
+algorithm's local work.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.eulertour import EulerTourForest, IndexedEulerTourForest
+
+#: Figure vertex encoding: a=0, b=1, c=2, d=3, e=4, f=5, g=6
+FIGURE1_LINKS = [(1, 4), (1, 2), (2, 3), (0, 5), (5, 6)]
+FIGURE1_FINAL_TOUR = [0, 5, 5, 6, 6, 4, 4, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 6, 6, 5, 5, 0]
+FIGURE2_LINKS = [(0, 5), (5, 6), (0, 1), (1, 4), (1, 2), (2, 3)]
+FIGURE2_TOURS_AFTER_DELETE = ([1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1], [0, 5, 5, 6, 6, 5, 5, 0])
+
+
+def random_workload(n: int, operations: int, seed: int) -> list[tuple[str, int, int]]:
+    rng = random.Random(seed)
+    probe = IndexedEulerTourForest(range(n))
+    edges: list[tuple[int, int]] = []
+    ops: list[tuple[str, int, int]] = []
+    for _ in range(operations):
+        if edges and rng.random() < 0.45:
+            u, v = edges.pop(rng.randrange(len(edges)))
+            probe.cut(u, v)
+            ops.append(("cut", u, v))
+        else:
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u != v and not probe.connected(u, v):
+                probe.link(u, v)
+                edges.append((u, v))
+                ops.append(("link", u, v))
+    return ops
+
+
+def replay(forest, ops) -> None:
+    for (op, u, v) in ops:
+        if op == "link":
+            forest.link(u, v)
+        else:
+            forest.cut(u, v)
+
+
+def test_figure1_insert_reproduced_and_timed(benchmark):
+    """F1: the Figure 1 insertion sequence yields the exact published tour."""
+    indexed = IndexedEulerTourForest(range(7))
+    for (u, v) in FIGURE1_LINKS:
+        indexed.link(u, v)
+    indexed.link(6, 4)  # insert (g, e): the figure's panel (iii)
+    assert indexed.tour(0) == FIGURE1_FINAL_TOUR
+
+    ops = random_workload(200, 1500, seed=1)
+
+    def run():
+        forest = IndexedEulerTourForest(range(200))
+        replay(forest, ops)
+        return forest
+
+    forest = benchmark(run)
+    benchmark.extra_info["operations"] = len(ops)
+    forest.check_invariants()
+
+
+def test_figure2_delete_reproduced_and_timed(benchmark):
+    """F2: deleting (a, b) splits the tour into the two published tours."""
+    reference = EulerTourForest(range(7))
+    for (u, v) in FIGURE2_LINKS:
+        reference.link(u, v)
+    reference.cut(0, 1)
+    assert reference.tour(1) == FIGURE2_TOURS_AFTER_DELETE[0]
+    assert reference.tour(0) == FIGURE2_TOURS_AFTER_DELETE[1]
+
+    ops = random_workload(200, 1500, seed=2)
+
+    def run():
+        forest = EulerTourForest(range(200))
+        replay(forest, ops)
+        return forest
+
+    forest = benchmark(run)
+    benchmark.extra_info["operations"] = len(ops)
+    forest.check_invariants()

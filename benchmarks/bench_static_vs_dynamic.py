@@ -1,0 +1,72 @@
+"""E7 — dynamic update vs static recomputation (the paper's motivating comparison).
+
+Section 1/2: re-running a static MPC algorithm after every update costs
+Theta(log n) rounds with all machines active and Omega(N) communication,
+while one dynamic update costs O(1) rounds and O(sqrt N) (or less)
+communication.  This benchmark measures both sides on the same workloads and
+reports the advantage factors.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZES, UPDATES
+from repro.analysis import compare_connectivity, compare_matching
+from repro.graph.generators import gnm_random_graph
+from repro.graph.streams import mixed_stream
+
+
+def workload(n: int, seed: int):
+    graph = gnm_random_graph(n, 2 * n, seed=seed)
+    stream = mixed_stream(n, UPDATES, seed=seed + 1, insert_probability=0.5, initial=graph)
+    return graph, stream
+
+
+def test_connectivity_static_vs_dynamic(benchmark):
+    comparisons = []
+    for n in SIZES:
+        graph, stream = workload(n, seed=n)
+        comparisons.append(compare_connectivity(graph, stream).as_dict())
+
+    def run_largest():
+        graph, stream = workload(SIZES[-1], seed=99)
+        return compare_connectivity(graph, stream)
+
+    result = benchmark.pedantic(run_largest, rounds=2, iterations=1)
+    benchmark.extra_info["comparisons"] = comparisons
+    print()
+    for comparison in comparisons:
+        print(
+            f"connectivity n={comparison['n']:>4}: dynamic {comparison['dynamic']['max_rounds']} rounds / "
+            f"{comparison['dynamic']['max_words_per_round']} words per update vs static "
+            f"{comparison['static']['rounds']} rounds / {comparison['static']['total_words']} words per recompute "
+            f"(round advantage x{comparison['round_advantage']}, communication advantage x{comparison['communication_advantage']})"
+        )
+    # The dynamic algorithm must win on communication, increasingly so with size.
+    assert all(c["communication_advantage"] > 1 for c in comparisons)
+    assert result.communication_advantage > 1
+
+
+def test_matching_static_vs_dynamic(benchmark):
+    comparisons = []
+    for n in SIZES[:2]:
+        graph, stream = workload(n, seed=n + 50)
+        comparisons.append(compare_matching(graph, stream).as_dict())
+
+    def run_largest():
+        graph, stream = workload(SIZES[1], seed=123)
+        return compare_matching(graph, stream)
+
+    result = benchmark.pedantic(run_largest, rounds=2, iterations=1)
+    benchmark.extra_info["comparisons"] = comparisons
+    print()
+    for comparison in comparisons:
+        print(
+            f"matching n={comparison['n']:>4}: dynamic {comparison['dynamic']['max_rounds']} rounds vs static "
+            f"{comparison['static']['rounds']} rounds; communication advantage x{comparison['communication_advantage']}"
+        )
+    # At tiny sizes the O(sqrt N)-word history messages can rival one cheap
+    # static run; the advantage must be present at the larger size and grow
+    # with the input (the crossover the paper's motivation describes).
+    assert comparisons[-1]["communication_advantage"] > 1
+    assert comparisons[-1]["communication_advantage"] >= comparisons[0]["communication_advantage"]
+    assert result.dynamic_max_rounds >= 1

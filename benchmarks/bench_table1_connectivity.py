@@ -1,0 +1,49 @@
+"""E4 — Table 1 row "Connected comps".
+
+Paper claim: O(1) rounds per update, O(sqrt N) active machines, O(sqrt N)
+communication per round, via Euler tours, starting from an arbitrary graph.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZES, sized_workload
+from repro.analysis import build_table1_row
+from repro.dynamic_mpc import DMPCConnectivity
+
+
+def run_one_size(n: int):
+    graph, stream, config = sized_workload(n)
+    algorithm = DMPCConnectivity(config)
+    algorithm.preprocess(graph)
+    algorithm.apply_sequence(stream)
+    summary = algorithm.update_summary()
+    return build_table1_row("connectivity", n, graph.num_edges, config.sqrt_N, summary), summary
+
+
+def test_connectivity_table1_row(benchmark, table1_recorder):
+    rows, rounds, machines, words = [], [], [], []
+    for n in SIZES:
+        row, summary = run_one_size(n)
+        rows.append(row)
+        rounds.append(summary.max_rounds)
+        machines.append(summary.max_active_machines)
+        words.append(summary.max_words_per_round)
+
+    graph, stream, config = sized_workload(SIZES[-1])
+    updates = list(stream)
+
+    def setup():
+        global _alg
+        _alg = DMPCConnectivity(config)
+        _alg.preprocess(graph)
+
+    def process():
+        for update in updates:
+            _alg.apply(update)
+
+    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    table1_recorder(benchmark, "connectivity", rows, list(SIZES), rounds, machines, words)
+    assert benchmark.extra_info["rounds_growth"] == "constant"
+    # Active machines and communication should scale like sqrt(N), clearly sub-linear.
+    assert benchmark.extra_info["machines_growth"] in ("sqrt", "log", "constant")
+    assert benchmark.extra_info["words_growth"] in ("sqrt", "log", "constant")

@@ -1,0 +1,51 @@
+"""E1 — Table 1 row "Maximal matching".
+
+Paper claim: O(1) rounds per update, O(1) active machines, O(sqrt N)
+communication per round, worst case, via a coordinator.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZES, sized_workload
+from repro.analysis import build_table1_row
+from repro.dynamic_mpc import DMPCMaximalMatching
+
+
+def run_one_size(n: int):
+    graph, stream, config = sized_workload(n)
+    algorithm = DMPCMaximalMatching(config)
+    algorithm.preprocess(graph)
+    algorithm.apply_sequence(stream)
+    summary = algorithm.update_summary()
+    return build_table1_row("maximal-matching", n, graph.num_edges, config.sqrt_N, summary), summary
+
+
+def test_maximal_matching_table1_row(benchmark, table1_recorder):
+    rows, rounds, machines, words = [], [], [], []
+    for n in SIZES:
+        row, summary = run_one_size(n)
+        rows.append(row)
+        rounds.append(summary.max_rounds)
+        machines.append(summary.max_active_machines)
+        words.append(summary.max_words_per_round)
+
+    # Time the per-update cost at the largest size.
+    graph, stream, config = sized_workload(SIZES[-1])
+    algorithm = DMPCMaximalMatching(config)
+    algorithm.preprocess(graph)
+    updates = list(stream)
+
+    def process():
+        for update in updates:
+            algorithm_copy.apply(update)
+
+    def setup():
+        global algorithm_copy
+        algorithm_copy = DMPCMaximalMatching(config)
+        algorithm_copy.preprocess(graph)
+
+    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    table1_recorder(benchmark, "maximal-matching", rows, list(SIZES), rounds, machines, words)
+    # Shape assertions: constant rounds/machines, sub-linear communication.
+    assert benchmark.extra_info["rounds_growth"] == "constant"
+    assert benchmark.extra_info["machines_growth"] in ("constant", "log")

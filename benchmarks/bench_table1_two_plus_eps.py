@@ -1,0 +1,65 @@
+"""E3 — Table 1 row "(2+eps)-approx. matching".
+
+Paper claim: O(1) rounds, Õ(1) active machines, Õ(1) communication per
+round (no coordinator, no sqrt(N)-sized messages).
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import SIZES, UPDATES
+from repro.analysis import build_table1_row
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import DMPCTwoPlusEpsMatching
+from repro.graph import DynamicGraph
+from repro.graph.streams import mixed_stream
+from repro.graph.validation import maximum_matching_size
+
+
+def run_one_size(n: int):
+    config = DMPCConfig.for_graph(n, 4 * n)
+    stream = mixed_stream(n, UPDATES + n, seed=n + 3, insert_probability=0.6)
+    algorithm = DMPCTwoPlusEpsMatching(config, epsilon=0.25, seed=n)
+    algorithm.preprocess(DynamicGraph(n))
+    algorithm.apply_sequence(stream)
+    summary = algorithm.update_summary()
+    algorithm.drain()
+    quality = (algorithm.matching_size(), maximum_matching_size(algorithm.shadow))
+    return build_table1_row("two-plus-eps-matching", n, algorithm.shadow.num_edges, config.sqrt_N, summary), summary, quality
+
+
+def test_two_plus_eps_matching_table1_row(benchmark, table1_recorder):
+    rows, rounds, machines, words = [], [], [], []
+    quality_checks = []
+    for n in SIZES:
+        row, summary, quality = run_one_size(n)
+        rows.append(row)
+        rounds.append(summary.max_rounds)
+        machines.append(summary.max_active_machines)
+        words.append(summary.max_words_per_round)
+        quality_checks.append(quality)
+
+    n = SIZES[-1]
+    config = DMPCConfig.for_graph(n, 4 * n)
+    updates = list(mixed_stream(n, UPDATES, seed=9, insert_probability=0.6))
+
+    def setup():
+        global _alg
+        _alg = DMPCTwoPlusEpsMatching(config, seed=1)
+        _alg.preprocess(DynamicGraph(n))
+
+    def process():
+        for update in updates:
+            _alg.apply(update)
+
+    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    benchmark.extra_info["approximation"] = [
+        {"matching": size, "maximum": optimum} for (size, optimum) in quality_checks
+    ]
+    table1_recorder(benchmark, "two-plus-eps-matching", rows, list(SIZES), rounds, machines, words)
+    assert benchmark.extra_info["rounds_growth"] == "constant"
+    # Õ(1) machines and communication: must stay far below sqrt(N) scaling —
+    # in particular the absolute counts stay tiny compared with the
+    # connectivity/matching rows at the same sizes.
+    assert max(machines) <= 3 * max(1, rows[-1].sqrt_N)
+    for (size, optimum) in quality_checks:
+        assert (2 + 0.5) * size >= optimum

@@ -1,0 +1,56 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one row of the paper's Table 1 (or one figure /
+model property): it runs the algorithm on a stream of updates at several
+input sizes, times the per-update processing with ``pytest-benchmark``, and
+attaches the DMPC cost metrics (max rounds, max active machines, max words
+per round, and the empirically classified growth shape) to
+``benchmark.extra_info`` so they appear in the saved benchmark JSON and in
+the console output.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import build_table1_row, classify_growth, format_table
+from repro.config import DMPCConfig
+from repro.graph.generators import gnm_random_graph, random_weighted_graph
+from repro.graph.streams import mixed_stream
+
+#: input sizes (number of vertices) swept by the Table 1 benchmarks
+SIZES = (32, 64, 128)
+#: number of dynamic updates measured per size
+UPDATES = 80
+
+
+def sized_workload(n: int, *, weighted: bool = False, seed: int = 2019):
+    """A graph with ``2 n`` edges plus a mixed update stream for it."""
+    m = 2 * n
+    if weighted:
+        graph = random_weighted_graph(n, m, seed=seed)
+    else:
+        graph = gnm_random_graph(n, m, seed=seed)
+    stream = mixed_stream(n, UPDATES, seed=seed + 1, insert_probability=0.5, initial=graph, weighted=weighted)
+    config = DMPCConfig.for_graph(n, 2 * m)
+    return graph, stream, config
+
+
+def record_table1(benchmark, kind: str, rows, sizes, rounds, machines, words) -> None:
+    """Attach measured-vs-paper information to the benchmark record."""
+    benchmark.extra_info["table1"] = [row.as_dict() for row in rows]
+    benchmark.extra_info["rounds_growth"] = classify_growth(sizes, rounds)
+    benchmark.extra_info["machines_growth"] = classify_growth(sizes, machines)
+    benchmark.extra_info["words_growth"] = classify_growth(sizes, words)
+    print()
+    print(format_table(rows))
+    print(
+        f"growth over n={list(sizes)}: rounds -> {benchmark.extra_info['rounds_growth']}, "
+        f"active machines -> {benchmark.extra_info['machines_growth']}, "
+        f"words/round -> {benchmark.extra_info['words_growth']}"
+    )
+
+
+@pytest.fixture
+def table1_recorder():
+    return record_table1

@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Reproduce the paper's motivating comparison: dynamic updates vs static recomputation.
+
+For growing input sizes, measure (i) the cost of one dynamic update with the
+Section 3 / Section 5 algorithms and (ii) the cost of recomputing the
+solution from scratch with the static MPC baselines, and print the advantage
+factors — the "shape" the paper's introduction argues for.
+
+Run with:  python examples/static_vs_dynamic.py
+"""
+
+from __future__ import annotations
+
+from repro.analysis import classify_growth, compare_connectivity, compare_matching
+from repro.graph.generators import gnm_random_graph
+from repro.graph.streams import mixed_stream
+
+
+def main() -> None:
+    sizes = (48, 96, 192)
+    print(f"{'n':>5} {'problem':<22} {'dyn rounds':>10} {'dyn words/rd':>12} "
+          f"{'static rounds':>13} {'static words':>13} {'advantage':>10}")
+    dynamic_words, static_words = [], []
+    for n in sizes:
+        graph = gnm_random_graph(n, 2 * n, seed=n)
+        stream = mixed_stream(n, 60, seed=n + 1, insert_probability=0.5, initial=graph)
+        for problem, compare in (("connected components", compare_connectivity), ("maximal matching", compare_matching)):
+            result = compare(graph, stream)
+            print(f"{n:>5} {problem:<22} {result.dynamic_max_rounds:>10} {result.dynamic_max_words_per_round:>12} "
+                  f"{result.static_rounds:>13} {result.static_total_words:>13} "
+                  f"x{result.communication_advantage:>9.1f}")
+            if problem == "connected components":
+                dynamic_words.append(result.dynamic_max_words_per_round)
+                static_words.append(result.static_total_words)
+
+    print("\nGrowth shapes over the sweep (connected components):")
+    print(f"  dynamic communication per update : {classify_growth(list(sizes), dynamic_words)}")
+    print(f"  static recomputation volume      : {classify_growth(list(sizes), static_words)}")
+    print("\nThe dynamic side stays ~sqrt(N) while static recomputation grows linearly —")
+    print("the gap that motivates the DMPC model.")
+
+
+if __name__ == "__main__":
+    main()

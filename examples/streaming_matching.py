@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Scenario: online ad/task assignment as a dynamic matching (Sections 3, 4, 6).
+
+Requests (one side) get matched to available slots (other side) while both
+the requests and the slots keep changing: edges appear when a request becomes
+eligible for a slot and disappear when either side expires — a sliding-window
+update stream.  The example maintains the assignment with all three matching
+algorithms of the paper and compares their quality and their DMPC costs:
+
+* Section 3 — maximal matching (2-approximation, coordinator, O(sqrt N) words),
+* Section 4 — 3/2-approximate matching (also kills length-3 augmenting paths),
+* Section 6 — (2+eps)-approximate matching (no coordinator, polylog traffic).
+
+Run with:  python examples/streaming_matching.py
+"""
+
+from __future__ import annotations
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import DMPCMaximalMatching, DMPCThreeHalvesMatching, DMPCTwoPlusEpsMatching
+from repro.graph import DynamicGraph
+from repro.graph.streams import sliding_window_stream
+from repro.graph.validation import maximum_matching_size
+
+
+def main() -> None:
+    n, updates, window = 80, 320, 120
+    stream = list(sliding_window_stream(n, updates, window, seed=5))
+    config = lambda: DMPCConfig.for_graph(n, 4 * window)  # noqa: E731 - tiny factory
+    print(f"Assignment stream: {updates} updates over {n} endpoints, at most {window} live edges\n")
+
+    maximal = DMPCMaximalMatching(config())
+    maximal.preprocess(DynamicGraph(n))
+    three_halves = DMPCThreeHalvesMatching(config())
+    three_halves.preprocess(DynamicGraph(n))
+    two_eps = DMPCTwoPlusEpsMatching(config(), epsilon=0.25, seed=3)
+    two_eps.preprocess(DynamicGraph(n))
+
+    for algorithm in (maximal, three_halves, two_eps):
+        for update in stream:
+            algorithm.apply(update)
+    two_eps.drain()
+
+    optimum = maximum_matching_size(maximal.shadow)
+    print(f"Maximum possible assignment at the end of the stream: {optimum} pairs\n")
+    for name, algorithm, claim in (
+        ("Section 3  maximal matching   ", maximal, "2-approx,   O(1) rounds, O(1) machines, O(sqrt N) words"),
+        ("Section 4  3/2-approx matching", three_halves, "3/2-approx, O(1) rounds, O(n/sqrt N) machines, O(sqrt N) words"),
+        ("Section 6  (2+eps) matching   ", two_eps, "(2+eps),    O(1) rounds, polylog machines and words"),
+    ):
+        summary = algorithm.update_summary()
+        size = algorithm.matching_size()
+        ratio = optimum / max(1, size)
+        print(f"{name}: {size:>3} pairs (opt/|M| = {ratio:4.2f})   "
+              f"worst update: {summary.max_rounds:>3} rounds, {summary.max_active_machines:>3} machines, "
+              f"{summary.max_words_per_round:>5} words/round   [{claim}]")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,19 @@
+"""Analysis and reporting: Table 1 regeneration, shape fitting, comparisons."""
+
+from __future__ import annotations
+
+from repro.analysis.shapes import classify_growth, growth_ratio
+from repro.analysis.tables import Table1Row, build_table1_row, format_table, PAPER_TABLE1
+from repro.analysis.comparison import StaticDynamicComparison, compare_connectivity, compare_matching
+
+__all__ = [
+    "classify_growth",
+    "growth_ratio",
+    "Table1Row",
+    "build_table1_row",
+    "format_table",
+    "PAPER_TABLE1",
+    "StaticDynamicComparison",
+    "compare_connectivity",
+    "compare_matching",
+]

@@ -1,0 +1,131 @@
+"""Dynamic-vs-static comparison runners (experiment E7).
+
+The paper's motivation is that re-running a static MPC algorithm after every
+update is wasteful: the static algorithms need ``Theta(log n)`` (or more)
+rounds per recomputation with all machines active and ``Omega(N)`` words
+shuffled per round, while the dynamic algorithms spend ``O(1)`` rounds and
+``O(sqrt N)`` (or less) communication per update.  These helpers run both
+sides on the same workload and package the measured quantities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc.connectivity import DMPCConnectivity
+from repro.dynamic_mpc.maximal_matching import DMPCMaximalMatching
+from repro.graph.graph import DynamicGraph
+from repro.graph.updates import UpdateSequence
+from repro.static_mpc.connected_components import StaticConnectedComponents
+from repro.static_mpc.maximal_matching import StaticMaximalMatching
+
+__all__ = ["StaticDynamicComparison", "compare_connectivity", "compare_matching"]
+
+
+@dataclass(frozen=True)
+class StaticDynamicComparison:
+    """Measured cost of one dynamic update vs one static recomputation."""
+
+    problem: str
+    n: int
+    m: int
+    dynamic_max_rounds: int
+    dynamic_mean_rounds: float
+    dynamic_max_words_per_round: int
+    dynamic_max_machines: int
+    static_rounds: int
+    static_total_words: int
+    static_max_words_per_round: int
+    static_machines: int
+
+    @property
+    def round_advantage(self) -> float:
+        """Static recomputation rounds per dynamic update round (>1 favours dynamic)."""
+        return self.static_rounds / max(1, self.dynamic_max_rounds)
+
+    @property
+    def communication_advantage(self) -> float:
+        """Static per-recompute words per dynamic per-update words (>1 favours dynamic)."""
+        return self.static_total_words / max(1, self.dynamic_max_words_per_round)
+
+    def as_dict(self) -> dict:
+        return {
+            "problem": self.problem,
+            "n": self.n,
+            "m": self.m,
+            "dynamic": {
+                "max_rounds": self.dynamic_max_rounds,
+                "mean_rounds": round(self.dynamic_mean_rounds, 2),
+                "max_words_per_round": self.dynamic_max_words_per_round,
+                "max_active_machines": self.dynamic_max_machines,
+            },
+            "static": {
+                "rounds": self.static_rounds,
+                "total_words": self.static_total_words,
+                "max_words_per_round": self.static_max_words_per_round,
+                "machines": self.static_machines,
+            },
+            "round_advantage": round(self.round_advantage, 2),
+            "communication_advantage": round(self.communication_advantage, 2),
+        }
+
+
+def compare_connectivity(graph: DynamicGraph, updates: UpdateSequence, *, config: DMPCConfig | None = None) -> StaticDynamicComparison:
+    """Run the dynamic connectivity algorithm and the static baseline on the same workload."""
+    peak_m = updates.max_concurrent_edges(graph)
+    n = max(graph.num_vertices, updates.max_vertex() + 1)
+    cfg = config if config is not None else DMPCConfig.for_graph(n, max(peak_m, 1))
+    dynamic = DMPCConnectivity(cfg)
+    dynamic.preprocess(graph)
+    dynamic.apply_sequence(updates)
+    summary = dynamic.update_summary()
+
+    final = updates.final_graph(graph)
+    static = StaticConnectedComponents(final)
+    static.run()
+    static_summary = static.cluster.ledger.summary("static-cc")
+
+    return StaticDynamicComparison(
+        problem="connected components",
+        n=n,
+        m=final.num_edges,
+        dynamic_max_rounds=summary.max_rounds,
+        dynamic_mean_rounds=summary.mean_rounds,
+        dynamic_max_words_per_round=summary.max_words_per_round,
+        dynamic_max_machines=summary.max_active_machines,
+        static_rounds=static_summary.max_rounds,
+        static_total_words=static_summary.total_words,
+        static_max_words_per_round=static_summary.max_words_per_round,
+        static_machines=static_summary.max_active_machines,
+    )
+
+
+def compare_matching(graph: DynamicGraph, updates: UpdateSequence, *, config: DMPCConfig | None = None) -> StaticDynamicComparison:
+    """Run the dynamic maximal matching and the static baseline on the same workload."""
+    peak_m = updates.max_concurrent_edges(graph)
+    n = max(graph.num_vertices, updates.max_vertex() + 1)
+    cfg = config if config is not None else DMPCConfig.for_graph(n, max(peak_m, 1))
+    dynamic = DMPCMaximalMatching(cfg)
+    dynamic.preprocess(graph)
+    dynamic.apply_sequence(updates)
+    summary = dynamic.update_summary()
+
+    final = updates.final_graph(graph)
+    static = StaticMaximalMatching(final)
+    static.run()
+    static_summary = static.cluster.ledger.summary("static-matching")
+
+    return StaticDynamicComparison(
+        problem="maximal matching",
+        n=n,
+        m=final.num_edges,
+        dynamic_max_rounds=summary.max_rounds,
+        dynamic_mean_rounds=summary.mean_rounds,
+        dynamic_max_words_per_round=summary.max_words_per_round,
+        dynamic_max_machines=summary.max_active_machines,
+        static_rounds=static_summary.max_rounds,
+        static_total_words=static_summary.total_words,
+        static_max_words_per_round=static_summary.max_words_per_round,
+        static_machines=static_summary.max_active_machines,
+    )

@@ -1,0 +1,72 @@
+"""Empirical complexity-shape classification.
+
+The paper's Table 1 is a table of asymptotic bounds.  The reproduction
+measures the corresponding quantities on a range of input sizes and needs a
+way to decide which growth shape a measured series most resembles:
+``O(1)``, ``O(log n)``, ``O(sqrt n)`` or ``O(n)``.  The classifier fits the
+series against each candidate shape by least squares on the normalised
+curves and returns the best match — crude, but exactly the kind of judgment
+"does this column stay flat while that one grows like sqrt(N)?" that the
+benchmark reports need to make mechanically.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+__all__ = ["classify_growth", "growth_ratio"]
+
+_SHAPES = {
+    "constant": lambda n: 1.0,
+    "log": lambda n: math.log2(max(2.0, n)),
+    "sqrt": lambda n: math.sqrt(n),
+    "linear": lambda n: float(n),
+}
+
+
+def growth_ratio(sizes: Sequence[float], values: Sequence[float]) -> float:
+    """Ratio ``values[-1] / values[0]`` normalised by the size ratio.
+
+    A value near ``0`` means the series is flat relative to the input
+    growth; a value near ``1`` means it grows about linearly with the size.
+    """
+    if len(sizes) != len(values) or len(sizes) < 2:
+        raise ValueError("need at least two (size, value) pairs")
+    if values[0] <= 0 or sizes[0] <= 0:
+        return 0.0
+    value_growth = values[-1] / values[0]
+    size_growth = sizes[-1] / sizes[0]
+    if size_growth <= 1.0:
+        return 0.0
+    return math.log(max(value_growth, 1e-12)) / math.log(size_growth)
+
+
+def classify_growth(sizes: Sequence[float], values: Sequence[float]) -> str:
+    """Classify a measured series as constant / log / sqrt / linear growth.
+
+    Each candidate shape is scaled to match the series at the first point;
+    the shape minimising the mean squared relative error wins.  Series that
+    are (close to) identically zero are classified as ``"constant"``.
+    """
+    if len(sizes) != len(values) or not sizes:
+        raise ValueError("sizes and values must be equal-length, non-empty sequences")
+    if max(values) <= 0:
+        return "constant"
+    best_shape = "constant"
+    best_error = float("inf")
+    for name, fn in _SHAPES.items():
+        base = fn(sizes[0])
+        scale = values[0] / base if base > 0 else 1.0
+        if scale <= 0:
+            scale = max(values) / max(fn(s) for s in sizes)
+        error = 0.0
+        for size, value in zip(sizes, values):
+            predicted = scale * fn(size)
+            denominator = max(abs(value), 1e-9)
+            error += ((predicted - value) / denominator) ** 2
+        error /= len(sizes)
+        if error < best_error:
+            best_error = error
+            best_shape = name
+    return best_shape

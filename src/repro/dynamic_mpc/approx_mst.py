@@ -1,0 +1,211 @@
+"""Section 5.1 — fully-dynamic (1+eps)-approximate minimum spanning tree.
+
+Costs per update (Table 1, "(1+eps)-MST" row): ``O(1)`` rounds,
+``O(sqrt N)`` active machines, ``O(sqrt N)`` communication per round.
+
+The algorithm is the Section 5 connectivity/spanning-forest algorithm with
+two changes:
+
+* **insert** — when the new edge closes a cycle, the machines locate the
+  maximum-weight tree edge on the tree path between the endpoints (each
+  machine can test locally whether one of its tree-edge copies lies on that
+  path using the broadcast ``f``/``l`` values of the endpoints and the tour
+  index pair stored with the edge) and the heavier of the two edges is kept
+  out of the tree;
+* **delete** — when a tree edge disappears, the replacement search picks the
+  *minimum-weight* crossing edge rather than an arbitrary one (already what
+  :meth:`DMPCConnectivity._find_replacement` returns).
+
+The ``(1+eps)`` factor comes from the preprocessing, which buckets edge
+weights into powers of ``(1+eps)`` and computes the initial forest on the
+rounded weights; dynamic updates afterwards preserve exactness with respect
+to the (rounded) weights, so the maintained forest stays within ``(1+eps)``
+of the true minimum spanning forest weight.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc.connectivity import DMPCConnectivity
+from repro.exceptions import InvariantViolation
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.graph.updates import GraphUpdate
+from repro.graph.validation import is_spanning_forest, minimum_spanning_forest_weight
+
+__all__ = ["DMPCApproxMST"]
+
+
+class DMPCApproxMST(DMPCConnectivity):
+    """Fully-dynamic (1+eps)-approximate minimum spanning forest (Section 5.1)."""
+
+    kind = "approx-mst"
+
+    def __init__(self, config: DMPCConfig, *, epsilon: float = 0.1, check_invariants: bool = False) -> None:
+        if epsilon <= 0:
+            raise ValueError("epsilon must be positive")
+        super().__init__(config, check_invariants=check_invariants)
+        self.epsilon = epsilon
+
+    # ----------------------------------------------------------------- weights
+    def bucketed_weight(self, weight: float) -> float:
+        """Round ``weight`` down to its ``(1+eps)`` bucket's lower boundary.
+
+        Bucketing only the *preprocessing* weights (as the paper prescribes)
+        is what yields the (1+eps) guarantee; dynamically inserted edges keep
+        their exact weights so later comparisons remain consistent.
+        """
+        if weight <= 0:
+            return weight
+        base = 1.0 + self.epsilon
+        exponent = math.floor(math.log(weight, base))
+        return base**exponent
+
+    def forest_weight(self) -> float:
+        """Total (exact) weight of the maintained spanning forest."""
+        return sum(self.shadow.weight(u, v) for (u, v) in self.spanning_forest())
+
+    # ---------------------------------------------------------- preprocessing
+    def _preprocess(self, graph: DynamicGraph) -> None:
+        """Kruskal on bucketed weights, then load shards exactly as in Section 5.
+
+        The *stored* weight of every edge is its bucketed (rounded-down)
+        weight; the maintained forest is an exact minimum spanning forest
+        with respect to stored weights at all times (the insert/delete swap
+        rules preserve exactness), which is what pins its true weight within
+        ``(1+eps)`` of the true optimum.
+        """
+        rounded = DynamicGraph(graph.num_vertices)
+        for (u, v, w) in graph.weighted_edges():
+            rounded.insert_edge(u, v, self.bucketed_weight(w))
+        # Build the initial forest greedily by increasing (bucketed) weight.
+        from repro.eulertour.indexed import IndexedEulerTourForest
+
+        self.shadow = graph.copy()
+        forest = IndexedEulerTourForest(graph.vertices)
+        tree_edges: set[tuple[int, int]] = set()
+        for (u, v, w) in sorted(rounded.weighted_edges(), key=lambda t: (t[2], t[0], t[1])):
+            if not forest.connected(u, v):
+                forest.link(u, v)
+                tree_edges.add(normalize_edge(u, v))
+
+        self._load_shards(rounded, forest, tree_edges)
+
+    # ------------------------------------------------------------------ insert
+    def _insert(self, x: int, y: int, weight: float = 1.0) -> None:
+        self.shadow.insert_edge(x, y, weight)
+        stored = self.bucketed_weight(weight)
+        sx = self._vertex_state(x, create=True)
+        sy = self._vertex_state(y, create=True)
+        self._endpoint_query(x, y)
+
+        if sx["comp"] != sy["comp"]:
+            self._link(x, y, weight=stored)
+            return
+        # Cycle: locate the maximum-weight tree edge on the path x .. y.
+        heaviest = self._max_weight_path_edge(x, y, sx, sy)
+        if heaviest is None:
+            self._store_edge_record(x, y, tree=False, weight=stored)
+            self._store_edge_record(y, x, tree=False, weight=stored)
+            return
+        a, b, path_weight = heaviest
+        if path_weight <= stored:
+            self._store_edge_record(x, y, tree=False, weight=stored)
+            self._store_edge_record(y, x, tree=False, weight=stored)
+            return
+        # Swap: the old heaviest path edge becomes a non-tree edge and the
+        # new edge takes its place (cut + link through broadcasts).  After the
+        # cut, x and y are guaranteed to lie in different components because
+        # the removed edge was on their tree path.
+        self._cut_tree_edge(a, b)
+        self._link(x, y, weight=stored)
+        self._store_edge_record(a, b, tree=False, weight=path_weight)
+        self._store_edge_record(b, a, tree=False, weight=path_weight)
+
+    def _cut_tree_edge(self, x: int, y: int) -> None:
+        """Broadcast the cut of tree edge ``(x, y)`` without a replacement search."""
+        self._remove_edge_record(x, y)
+        self._remove_edge_record(y, x)
+        sx = self._vertex_state(x)
+        sy = self._vertex_state(y)
+        assert sx is not None and sy is not None
+        fx, lx = min(sx["indexes"], default=0), max(sx["indexes"], default=0)
+        fy, ly = min(sy["indexes"], default=0), max(sy["indexes"], default=0)
+        if not (fx < fy and lx > ly):
+            x, y = y, x
+            sx, sy = sy, sx
+            fx, lx, fy, ly = fy, ly, fx, lx
+        comp = sx["comp"]
+        new_comp = self._new_component(0)
+        span = ly - fy + 1
+        scalars = {"op": "cut", "x": x, "y": y, "comp": comp, "new_comp": new_comp, "f_y": fy, "l_y": ly}
+        self._broadcast(scalars)
+        for machine in self.cluster.machines(role="worker"):
+            self._apply_cut_locally(machine, scalars)
+        self._comp_length[new_comp] = span - 2
+        self._comp_length[comp] = self._comp_length[comp] - span - 2
+
+    def _max_weight_path_edge(self, x: int, y: int, sx: dict, sy: dict) -> tuple[int, int, float] | None:
+        """Find the maximum-weight tree edge on the tree path between x and y (2 rounds).
+
+        The endpoints' ``f`` values are broadcast.  For every tree-edge copy
+        a machine stores, the tour index pair cached on the record brackets
+        the subtree of the edge's *child* endpoint (exactly, if the copy
+        belongs to the child; one position wider, if it belongs to the
+        parent), so the machine can evaluate locally whether the edge lies on
+        the path: it does iff the child's subtree contains exactly one of x
+        and y.  Each machine reports its heaviest on-path candidate to the
+        aggregator, which picks the global maximum.
+        """
+        fx = min(sx["indexes"], default=0)
+        fy = min(sy["indexes"], default=0)
+        comp = sx["comp"]
+        scalars = {"op": "path-query", "x": x, "y": y, "f_x": fx, "f_y": fy, "comp": comp}
+        self._broadcast(scalars)
+
+        for machine in self.cluster.machines(role="worker"):
+            best: tuple[float, int, int] | None = None
+            for key, state in machine.items():
+                if not (isinstance(key, tuple) and key[0] == "tour") or state["comp"] != comp:
+                    continue
+                v = key[1]
+                f_v = min(state["indexes"], default=0)
+                l_v = max(state["indexes"], default=0)
+                for w, record in machine.load(("edges", v), {}).items():
+                    if not record.get("tree") or record.get("indexes") is None:
+                        continue
+                    i1, i2 = record["indexes"]
+                    if (i1, i2) == (f_v, l_v):
+                        child_lo, child_hi = i1, i2  # this copy belongs to the child endpoint
+                    else:
+                        child_lo, child_hi = i1 + 1, i2 - 1  # parent copy: the pair brackets the child
+                    on_path = (child_lo <= fx <= child_hi) != (child_lo <= fy <= child_hi)
+                    if not on_path:
+                        continue
+                    weight = float(record.get("weight", 1.0))
+                    candidate = (weight, min(v, w), max(v, w))
+                    if best is None or candidate > best:
+                        best = candidate
+            if best is not None:
+                machine.send(self.aggregator_id, "path-max-offer", best)
+        self.cluster.exchange()
+        agg = self.cluster.machine(self.aggregator_id)
+        offers = [msg.payload for msg in agg.drain("path-max-offer")]
+        if not offers:
+            return None
+        weight, v, w = max(offers)
+        return (v, w, weight)
+
+    # ------------------------------------------------------------ diagnostics
+    def verify_invariants(self) -> None:
+        """The forest must span every component and be within (1+eps) of optimal."""
+        forest = self.spanning_forest()
+        if not is_spanning_forest(self.shadow, forest):
+            raise InvariantViolation("maintained edge set is not a spanning forest of the graph")
+        optimal = minimum_spanning_forest_weight(self.shadow)
+        ours = self.forest_weight()
+        if optimal > 0 and ours > (1.0 + self.epsilon) * optimal + 1e-9:
+            raise InvariantViolation(
+                f"forest weight {ours:.3f} exceeds (1+eps) * optimal = {(1 + self.epsilon) * optimal:.3f}"
+            )

@@ -1,0 +1,107 @@
+"""Common driver interface for the dynamic DMPC algorithms."""
+
+from __future__ import annotations
+
+import abc
+
+from repro.config import DMPCConfig
+from repro.graph.graph import DynamicGraph
+from repro.graph.updates import GraphUpdate, UpdateSequence
+from repro.mpc.cluster import Cluster
+from repro.mpc.metrics import MetricsLedger, UpdateSummary
+
+__all__ = ["DynamicMPCAlgorithm"]
+
+
+class DynamicMPCAlgorithm(abc.ABC):
+    """Base class shared by all the dynamic algorithms in this package.
+
+    A concrete algorithm owns a :class:`Cluster` sized by a
+    :class:`DMPCConfig` and maintains its solution on the cluster's
+    machines.  Drivers interact with it through three methods:
+
+    * :meth:`preprocess` — load an initial graph and compute the initial
+      solution (the paper allows ``O(log n)`` rounds for this);
+    * :meth:`apply` — process one :class:`GraphUpdate`; every round spent on
+      it is recorded in the ledger under a label
+      ``"{kind}:{op}:{u}-{v}"``;
+    * :meth:`apply_sequence` — convenience loop over an update sequence.
+
+    Subclasses must implement ``_preprocess`` and ``_apply`` and may expose
+    solution accessors (``matching()``, ``components()`` ...).
+    """
+
+    #: label prefix used in the metrics ledger for updates of this algorithm
+    kind: str = "dmpc"
+
+    def __init__(self, config: DMPCConfig, *, check_invariants: bool = False) -> None:
+        self.config = config
+        self.cluster = Cluster(config)
+        self.check_invariants = check_invariants
+        self._preprocessed = False
+
+    # ------------------------------------------------------------------ hooks
+    @abc.abstractmethod
+    def _preprocess(self, graph: DynamicGraph) -> None:
+        """Algorithm-specific preprocessing (initial solution computation)."""
+
+    @abc.abstractmethod
+    def _apply(self, update: GraphUpdate) -> None:
+        """Algorithm-specific handling of one update (already inside a ledger scope)."""
+
+    # ----------------------------------------------------------------- driver
+    @property
+    def ledger(self) -> MetricsLedger:
+        """The metrics ledger recording rounds / machines / communication."""
+        return self.cluster.ledger
+
+    def preprocess(self, graph: DynamicGraph) -> None:
+        """Initialise the maintained solution from ``graph``."""
+        if self._preprocessed:
+            raise RuntimeError("preprocess() may only be called once")
+        with self.cluster.update(f"{self.kind}:preprocess"):
+            self._preprocess(graph)
+        self._preprocessed = True
+
+    def apply(self, update: GraphUpdate) -> None:
+        """Process one dynamic update, recording its cost in the ledger."""
+        if not self._preprocessed:
+            # Algorithms that start from the empty graph are preprocessed lazily.
+            self.preprocess(DynamicGraph())
+        label = f"{self.kind}:{update.op}:{update.u}-{update.v}"
+        with self.cluster.update(label):
+            self._apply(update)
+        if self.check_invariants:
+            self.verify_invariants()
+
+    def apply_sequence(self, updates: UpdateSequence | list[GraphUpdate]) -> None:
+        """Process an entire update sequence."""
+        for update in updates:
+            self.apply(update)
+
+    # ------------------------------------------------------------ diagnostics
+    def verify_invariants(self) -> None:  # pragma: no cover - overridden where meaningful
+        """Optional self-check hook; subclasses override to assert invariants."""
+
+    def update_summary(self) -> UpdateSummary:
+        """Cost summary over all *dynamic updates* (preprocessing excluded)."""
+        prefix_insert = f"{self.kind}:insert"
+        prefix_delete = f"{self.kind}:delete"
+        updates = self.ledger.updates_labelled(prefix_insert) + self.ledger.updates_labelled(prefix_delete)
+        scratch = MetricsLedger()
+        for record in updates:
+            scratch.begin_update(record.label)
+            for round_record in record.rounds:
+                scratch._current.rounds.append(round_record)  # noqa: SLF001 - intra-package use
+            scratch.end_update()
+        return scratch.summary()
+
+    def preprocessing_summary(self) -> UpdateSummary:
+        """Cost summary of the preprocessing phase alone."""
+        scratch = MetricsLedger()
+        for record in self.ledger.updates_labelled(f"{self.kind}:preprocess"):
+            scratch.begin_update(record.label)
+            for round_record in record.rounds:
+                scratch._current.rounds.append(round_record)  # noqa: SLF001 - intra-package use
+            scratch.end_update()
+        return scratch.summary()

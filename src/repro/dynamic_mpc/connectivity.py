@@ -1,0 +1,498 @@
+"""Section 5 — fully-dynamic connected components in the DMPC model.
+
+Costs per update (Table 1, "Connected comps" row): ``O(1)`` rounds,
+``O(sqrt N)`` active machines, ``O(sqrt N)`` total communication per round,
+worst case, starting from an arbitrary graph.
+
+Data layout
+-----------
+Vertices are hash-partitioned across the worker machines.  For every owned
+vertex ``v`` a machine stores
+
+* its component identifier and the set of positions ``index_v`` at which it
+  appears in its tree's Euler tour (``f(v)`` / ``l(v)`` are the min / max of
+  that set, Section 5), and
+* its incident edges, each tagged as tree / non-tree, with the tour index
+  pair associated with the edge (for tree edges) and the edge weight.
+
+Update mechanism
+----------------
+Inserting or deleting an edge broadcasts a **constant number of scalars**
+(``f(x)``, ``l(y)``, tour lengths, component ids) from the endpoints'
+machines to all machines; every machine then rewrites the indexes of the
+vertices and edge records it stores locally, with no further communication.
+That is the index arithmetic of :mod:`repro.eulertour.indexed`, applied
+shard-by-shard.  Deleting a tree edge additionally runs a replacement
+search: every machine owning vertices of the new (split-off) component
+offers the non-tree edges incident to them to a designated machine, which
+identifies the crossing edges as exactly those offered by *one* endpoint
+(edges internal to the new component are offered twice) and reinserts one of
+them as a tree edge.
+"""
+
+from __future__ import annotations
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc.base import DynamicMPCAlgorithm
+from repro.exceptions import InvariantViolation
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.graph.updates import GraphUpdate
+from repro.graph.validation import connected_components, same_partition
+from repro.mpc.machine import Machine
+from repro.mpc.partition import hash_partition
+
+__all__ = ["DMPCConnectivity"]
+
+
+class DMPCConnectivity(DynamicMPCAlgorithm):
+    """Fully-dynamic connected components via sharded Euler tours (Section 5)."""
+
+    kind = "connectivity"
+
+    def __init__(self, config: DMPCConfig, *, check_invariants: bool = False) -> None:
+        super().__init__(config, check_invariants=check_invariants)
+        workers = self.cluster.add_machines("w", max(2, config.num_worker_machines), role="worker")
+        self.worker_ids = [m.machine_id for m in workers]
+        self.aggregator_id = self.worker_ids[0]
+        self._next_comp = 0
+        self._comp_length: dict[int, int] = {}
+        #: driver-side mirror of the input graph, used only for invariant checks
+        self.shadow = DynamicGraph()
+
+    # ----------------------------------------------------------------- layout
+    def owner(self, v: int) -> str:
+        """The worker machine owning vertex ``v``'s tour state and edge records."""
+        return hash_partition(v, self.worker_ids)
+
+    def _vertex_state(self, v: int, *, create: bool = False) -> dict | None:
+        machine = self.cluster.machine(self.owner(v))
+        state = machine.load(("tour", v))
+        if state is None and create:
+            comp = self._new_component(0)
+            state = {"comp": comp, "indexes": set()}
+            machine.store(("tour", v), state)
+            machine.store(("edges", v), {})
+        return state
+
+    def _new_component(self, length: int) -> int:
+        comp = self._next_comp
+        self._next_comp += 1
+        self._comp_length[comp] = length
+        return comp
+
+    def _edges_of(self, v: int) -> dict:
+        machine = self.cluster.machine(self.owner(v))
+        return machine.load(("edges", v), {})
+
+    # -------------------------------------------------------------- accessors
+    def component_of(self, v: int) -> int:
+        """Component identifier of ``v`` (driver-side read of its owner)."""
+        state = self._vertex_state(v)
+        if state is None:
+            raise KeyError(f"vertex {v} is not known to the algorithm")
+        return state["comp"]
+
+    def connected(self, u: int, v: int) -> bool:
+        """True iff ``u`` and ``v`` are currently in the same component."""
+        su, sv = self._vertex_state(u), self._vertex_state(v)
+        if su is None or sv is None:
+            return False
+        return su["comp"] == sv["comp"]
+
+    def components(self) -> list[set[int]]:
+        """All connected components (assembled from the worker machines)."""
+        groups: dict[int, set[int]] = {}
+        for machine in self.cluster.machines(role="worker"):
+            for key, value in machine.items():
+                if isinstance(key, tuple) and key[0] == "tour":
+                    groups.setdefault(value["comp"], set()).add(key[1])
+        return list(groups.values())
+
+    def num_components(self) -> int:
+        return len(self.components())
+
+    def spanning_forest(self) -> set[tuple[int, int]]:
+        """The maintained spanning forest (tree-flagged edge records)."""
+        forest: set[tuple[int, int]] = set()
+        for machine in self.cluster.machines(role="worker"):
+            for key, value in machine.items():
+                if isinstance(key, tuple) and key[0] == "edges":
+                    v = key[1]
+                    for w, record in value.items():
+                        if record.get("tree"):
+                            forest.add(normalize_edge(v, w))
+        return forest
+
+    # ---------------------------------------------------------- preprocessing
+    def _preprocess(self, graph: DynamicGraph) -> None:
+        """Load an arbitrary initial graph.
+
+        The paper's preprocessing builds the forest and its tours in
+        ``O(log n)`` rounds by augmenting a contraction-based spanning-forest
+        algorithm; here the initial tours are computed centrally and the
+        per-vertex shards are placed with one round of loading traffic (the
+        per-update costs, which Table 1 bounds, are unaffected — see
+        EXPERIMENTS.md).
+        """
+        from repro.eulertour.indexed import IndexedEulerTourForest
+
+        self.shadow = graph.copy()
+        forest = IndexedEulerTourForest(graph.vertices)
+        tree_edges: set[tuple[int, int]] = set()
+        for (u, v) in graph.edge_list():
+            if not forest.connected(u, v):
+                forest.link(u, v)
+                tree_edges.add(normalize_edge(u, v))
+
+        # Remap component ids into this algorithm's id space.
+        self._load_shards(graph, forest, tree_edges)
+
+    def _load_shards(self, graph: DynamicGraph, forest, tree_edges: set[tuple[int, int]]) -> None:
+        """Place per-vertex tour shards and edge records onto the workers.
+
+        The tour index pair associated with each tree edge is stored with
+        both copies of the edge (the paper's "two indexes in the E-tour that
+        are associated with the edge"): the child endpoint's pair is its own
+        first/last appearance, the parent's pair brackets it one position on
+        each side.
+        """
+        comp_map: dict[int, int] = {}
+        for v in graph.vertices:
+            old = forest.component_of(v)
+            if old not in comp_map:
+                comp_map[old] = self._new_component(forest.tour_length(v))
+        for v in graph.vertices:
+            machine = self.cluster.machine(self.owner(v))
+            machine.store(("tour", v), {"comp": comp_map[forest.component_of(v)], "indexes": set(forest.state(v).indexes)})
+            records = {}
+            for w in graph.neighbors(v):
+                edge = normalize_edge(v, w)
+                record = {"tree": edge in tree_edges, "weight": graph.weight(v, w), "indexes": None}
+                if edge in tree_edges:
+                    child = w if forest.is_ancestor(v, w) else v
+                    child_state = forest.state(child)
+                    f_c, l_c = child_state.first, child_state.last
+                    record["indexes"] = (f_c, l_c) if v == child else (f_c - 1, l_c + 1)
+                records[w] = record
+            machine.store(("edges", v), records)
+        # One round of placement traffic (constant words per worker machine).
+        agg = self.cluster.machine(self.aggregator_id)
+        for machine_id in self.worker_ids:
+            if machine_id != self.aggregator_id:
+                agg.send(machine_id, "preprocess-plan", None, words=4)
+        self.cluster.exchange()
+        for machine_id in self.worker_ids:
+            self.cluster.machine(machine_id).drain("preprocess-plan")
+
+    # ---------------------------------------------------------------- updates
+    def _apply(self, update: GraphUpdate) -> None:
+        if update.is_insert:
+            self._insert(update.u, update.v, update.weight)
+        else:
+            self._delete(update.u, update.v)
+
+    # ------------------------------------------------------------------ insert
+    def _insert(self, x: int, y: int, weight: float = 1.0) -> None:
+        self.shadow.insert_edge(x, y, weight)
+        sx = self._vertex_state(x, create=True)
+        sy = self._vertex_state(y, create=True)
+
+        # Round 1-2: the endpoints' owners exchange their scalars through the
+        # aggregator (constant-size messages).
+        self._endpoint_query(x, y)
+
+        if sx["comp"] == sy["comp"]:
+            self._store_edge_record(x, y, tree=False, weight=weight)
+            self._store_edge_record(y, x, tree=False, weight=weight)
+            return
+        self._link(x, y, weight=weight)
+
+    def _link(self, x: int, y: int, *, weight: float) -> None:
+        """Make ``(x, y)`` a tree edge merging ``y``'s component into ``x``'s."""
+        sx = self._vertex_state(x, create=True)
+        sy = self._vertex_state(y, create=True)
+        comp_x, comp_y = sx["comp"], sy["comp"]
+        len_x, len_y = self._comp_length[comp_x], self._comp_length[comp_y]
+        l_y = max(sy["indexes"], default=0)
+        f_y = min(sy["indexes"], default=0)
+        # Attachment offset: x's first appearance rounded down to the arc
+        # boundary (0 when x is a root or a singleton).
+        f_x = min(sx["indexes"], default=0)
+        if f_x % 2 == 1:
+            f_x -= 1
+
+        scalars = {
+            "op": "link",
+            "x": x,
+            "y": y,
+            "comp_x": comp_x,
+            "comp_y": comp_y,
+            "f_x": f_x,
+            "l_y": l_y,
+            "len_y": len_y,
+            # Rerooting T_y at y is skipped when y already is its tree's root
+            # (rotating in that case would produce an invalid tour).
+            "reroot": len_y > 0 and f_y != 1,
+        }
+        self._broadcast(scalars)
+        for machine in self.cluster.machines(role="worker"):
+            self._apply_link_locally(machine, scalars)
+        self._comp_length[comp_x] = len_x + len_y + 4
+        self._comp_length.pop(comp_y, None)
+        # The new tree edge's tour index pairs (x is the parent, y the child).
+        self._store_edge_record(x, y, tree=True, weight=weight, indexes=(f_x + 1, f_x + len_y + 4))
+        self._store_edge_record(y, x, tree=True, weight=weight, indexes=(f_x + 2, f_x + len_y + 3))
+
+    # ------------------------------------------------------------------ delete
+    def _delete(self, x: int, y: int) -> None:
+        self.shadow.delete_edge(x, y)
+        record = self._edges_of(x).get(y, {})
+        is_tree = bool(record.get("tree"))
+        self._endpoint_query(x, y)
+        self._remove_edge_record(x, y)
+        self._remove_edge_record(y, x)
+        if not is_tree:
+            return
+
+        sx = self._vertex_state(x)
+        sy = self._vertex_state(y)
+        assert sx is not None and sy is not None
+        # Ensure x is the ancestor endpoint.
+        fx, lx = min(sx["indexes"], default=0), max(sx["indexes"], default=0)
+        fy, ly = min(sy["indexes"], default=0), max(sy["indexes"], default=0)
+        if not (fx < fy and lx > ly):
+            x, y = y, x
+            sx, sy = sy, sx
+            fx, lx, fy, ly = fy, ly, fx, lx
+
+        comp = sx["comp"]
+        new_comp = self._new_component(0)
+        span = ly - fy + 1
+        scalars = {
+            "op": "cut",
+            "x": x,
+            "y": y,
+            "comp": comp,
+            "new_comp": new_comp,
+            "f_y": fy,
+            "l_y": ly,
+        }
+        self._broadcast(scalars)
+        for machine in self.cluster.machines(role="worker"):
+            self._apply_cut_locally(machine, scalars)
+        self._comp_length[new_comp] = span - 2
+        self._comp_length[comp] = self._comp_length[comp] - span - 2
+
+        replacement = self._find_replacement(comp, new_comp)
+        if replacement is not None:
+            a, b, weight = replacement
+            # Re-orient so the first endpoint lies in the surviving component.
+            if self._vertex_state(a)["comp"] == new_comp:
+                a, b = b, a
+            self._remove_edge_record(a, b)
+            self._remove_edge_record(b, a)
+            self._link(a, b, weight=weight)
+
+    # --------------------------------------------------------------- messaging
+    def _endpoint_query(self, x: int, y: int) -> None:
+        """The endpoints' owners exchange constant-size scalars (2 rounds)."""
+        owner_x, owner_y = self.owner(x), self.owner(y)
+        mx, my = self.cluster.machine(owner_x), self.cluster.machine(owner_y)
+        mx.send(self.aggregator_id, "endpoint-info", (x,))
+        if owner_y != owner_x:
+            my.send(self.aggregator_id, "endpoint-info", (y,))
+        self.cluster.exchange()
+        agg = self.cluster.machine(self.aggregator_id)
+        agg.drain("endpoint-info")
+        agg.send(owner_x, "endpoint-ack", None)
+        if owner_y != owner_x:
+            agg.send(owner_y, "endpoint-ack", None)
+        self.cluster.exchange()
+        mx.drain("endpoint-ack")
+        my.drain("endpoint-ack")
+
+    def _broadcast(self, scalars: dict) -> None:
+        """Broadcast the constant-size update scalars to every worker (1 round)."""
+        sender = self.cluster.machine(self.owner(scalars["x"]))
+        for machine_id in self.worker_ids:
+            if machine_id != sender.machine_id:
+                sender.send(machine_id, "tour-scalars", None, words=10)
+        self.cluster.exchange()
+        for machine_id in self.worker_ids:
+            self.cluster.machine(machine_id).drain("tour-scalars")
+
+    # ------------------------------------------------------- local application
+    @staticmethod
+    def _apply_link_locally(machine: Machine, scalars: dict) -> None:
+        """Rewrite the machine's local tour indexes for a link broadcast.
+
+        Both the per-vertex index sets and the tour index pairs cached on
+        tree-edge records are rewritten with the same arithmetic — this is
+        what lets a machine keep knowing the subtree interval of an edge's
+        child endpoint without ever asking another machine for it.
+        """
+        comp_x, comp_y = scalars["comp_x"], scalars["comp_y"]
+        f_x, l_y, len_y = scalars["f_x"], scalars["l_y"], scalars["len_y"]
+        reroot = scalars.get("reroot", True)
+        x, y = scalars["x"], scalars["y"]
+
+        def shift_y(i: int) -> int:
+            if reroot and len_y > 0:
+                i = ((i - l_y) % len_y) + 1
+            return i + f_x + 2
+
+        def shift_x(i: int) -> int:
+            return i + len_y + 4 if i > f_x else i
+
+        for key, state in list(machine.items()):
+            if not (isinstance(key, tuple) and key[0] == "tour"):
+                continue
+            vertex = key[1]
+            indexes = state["indexes"]
+            if state["comp"] == comp_y:
+                new_indexes = {shift_y(i) for i in indexes}
+                if vertex == y:
+                    new_indexes.update({f_x + 2, f_x + len_y + 3})
+                machine.store(key, {"comp": comp_x, "indexes": new_indexes})
+                DMPCConnectivity._shift_edge_indexes(machine, vertex, shift_y)
+            elif state["comp"] == comp_x:
+                new_indexes = {shift_x(i) for i in indexes}
+                if vertex == x:
+                    new_indexes.update({f_x + 1, f_x + len_y + 4})
+                machine.store(key, {"comp": comp_x, "indexes": new_indexes})
+                DMPCConnectivity._shift_edge_indexes(machine, vertex, shift_x)
+
+    @staticmethod
+    def _apply_cut_locally(machine: Machine, scalars: dict) -> None:
+        """Rewrite the machine's local tour indexes for a cut broadcast."""
+        comp, new_comp = scalars["comp"], scalars["new_comp"]
+        f_y, l_y = scalars["f_y"], scalars["l_y"]
+        x, y = scalars["x"], scalars["y"]
+        shift = (l_y - f_y + 1) + 2
+
+        def shift_any(i: int) -> int:
+            if f_y <= i <= l_y:
+                return i - f_y
+            if i > l_y + 1:
+                return i - shift
+            return i
+
+        for key, state in list(machine.items()):
+            if not (isinstance(key, tuple) and key[0] == "tour"):
+                continue
+            if state["comp"] != comp:
+                continue
+            vertex = key[1]
+            indexes = set(state["indexes"])
+            if vertex == x:
+                indexes -= {f_y - 1, l_y + 1}
+            if vertex == y:
+                indexes -= {f_y, l_y}
+            first = min(indexes, default=0)
+            last = max(indexes, default=0)
+            in_subtree = vertex == y or (bool(indexes) and f_y <= first and last <= l_y)
+            new_indexes = {shift_any(i) for i in indexes}
+            machine.store(key, {"comp": new_comp if in_subtree else comp, "indexes": new_indexes})
+            DMPCConnectivity._shift_edge_indexes(machine, vertex, shift_any)
+
+    @staticmethod
+    def _shift_edge_indexes(machine: Machine, vertex: int, shift) -> None:
+        """Apply an index transformation to the tour pairs cached on ``vertex``'s edge records."""
+        records = machine.load(("edges", vertex))
+        if not records:
+            return
+        changed = False
+        new_records = {}
+        for w, record in records.items():
+            indexes = record.get("indexes")
+            if record.get("tree") and indexes is not None:
+                record = dict(record)
+                # Rerooting can flip the edge's parent/child orientation, in
+                # which case the transformed pair comes out reversed; storing
+                # it sorted keeps the "pair brackets the child's subtree"
+                # reading used by the MST path queries valid.
+                a, b = shift(indexes[0]), shift(indexes[1])
+                record["indexes"] = (a, b) if a <= b else (b, a)
+                changed = True
+            new_records[w] = record
+        if changed:
+            machine.store(("edges", vertex), new_records)
+
+    # --------------------------------------------------------- edge records
+    def _store_edge_record(self, v: int, w: int, *, tree: bool, weight: float, indexes: tuple[int, int] | None = None) -> None:
+        machine = self.cluster.machine(self.owner(v))
+        records = dict(machine.load(("edges", v), {}))
+        records[w] = {"tree": tree, "weight": float(weight), "indexes": indexes}
+        machine.store(("edges", v), records)
+
+    def _remove_edge_record(self, v: int, w: int) -> None:
+        machine = self.cluster.machine(self.owner(v))
+        records = dict(machine.load(("edges", v), {}))
+        records.pop(w, None)
+        machine.store(("edges", v), records)
+
+    # ------------------------------------------------------- replacement search
+    def _find_replacement(self, comp_old: int, comp_new: int) -> tuple[int, int, float] | None:
+        """Find a non-tree edge reconnecting the two components (2 rounds).
+
+        Every machine offers, for each owned vertex now in ``comp_new``, all
+        its incident non-tree edges.  An edge internal to ``comp_new`` is
+        offered by both endpoints, a crossing edge by exactly one — so the
+        aggregator keeps exactly the edges with an odd offer count and picks
+        one (the minimum-weight one, which is what the MST subclass needs).
+        """
+        for machine in self.cluster.machines(role="worker"):
+            offers: list[tuple[int, int, float]] = []
+            for key, state in machine.items():
+                if not (isinstance(key, tuple) and key[0] == "tour"):
+                    continue
+                if state["comp"] != comp_new:
+                    continue
+                v = key[1]
+                for w, record in machine.load(("edges", v), {}).items():
+                    if record.get("tree"):
+                        continue
+                    offers.append((v, w, float(record.get("weight", 1.0))))
+            if offers:
+                machine.send(self.aggregator_id, "replacement-offer", offers, words=3 * len(offers) + 1)
+        self.cluster.exchange()
+
+        agg = self.cluster.machine(self.aggregator_id)
+        counts: dict[tuple[int, int], int] = {}
+        weights: dict[tuple[int, int], float] = {}
+        endpoints: dict[tuple[int, int], tuple[int, int]] = {}
+        for msg in agg.drain("replacement-offer"):
+            for (v, w, weight) in msg.payload:
+                edge = normalize_edge(v, w)
+                counts[edge] = counts.get(edge, 0) + 1
+                weights[edge] = weight
+                endpoints[edge] = (v, w)
+        crossing = [edge for edge, count in counts.items() if count == 1]
+        if not crossing:
+            return None
+        best = min(crossing, key=lambda e: (weights[e], e))
+        v, w = endpoints[best]
+        return (v, w, weights[best])
+
+    # ------------------------------------------------------------ diagnostics
+    def verify_invariants(self) -> None:
+        """Assert the maintained components match a reference BFS of the graph."""
+        ours = self.components()
+        reference = connected_components(self.shadow)
+        # The algorithm may know isolated vertices the shadow graph also has;
+        # compare only non-empty groups over the same vertex universe.
+        if not same_partition(ours, reference):
+            raise InvariantViolation("maintained components diverge from the reference BFS")
+        # Tour-structure sanity: every component's index multiset must tile 1..4(k-1).
+        groups: dict[int, list[set[int]]] = {}
+        for machine in self.cluster.machines(role="worker"):
+            for key, state in machine.items():
+                if isinstance(key, tuple) and key[0] == "tour":
+                    groups.setdefault(state["comp"], []).append(set(state["indexes"]))
+        for comp, index_sets in groups.items():
+            total = sorted(i for s in index_sets for i in s)
+            expected = list(range(1, 4 * (len(index_sets) - 1) + 1))
+            if total != expected:
+                raise InvariantViolation(
+                    f"component {comp}: tour indexes {total[:8]}... do not tile 1..{len(expected)}"
+                )

@@ -1,0 +1,611 @@
+"""Machine layout and bookkeeping shared by the Section 3 / 4 matching algorithms.
+
+The *matching fabric* realises the storage scheme of Section 3:
+
+* a **coordinator** machine ``M_C`` through which every update flows,
+  holding the update-history ``H`` (the last ``O(sqrt N)`` changes to the
+  input and to the matching), the vertex-range directory and its view of
+  every machine's free memory;
+* ``O(n / sqrt N)`` **statistics machines**, each storing, for a contiguous
+  range of vertex IDs: degree, mate, heavy flag, the machine holding the
+  vertex's *alive* edges, the stack of machines holding its *suspended*
+  edges, and (for Section 4) the free-neighbour counter;
+* a pool of **edge machines**: *light* machines each packing the full
+  adjacency lists of many light vertices, and *heavy* machines each
+  dedicated to one heavy vertex (one holding its ``sqrt(2m)`` alive edges
+  and the rest its suspended edges, managed as a stack).
+
+Edge machines learn about updates lazily: whenever the coordinator contacts
+a machine it piggy-backs the history entries the machine has not yet seen,
+and after every update one additional machine is refreshed round-robin, so
+no machine is ever more than ``O(sqrt N)`` updates stale — which is what
+bounds the history size.
+
+All cross-machine data movement uses messages on the cluster, so the
+metrics ledger observes the true round / machine / communication costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.config import DMPCConfig
+from repro.exceptions import ProtocolError
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.mpc.cluster import Cluster
+from repro.mpc.coordinator import Coordinator, HistoryEntry, UpdateHistory
+from repro.mpc.partition import RangePartition
+
+__all__ = ["VertexStats", "MatchingFabric"]
+
+
+@dataclass
+class VertexStats:
+    """Statistics stored for one vertex on its statistics machine."""
+
+    degree: int = 0
+    mate: int | None = None
+    heavy: bool = False
+    alive_machine: str | None = None
+    suspended_machines: list[str] = field(default_factory=list)
+    free_neighbors: int = 0
+
+    def dmpc_words(self) -> int:
+        return 6 + len(self.suspended_machines)
+
+    def as_payload(self) -> dict:
+        return {
+            "degree": self.degree,
+            "mate": self.mate if self.mate is not None else -1,
+            "heavy": self.heavy,
+            "alive": self.alive_machine or "",
+            "suspended": list(self.suspended_machines),
+            "free_neighbors": self.free_neighbors,
+        }
+
+
+class MatchingFabric:
+    """Storage fabric + message protocol shared by the matching algorithms."""
+
+    def __init__(self, cluster: Cluster, config: DMPCConfig) -> None:
+        self.cluster = cluster
+        self.config = config
+        self.threshold = config.heavy_threshold
+
+        # Statistics machines and the consecutive-ID partition over them.
+        stats_ids = [m.machine_id for m in cluster.add_machines("stats", config.stats_machine_count, role="stats")]
+        self.partition = RangePartition(config.capacity_n, stats_ids)
+        self.coordinator = Coordinator.create(cluster, self.partition)
+
+        # Edge machine pool (allocated lazily; idle machines never become active).
+        pool_size = 2 * config.num_worker_machines + 8
+        self.edge_pool = [m.machine_id for m in cluster.add_machines("edge", pool_size, role="edge")]
+        self._unallocated = list(reversed(self.edge_pool))
+        self._light_machines: list[str] = []
+        self._machine_seen_seq: dict[str, int] = {mid: 0 for mid in self.edge_pool}
+        self._refresh_pointer = 0
+
+        # History capacity must cover the worst-case staleness of any machine:
+        # one machine is refreshed per update (round-robin), each update adds
+        # O(1) entries, so O(#machines) = O(sqrt N) entries suffice.
+        capacity = max(config.sqrt_N, 10 * (pool_size + 8))
+        self.coordinator.history = UpdateHistory(capacity=capacity)
+
+    # ------------------------------------------------------------- allocation
+    def _allocate_machine(self, *, light: bool) -> str:
+        if not self._unallocated:
+            raise ProtocolError("edge machine pool exhausted — size the DMPCConfig for the workload")
+        machine_id = self._unallocated.pop()
+        if light:
+            self._light_machines.append(machine_id)
+        return machine_id
+
+    def _light_machine_with_room(self, words_needed: int) -> str:
+        """A light machine with at least ``words_needed`` free words (the paper's ``toFit``)."""
+        for machine_id in self._light_machines:
+            if self.cluster.machine(machine_id).free_words >= words_needed + 8:
+                return machine_id
+        return self._allocate_machine(light=True)
+
+    # ------------------------------------------------------------------ stats
+    def stats_of(self, v: int) -> VertexStats:
+        """Read ``v``'s statistics *locally* (driver-side view of the stats machine)."""
+        machine = self.cluster.machine(self.partition.machine_for(v))
+        stats = machine.load(("st", v))
+        if stats is None:
+            stats = VertexStats()
+        return stats
+
+    def store_stats(self, v: int, stats: VertexStats) -> None:
+        machine = self.cluster.machine(self.partition.machine_for(v))
+        machine.store(("st", v), stats)
+
+    def is_heavy(self, v: int) -> bool:
+        return self.stats_of(v).degree >= self.threshold
+
+    def mate_of(self, v: int) -> int | None:
+        return self.stats_of(v).mate
+
+    def matching(self) -> set[tuple[int, int]]:
+        """The maintained matching (assembled from the statistics machines)."""
+        edges: set[tuple[int, int]] = set()
+        for machine in self.cluster.machines(role="stats"):
+            for key, value in machine.items():
+                if isinstance(key, tuple) and key[0] == "st" and isinstance(value, VertexStats):
+                    if value.mate is not None:
+                        edges.add(normalize_edge(key[1], value.mate))
+        return edges
+
+    # ---------------------------------------------------------------- history
+    def record(self, kind: str, u: int, v: int) -> HistoryEntry:
+        return self.coordinator.record(kind, u, v)
+
+    def _history_payload_for(self, machine_id: str) -> list[HistoryEntry]:
+        entries = self.coordinator.history.entries_since(self._machine_seen_seq.get(machine_id, 0))
+        return entries
+
+    def _mark_seen(self, machine_id: str) -> None:
+        self._machine_seen_seq[machine_id] = self.coordinator.history.last_seq
+
+    @staticmethod
+    def _apply_history_locally(machine, entries: list[HistoryEntry]) -> None:
+        """Apply history entries to a machine's adjacency/status records."""
+        for entry in entries:
+            # "insert" entries need no lazy application: edge copies are
+            # placed explicitly by ``add_edge_copy`` during their own update.
+            if entry.kind == "delete":
+                for a, b in ((entry.u, entry.v), (entry.v, entry.u)):
+                    adj = machine.load(("adj", a))
+                    if adj is not None and b in adj:
+                        adj = dict(adj)
+                        del adj[b]
+                        machine.store(("adj", a), adj)
+            elif entry.kind == "match":
+                for a, b in ((entry.u, entry.v), (entry.v, entry.u)):
+                    if ("status", a) in machine:
+                        machine.store(("status", a), b)
+            elif entry.kind == "unmatch":
+                for a in (entry.u, entry.v):
+                    if ("status", a) in machine:
+                        machine.store(("status", a), None)
+
+    # ------------------------------------------------------------ edge machines
+    def _ensure_alive_machine(self, v: int, stats: VertexStats) -> str:
+        """Make sure ``v`` has an alive machine; allocate/choose one if needed."""
+        if stats.alive_machine is not None:
+            return stats.alive_machine
+        if stats.degree >= self.threshold:
+            machine_id = self._allocate_machine(light=False)
+        else:
+            machine_id = self._light_machine_with_room(words_needed=8)
+        stats.alive_machine = machine_id
+        machine = self.cluster.machine(machine_id)
+        if machine.load(("adj", v)) is None:
+            machine.store(("adj", v), {})
+        return machine_id
+
+    def local_adjacency(self, machine_id: str, v: int) -> dict[int, bool]:
+        return dict(self.cluster.machine(machine_id).load(("adj", v), {}))
+
+    def alive_neighbors(self, v: int) -> list[int]:
+        """Neighbours of ``v`` stored on its alive machine (driver-side view)."""
+        stats = self.stats_of(v)
+        if stats.alive_machine is None:
+            return []
+        return sorted(self.local_adjacency(stats.alive_machine, v))
+
+    def suspended_neighbors(self, v: int) -> list[int]:
+        """Neighbours of ``v`` stored on its suspended machines (driver-side view)."""
+        stats = self.stats_of(v)
+        result: list[int] = []
+        for machine_id in stats.suspended_machines:
+            result.extend(self.local_adjacency(machine_id, v))
+        return sorted(result)
+
+    def all_neighbors(self, v: int) -> list[int]:
+        return sorted(set(self.alive_neighbors(v)) | set(self.suspended_neighbors(v)))
+
+    # The following operations implement the message protocol.  Each returns
+    # after having called ``cluster.exchange()`` the stated number of times.
+
+    def query_stats(self, vertices: list[int]) -> dict[int, VertexStats]:
+        """Coordinator queries the statistics of ``vertices`` (2 rounds)."""
+        coordinator = self.coordinator.machine
+        targets: dict[str, list[int]] = {}
+        for v in vertices:
+            targets.setdefault(self.partition.machine_for(v), []).append(v)
+        for machine_id, vs in targets.items():
+            coordinator.send(machine_id, "stats-query", sorted(vs))
+        self.cluster.exchange()
+        replies: dict[int, VertexStats] = {}
+        for machine_id in targets:
+            machine = self.cluster.machine(machine_id)
+            for msg in machine.drain("stats-query"):
+                payload = []
+                for v in msg.payload:
+                    stats = machine.load(("st", v), VertexStats())
+                    payload.append((v, stats))
+                    replies[v] = stats
+                machine.send(self.coordinator.machine_id, "stats-reply", [(v, s.as_payload()) for v, s in payload])
+        self.cluster.exchange()
+        coordinator.drain("stats-reply")
+        return replies
+
+    def push_stats(self, updates: dict[int, VertexStats]) -> None:
+        """Coordinator writes back updated statistics (1 round)."""
+        coordinator = self.coordinator.machine
+        targets: dict[str, list[tuple[int, VertexStats]]] = {}
+        for v, stats in updates.items():
+            targets.setdefault(self.partition.machine_for(v), []).append((v, stats))
+        for machine_id, items in targets.items():
+            coordinator.send(machine_id, "stats-write", [(v, s.as_payload()) for v, s in items])
+        self.cluster.exchange()
+        for machine_id, items in targets.items():
+            machine = self.cluster.machine(machine_id)
+            machine.drain("stats-write")
+            for v, stats in items:
+                machine.store(("st", v), stats)
+
+    def refresh_machine(self, machine_id: str) -> None:
+        """Coordinator ships pending history to one edge machine (1 round)."""
+        entries = self._history_payload_for(machine_id)
+        coordinator = self.coordinator.machine
+        coordinator.send(machine_id, "refresh", None, words=max(1, sum(e.dmpc_words() for e in entries)))
+        self.cluster.exchange()
+        machine = self.cluster.machine(machine_id)
+        machine.drain("refresh")
+        self._apply_history_locally(machine, entries)
+        self._mark_seen(machine_id)
+
+    def round_robin_refresh(self) -> None:
+        """Refresh the next edge machine in round-robin order (1 round).
+
+        This is the Section 3 maintenance step that bounds every machine's
+        staleness by ``O(sqrt N)`` updates.
+        """
+        allocated = [mid for mid in self.edge_pool if mid not in self._unallocated]
+        if not allocated:
+            return
+        machine_id = allocated[self._refresh_pointer % len(allocated)]
+        self._refresh_pointer += 1
+        self.refresh_machine(machine_id)
+
+    def update_vertex(self, v: int, stats: VertexStats, query: str | None = None, *, exclude: tuple[int, ...] = ()) -> dict:
+        """The paper's ``updateVertex``: refresh ``v``'s alive machine and optionally query it.
+
+        Sends one message coordinator → alive machine carrying the pending
+        history plus the query, and one reply back (2 rounds, 2 active
+        machines, O(sqrt N) words).  Supported queries:
+
+        * ``"free-neighbor"`` — a neighbour of ``v`` that is currently
+          unmatched according to the machine's (now refreshed) status map;
+        * ``"matched-neighbors"`` — up to ``threshold`` pairs
+          ``(w, mate(w))`` for matched alive neighbours of ``v``;
+        * ``None`` — no query, pure refresh.
+
+        Returns the reply payload dict.
+        """
+        machine_id = self._ensure_alive_machine(v, stats)
+        entries = self._history_payload_for(machine_id)
+        coordinator = self.coordinator.machine
+        words = max(1, sum(e.dmpc_words() for e in entries)) + 4
+        coordinator.send(machine_id, "vertex-update", {"vertex": v, "query": query or ""}, words=words)
+        self.cluster.exchange()
+
+        machine = self.cluster.machine(machine_id)
+        machine.drain("vertex-update")
+        self._apply_history_locally(machine, entries)
+        self._mark_seen(machine_id)
+
+        reply: dict = {"free": None, "matched": []}
+        adjacency = machine.load(("adj", v), {})
+        if query == "free-neighbor":
+            for w in sorted(adjacency):
+                if w in exclude:
+                    continue
+                if machine.load(("status", w)) is None:
+                    reply["free"] = w
+                    break
+        elif query == "matched-neighbors":
+            pairs = []
+            for w in sorted(adjacency):
+                if w in exclude:
+                    continue
+                mate = machine.load(("status", w))
+                if mate is not None:
+                    pairs.append((w, mate))
+                if len(pairs) >= self.threshold:
+                    break
+            reply["matched"] = pairs
+        machine.send(self.coordinator.machine_id, "vertex-reply", reply)
+        self.cluster.exchange()
+        coordinator.drain("vertex-reply")
+        return reply
+
+    def scan_suspended_for_free(self, v: int, stats: VertexStats, *, exclude: tuple[int, ...] = ()) -> int | None:
+        """Fallback scan of ``v``'s suspended machines for a free neighbour (2 rounds)."""
+        if not stats.suspended_machines:
+            return None
+        coordinator = self.coordinator.machine
+        for machine_id in stats.suspended_machines:
+            entries = self._history_payload_for(machine_id)
+            words = max(1, sum(e.dmpc_words() for e in entries)) + 2
+            coordinator.send(machine_id, "suspended-scan", v, words=words)
+        self.cluster.exchange()
+        found: int | None = None
+        for machine_id in stats.suspended_machines:
+            machine = self.cluster.machine(machine_id)
+            machine.drain("suspended-scan")
+            entries = self._history_payload_for(machine_id)
+            self._apply_history_locally(machine, entries)
+            self._mark_seen(machine_id)
+            candidate = None
+            for w in sorted(machine.load(("adj", v), {})):
+                if w not in exclude and machine.load(("status", w)) is None:
+                    candidate = w
+                    break
+            machine.send(self.coordinator.machine_id, "suspended-reply", candidate)
+        self.cluster.exchange()
+        for msg in coordinator.drain("suspended-reply"):
+            if msg.payload is not None and found is None:
+                found = msg.payload
+        return found
+
+    def batch_free_neighbor_query(self, queries: list[tuple[int, VertexStats, tuple[int, ...]]]) -> dict[int, int | None]:
+        """Query many vertices' alive machines for a free neighbour in 2 rounds.
+
+        ``queries`` is a list of ``(vertex, stats, exclude)`` triples.  The
+        coordinator sends one message per involved machine (carrying the
+        pending history), every machine answers for the vertices it hosts,
+        and the result maps each queried vertex to a free neighbour (or
+        ``None``).  Used by the Section 4 algorithm to probe several
+        candidate mates for the endpoint of a length-3 augmenting path
+        without leaving the constant-round budget.
+        """
+        if not queries:
+            return {}
+        coordinator = self.coordinator.machine
+        by_machine: dict[str, list[tuple[int, tuple[int, ...]]]] = {}
+        for vertex, stats, exclude in queries:
+            machine_id = self._ensure_alive_machine(vertex, stats)
+            by_machine.setdefault(machine_id, []).append((vertex, exclude))
+        for machine_id, items in by_machine.items():
+            entries = self._history_payload_for(machine_id)
+            words = max(1, sum(e.dmpc_words() for e in entries)) + 2 * len(items)
+            coordinator.send(machine_id, "batch-free-query", [(v, list(ex)) for v, ex in items], words=words)
+        self.cluster.exchange()
+        results: dict[int, int | None] = {}
+        for machine_id, items in by_machine.items():
+            machine = self.cluster.machine(machine_id)
+            machine.drain("batch-free-query")
+            entries = self._history_payload_for(machine_id)
+            self._apply_history_locally(machine, entries)
+            self._mark_seen(machine_id)
+            replies = []
+            for vertex, exclude in items:
+                found: int | None = None
+                for w in sorted(machine.load(("adj", vertex), {})):
+                    if w in exclude:
+                        continue
+                    if machine.load(("status", w)) is None:
+                        found = w
+                        break
+                replies.append((vertex, found))
+                results[vertex] = found
+            machine.send(self.coordinator.machine_id, "batch-free-reply", replies)
+        self.cluster.exchange()
+        coordinator.drain("batch-free-reply")
+        return results
+
+    def neighbor_list(self, v: int, stats: VertexStats) -> list[int]:
+        """Fetch ``v``'s (alive) neighbour list through the coordinator (2 rounds).
+
+        For a light vertex this is its entire adjacency list; the Section 4
+        algorithm uses it to push free-neighbour-counter deltas to the
+        statistics machines of a vertex whose matching status changed.
+        """
+        machine_id = self._ensure_alive_machine(v, stats)
+        coordinator = self.coordinator.machine
+        entries = self._history_payload_for(machine_id)
+        words = max(1, sum(e.dmpc_words() for e in entries)) + 2
+        coordinator.send(machine_id, "neighbor-list-query", v, words=words)
+        self.cluster.exchange()
+        machine = self.cluster.machine(machine_id)
+        machine.drain("neighbor-list-query")
+        self._apply_history_locally(machine, entries)
+        self._mark_seen(machine_id)
+        neighbors = sorted(machine.load(("adj", v), {}))
+        machine.send(self.coordinator.machine_id, "neighbor-list-reply", neighbors)
+        self.cluster.exchange()
+        coordinator.drain("neighbor-list-reply")
+        return neighbors
+
+    def push_counter_deltas(self, deltas: dict[int, int]) -> None:
+        """Apply free-neighbour-counter deltas on the statistics machines (1 round)."""
+        if not deltas:
+            return
+        coordinator = self.coordinator.machine
+        by_machine: dict[str, list[tuple[int, int]]] = {}
+        for v, delta in deltas.items():
+            if delta == 0:
+                continue
+            by_machine.setdefault(self.partition.machine_for(v), []).append((v, delta))
+        if not by_machine:
+            return
+        for machine_id, items in by_machine.items():
+            coordinator.send(machine_id, "counter-delta", items)
+        self.cluster.exchange()
+        for machine_id, items in by_machine.items():
+            machine = self.cluster.machine(machine_id)
+            machine.drain("counter-delta")
+            for v, delta in items:
+                stats = machine.load(("st", v), VertexStats())
+                stats.free_neighbors = max(0, stats.free_neighbors + delta)
+                machine.store(("st", v), stats)
+
+    def query_lightness(self, vertices: list[int]) -> dict[int, bool]:
+        """Coordinator asks the stats machines whether each vertex is light (2 rounds)."""
+        if not vertices:
+            return {}
+        stats = self.query_stats(sorted(set(vertices)))
+        return {v: (s.degree < self.threshold) for v, s in stats.items()}
+
+    # ------------------------------------------------------------ edge moves
+    def add_edge_copy(self, v: int, w: int, stats: VertexStats, *, neighbor_mate: int | None = None) -> None:
+        """Store the copy of edge ``(v, w)`` belonging to ``v`` (the paper's ``addEdge``).
+
+        The copy goes to ``v``'s alive machine if ``v`` is light or its alive
+        set is below the threshold, and to the top suspended machine (or a
+        freshly allocated one) otherwise.  The coordinator directs the
+        placement; the data travels as one message (1 round).
+        """
+        machine_id = self._ensure_alive_machine(v, stats)
+        machine = self.cluster.machine(machine_id)
+        alive_count = len(machine.load(("adj", v), {}))
+        heavy = stats.degree >= self.threshold
+        if heavy and alive_count >= self.threshold:
+            target_id = None
+            if stats.suspended_machines:
+                top = self.cluster.machine(stats.suspended_machines[-1])
+                if top.free_words >= 16:
+                    target_id = top.machine_id
+            if target_id is None:
+                target_id = self._allocate_machine(light=False)
+                stats.suspended_machines.append(target_id)
+        else:
+            target_id = machine_id
+            if self.cluster.machine(target_id).free_words < 16 and not heavy:
+                # Light vertex whose machine is full: move v's list to a roomier machine.
+                self.move_vertex_edges(v, stats, self._light_machine_with_room(alive_count * 4 + 16))
+                target_id = stats.alive_machine
+        target = self.cluster.machine(target_id)
+        self.coordinator.machine.send(target_id, "add-edge", (v, w))
+        self.cluster.exchange()
+        target.drain("add-edge")
+        adj = dict(target.load(("adj", v), {}))
+        adj[w] = True
+        target.store(("adj", v), adj)
+        if ("status", w) not in target:
+            target.store(("status", w), neighbor_mate)
+
+    def remove_edge_copy(self, v: int, w: int, stats: VertexStats) -> None:
+        """Remove the copy of edge ``(v, w)`` from ``v``'s alive machine if present.
+
+        Suspended copies are cleaned lazily when their machine is next
+        refreshed (exactly as in the paper).  Piggy-backed on the
+        ``vertex-update`` round, so no extra exchange is needed here.
+        """
+        if stats.alive_machine is None:
+            return
+        machine = self.cluster.machine(stats.alive_machine)
+        adj = machine.load(("adj", v))
+        if adj is not None and w in adj:
+            adj = dict(adj)
+            del adj[w]
+            machine.store(("adj", v), adj)
+
+    def move_vertex_edges(self, v: int, stats: VertexStats, target_id: str) -> None:
+        """The paper's ``moveEdges``: relocate ``v``'s alive edges to ``target_id`` (2 rounds)."""
+        source_id = stats.alive_machine
+        if source_id is None or source_id == target_id:
+            stats.alive_machine = target_id
+            return
+        source = self.cluster.machine(source_id)
+        target = self.cluster.machine(target_id)
+        adjacency = dict(source.load(("adj", v), {}))
+        statuses = {w: source.load(("status", w)) for w in adjacency}
+        self.coordinator.machine.send(source_id, "move-request", v)
+        self.cluster.exchange()
+        source.drain("move-request")
+        source.send(target_id, "move-edges", {"vertex": v, "count": len(adjacency)}, words=2 * len(adjacency) + 4)
+        self.cluster.exchange()
+        target.drain("move-edges")
+        source.delete(("adj", v))
+        target.store(("adj", v), adjacency)
+        for w, status in statuses.items():
+            if ("status", w) not in target:
+                target.store(("status", w), status)
+        stats.alive_machine = target_id
+        if target_id not in self._light_machines and stats.degree < self.threshold:
+            self._light_machines.append(target_id)
+
+    def fetch_suspended(self, v: int, stats: VertexStats) -> None:
+        """The paper's ``fetchSuspended``: refill ``v``'s alive set from its suspended stack (2 rounds)."""
+        if not stats.suspended_machines or stats.alive_machine is None:
+            return
+        alive = self.cluster.machine(stats.alive_machine)
+        alive_adj = dict(alive.load(("adj", v), {}))
+        need = self.threshold - len(alive_adj)
+        if need <= 0:
+            return
+        top_id = stats.suspended_machines[-1]
+        top = self.cluster.machine(top_id)
+        entries = self._history_payload_for(top_id)
+        self._apply_history_locally(top, entries)
+        self._mark_seen(top_id)
+        suspended_adj = dict(top.load(("adj", v), {}))
+        moved = {}
+        for w in sorted(suspended_adj):
+            if len(moved) >= need:
+                break
+            moved[w] = True
+        self.coordinator.machine.send(top_id, "fetch-suspended", (v, need))
+        self.cluster.exchange()
+        top.drain("fetch-suspended")
+        top.send(stats.alive_machine, "suspended-edges", {"vertex": v, "count": len(moved)}, words=2 * len(moved) + 4)
+        self.cluster.exchange()
+        alive.drain("suspended-edges")
+        for w in moved:
+            del suspended_adj[w]
+            alive_adj[w] = True
+            if ("status", w) not in alive:
+                alive.store(("status", w), top.load(("status", w)))
+        if suspended_adj:
+            top.store(("adj", v), suspended_adj)
+        else:
+            top.delete(("adj", v))
+            stats.suspended_machines.pop()
+            self._unallocated.append(top_id)
+        alive.store(("adj", v), alive_adj)
+
+    # -------------------------------------------------------------- preprocessing
+    def load_initial_graph(self, graph: DynamicGraph, initial_matching: set[tuple[int, int]]) -> None:
+        """Place an initial graph and matching onto the fabric.
+
+        Used by the preprocessing step after the static algorithm has
+        computed the initial maximal matching; placement follows the
+        Section 3 rules (light vertices grouped, heavy vertices split into
+        alive + suspended machines).
+        """
+        mate: dict[int, int] = {}
+        for (u, v) in initial_matching:
+            mate[u] = v
+            mate[v] = u
+        for v in graph.vertices:
+            degree = graph.degree(v)
+            stats = VertexStats(degree=degree, mate=mate.get(v), heavy=degree >= self.threshold)
+            neighbors = sorted(graph.neighbors(v))
+            if stats.heavy:
+                alive_id = self._allocate_machine(light=False)
+                stats.alive_machine = alive_id
+                alive_slice = neighbors[: self.threshold]
+                rest = neighbors[self.threshold :]
+                self._store_adjacency(alive_id, v, alive_slice, mate)
+                chunk = max(8, (self.config.machine_memory // 4) - 8)
+                for start in range(0, len(rest), chunk):
+                    suspended_id = self._allocate_machine(light=False)
+                    stats.suspended_machines.append(suspended_id)
+                    self._store_adjacency(suspended_id, v, rest[start : start + chunk], mate)
+            else:
+                words_needed = 4 * max(1, degree) + 8
+                alive_id = self._light_machine_with_room(words_needed)
+                stats.alive_machine = alive_id
+                self._store_adjacency(alive_id, v, neighbors, mate)
+            self.store_stats(v, stats)
+
+    def _store_adjacency(self, machine_id: str, v: int, neighbors: list[int], mate: dict[int, int]) -> None:
+        machine = self.cluster.machine(machine_id)
+        machine.store(("adj", v), {w: True for w in neighbors})
+        for w in neighbors:
+            machine.store(("status", w), mate.get(w))
+        self._mark_seen(machine_id)

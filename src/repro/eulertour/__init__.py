@@ -1,0 +1,32 @@
+"""Euler-tour machinery of Section 5.
+
+The connectivity and MST algorithms of the paper maintain, for every tree of
+a spanning forest, an *Euler tour* (E-tour): the sequence of edge endpoints
+visited by a depth-first traversal that traverses every tree edge twice.  A
+tree with ``k`` vertices has a tour of length ``4 (k - 1)`` (each edge
+contributes two copies of each endpoint); the tour of a singleton vertex is
+empty.
+
+Two interchangeable implementations are provided:
+
+:class:`~repro.eulertour.reference.EulerTourForest`
+    The *reference* implementation that stores the tour of every component
+    as an explicit Python list.  Simple, obviously correct, used as the
+    oracle in property tests and by the sequential baselines.
+
+:class:`~repro.eulertour.indexed.IndexedEulerTourForest`
+    The *index-arithmetic* implementation matching the paper: each vertex
+    only knows the multiset of positions at which it appears in its tour
+    (``index_v``), and the reroot / link / cut operations are realised as
+    arithmetic shifts of those positions parameterised by a constant number
+    of values (``f(x)``, ``l(y)``, tour lengths).  This is exactly the
+    per-vertex state the DMPC algorithm shards across machines, and the
+    constant-size parameters are exactly what gets broadcast on an update.
+"""
+
+from __future__ import annotations
+
+from repro.eulertour.reference import EulerTourForest
+from repro.eulertour.indexed import IndexedEulerTourForest, VertexTourState
+
+__all__ = ["EulerTourForest", "IndexedEulerTourForest", "VertexTourState"]

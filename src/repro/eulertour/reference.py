@@ -1,0 +1,235 @@
+"""Explicit-sequence Euler-tour forest (reference implementation).
+
+The tour of a rooted tree ``T`` is defined recursively:
+
+``tour(r) = concat over children c of r: [r, c] + tour(c) + [c, r]``
+
+so each tree edge contributes four entries and the tour of a tree with ``k``
+vertices has length ``4 (k - 1)`` (the paper's ``ELength_T``).  A singleton
+vertex has the empty tour.  The first and last appearance of the root are
+positions ``1`` and ``ELength_T``; for any vertex ``v``, ``f(v)``/``l(v)``
+are the minimum/maximum position at which ``v`` appears, and ``u`` is an
+ancestor of ``v`` iff ``f(u) < f(v)`` and ``l(u) > l(v)``.
+
+This module stores tours as plain Python lists and implements the three
+operations of Section 5 (reroot, link, cut) by list surgery.  It exists to
+serve as the trusted oracle against which the index-arithmetic
+implementation (and the distributed algorithm built on it) is verified.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.graph.graph import normalize_edge
+
+__all__ = ["EulerTourForest"]
+
+
+class EulerTourForest:
+    """A forest of rooted trees, each carrying an explicit Euler tour."""
+
+    def __init__(self, vertices: Iterable[int] = ()) -> None:
+        self._comp_of: dict[int, int] = {}
+        self._tours: dict[int, list[int]] = {}
+        self._members: dict[int, set[int]] = {}
+        self._tree_edges: set[tuple[int, int]] = set()
+        self._next_comp = 0
+        for v in vertices:
+            self.add_vertex(v)
+
+    # ---------------------------------------------------------------- vertices
+    def add_vertex(self, v: int) -> None:
+        """Add an isolated vertex as its own singleton component (idempotent)."""
+        if v in self._comp_of:
+            return
+        comp = self._next_comp
+        self._next_comp += 1
+        self._comp_of[v] = comp
+        self._tours[comp] = []
+        self._members[comp] = {v}
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._comp_of
+
+    @property
+    def vertices(self) -> list[int]:
+        return sorted(self._comp_of)
+
+    # -------------------------------------------------------------- components
+    def component_of(self, v: int) -> int:
+        """Identifier of the component containing ``v``."""
+        return self._comp_of[v]
+
+    def component_vertices(self, v: int) -> set[int]:
+        """All vertices in ``v``'s component."""
+        return set(self._members[self._comp_of[v]])
+
+    def components(self) -> list[set[int]]:
+        """All components as vertex sets."""
+        return [set(members) for members in self._members.values()]
+
+    def connected(self, u: int, v: int) -> bool:
+        """True iff ``u`` and ``v`` are in the same tree."""
+        return self._comp_of[u] == self._comp_of[v]
+
+    def tree_edges(self) -> set[tuple[int, int]]:
+        """The edges currently forming the forest (canonical form)."""
+        return set(self._tree_edges)
+
+    def has_tree_edge(self, u: int, v: int) -> bool:
+        return normalize_edge(u, v) in self._tree_edges
+
+    # -------------------------------------------------------------------- tour
+    def tour(self, v: int) -> list[int]:
+        """The Euler tour of ``v``'s tree (1-indexed positions in the paper)."""
+        return list(self._tours[self._comp_of[v]])
+
+    def tour_length(self, v: int) -> int:
+        """``ELength_T = 4 (|T| - 1)`` for ``v``'s tree."""
+        return len(self._tours[self._comp_of[v]])
+
+    def indexes(self, v: int) -> list[int]:
+        """All (1-indexed) positions at which ``v`` appears in its tour."""
+        tour = self._tours[self._comp_of[v]]
+        return [i + 1 for i, x in enumerate(tour) if x == v]
+
+    def first_appearance(self, v: int) -> int:
+        """``f(v)`` — 1-indexed; 0 for a singleton vertex."""
+        idx = self.indexes(v)
+        return idx[0] if idx else 0
+
+    def last_appearance(self, v: int) -> int:
+        """``l(v)`` — 1-indexed; 0 for a singleton vertex."""
+        idx = self.indexes(v)
+        return idx[-1] if idx else 0
+
+    def root(self, v: int) -> int:
+        """The root of ``v``'s tree (the vertex whose first appearance is 1)."""
+        tour = self._tours[self._comp_of[v]]
+        if not tour:
+            return v
+        return tour[0]
+
+    def is_ancestor(self, u: int, v: int) -> bool:
+        """True iff ``u`` is a (strict or equal) ancestor of ``v`` in their tree."""
+        if not self.connected(u, v):
+            return False
+        if u == v:
+            return True
+        fu, lu = self.first_appearance(u), self.last_appearance(u)
+        fv, lv = self.first_appearance(v), self.last_appearance(v)
+        if fu == 0:  # singleton: u is its own root, v would not be connected
+            return False
+        if u == self.root(v):
+            return True
+        return fu < fv and lu > lv
+
+    # -------------------------------------------------------------- operations
+    def reroot(self, r: int) -> None:
+        """Make ``r`` the root of its tree by rotating the tour.
+
+        The new tour starts at the old position ``l(r)`` — equivalently every
+        position ``i`` becomes ``((i - l(r)) mod ELength) + 1``, which is the
+        shift the paper broadcasts to all machines.
+        """
+        comp = self._comp_of[r]
+        tour = self._tours[comp]
+        if not tour or tour[0] == r:
+            return
+        pivot = self.last_appearance(r) - 1  # 0-based index of l(r)
+        self._tours[comp] = tour[pivot:] + tour[:pivot]
+
+    def link(self, x: int, y: int) -> None:
+        """Insert tree edge ``(x, y)`` merging ``y``'s tree into ``x``'s tree.
+
+        ``y`` becomes a child of ``x``; ``y``'s tree is first rerooted at
+        ``y``.  Raises ``ValueError`` if the two vertices are already in the
+        same tree (the caller decides what to do with non-tree edges).
+        """
+        if x not in self._comp_of:
+            self.add_vertex(x)
+        if y not in self._comp_of:
+            self.add_vertex(y)
+        if self.connected(x, y):
+            raise ValueError(f"link({x}, {y}): endpoints already connected")
+        self.reroot(y)
+        comp_x = self._comp_of[x]
+        comp_y = self._comp_of[y]
+        tour_x = self._tours[comp_x]
+        tour_y = self._tours[comp_y]
+        # Attach right after x's first appearance.  For a non-root x that
+        # position is even (x enters the tour as the head of an arc), so the
+        # arc pairing is preserved; when x is the root (or a singleton) its
+        # first appearance is position 1 (or absent) and the subtree is
+        # attached at the very beginning of the tour instead.
+        fx = self.first_appearance(x)
+        if fx % 2 == 1:
+            fx -= 1
+        new_tour = tour_x[:fx] + [x, y] + tour_y + [y, x] + tour_x[fx:]
+        self._tours[comp_x] = new_tour
+        for w in self._members[comp_y]:
+            self._comp_of[w] = comp_x
+        self._members[comp_x] |= self._members[comp_y]
+        del self._members[comp_y]
+        del self._tours[comp_y]
+        self._tree_edges.add(normalize_edge(x, y))
+
+    def cut(self, x: int, y: int) -> int:
+        """Delete tree edge ``(x, y)``, splitting the tree in two.
+
+        Returns the identifier of the *new* component (the one containing the
+        former subtree).  Raises ``ValueError`` if ``(x, y)`` is not a tree
+        edge.
+        """
+        edge = normalize_edge(x, y)
+        if edge not in self._tree_edges:
+            raise ValueError(f"cut({x}, {y}): not a tree edge")
+        comp = self._comp_of[x]
+        # Ensure x is the ancestor (parent side) of y.
+        fx, lx = self.first_appearance(x), self.last_appearance(x)
+        fy, ly = self.first_appearance(y), self.last_appearance(y)
+        if not (fx < fy and lx > ly):
+            x, y = y, x
+            fx, lx, fy, ly = fy, ly, fx, lx
+        tour = self._tours[comp]
+        subtree_tour = tour[fy : ly - 1]  # old positions f(y)+1 .. l(y)-1
+        remaining_tour = tour[: fy - 2] + tour[ly + 1 :]  # drop x's two copies too
+        new_comp = self._next_comp
+        self._next_comp += 1
+        subtree_vertices = set(subtree_tour) if subtree_tour else {y}
+        self._tours[comp] = remaining_tour
+        self._members[comp] -= subtree_vertices
+        self._tours[new_comp] = subtree_tour
+        self._members[new_comp] = subtree_vertices
+        for w in subtree_vertices:
+            self._comp_of[w] = new_comp
+        self._tree_edges.discard(edge)
+        return new_comp
+
+    # ------------------------------------------------------------- validation
+    def check_invariants(self) -> None:
+        """Raise ``AssertionError`` if any structural invariant is violated.
+
+        Checked invariants: tour length is ``4 (|T| - 1)``; every member
+        appears in the tour (except singletons); consecutive entries of a
+        tour alternate along tree edges; component maps are consistent.
+        """
+        for comp, members in self._members.items():
+            tour = self._tours[comp]
+            assert len(tour) == 4 * (len(members) - 1), (
+                f"component {comp}: tour length {len(tour)} != 4*({len(members)}-1)"
+            )
+            if len(members) > 1:
+                assert set(tour) == members, f"component {comp}: tour vertices != members"
+            for w in members:
+                assert self._comp_of[w] == comp
+            # pairs (2i, 2i+1) of the tour must be tree edges
+            for i in range(0, len(tour), 2):
+                a, b = tour[i], tour[i + 1]
+                assert normalize_edge(a, b) in self._tree_edges, (
+                    f"tour pair ({a}, {b}) is not a tree edge"
+                )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EulerTourForest(vertices={len(self._comp_of)}, components={len(self._members)})"

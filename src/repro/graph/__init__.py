@@ -1,0 +1,72 @@
+"""Graph substrate: containers, generators, update streams and validators."""
+
+from __future__ import annotations
+
+from repro.graph.graph import DynamicGraph
+from repro.graph.updates import GraphUpdate, UpdateSequence
+from repro.graph.generators import (
+    erdos_renyi_graph,
+    gnm_random_graph,
+    random_forest,
+    random_connected_graph,
+    preferential_attachment_graph,
+    grid_graph,
+    path_graph,
+    star_graph,
+    complete_graph,
+    random_weighted_graph,
+)
+from repro.graph.streams import (
+    insert_only_stream,
+    insert_then_delete_stream,
+    mixed_stream,
+    sliding_window_stream,
+    matched_edge_adversary_stream,
+    tree_edge_adversary_stream,
+)
+from repro.graph.validation import (
+    is_matching,
+    is_maximal_matching,
+    matching_size,
+    has_length3_augmenting_path,
+    greedy_maximal_matching,
+    maximum_matching_size,
+    connected_components,
+    same_partition,
+    is_spanning_forest,
+    forest_weight,
+    minimum_spanning_forest_weight,
+)
+
+__all__ = [
+    "DynamicGraph",
+    "GraphUpdate",
+    "UpdateSequence",
+    "erdos_renyi_graph",
+    "gnm_random_graph",
+    "random_forest",
+    "random_connected_graph",
+    "preferential_attachment_graph",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "random_weighted_graph",
+    "insert_only_stream",
+    "insert_then_delete_stream",
+    "mixed_stream",
+    "sliding_window_stream",
+    "matched_edge_adversary_stream",
+    "tree_edge_adversary_stream",
+    "is_matching",
+    "is_maximal_matching",
+    "matching_size",
+    "has_length3_augmenting_path",
+    "greedy_maximal_matching",
+    "maximum_matching_size",
+    "connected_components",
+    "same_partition",
+    "is_spanning_forest",
+    "forest_weight",
+    "minimum_spanning_forest_weight",
+]

@@ -1,0 +1,197 @@
+"""Reproducible graph generators.
+
+All generators take an explicit ``seed`` (or ``rng``) so benchmarks and
+tests are deterministic.  They return :class:`~repro.graph.graph.DynamicGraph`
+instances; the update-stream generators that drive the dynamic algorithms
+live in :mod:`repro.graph.streams`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable
+
+from repro.graph.graph import DynamicGraph, normalize_edge
+
+__all__ = [
+    "erdos_renyi_graph",
+    "gnm_random_graph",
+    "random_forest",
+    "random_connected_graph",
+    "preferential_attachment_graph",
+    "grid_graph",
+    "path_graph",
+    "star_graph",
+    "complete_graph",
+    "random_weighted_graph",
+]
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def erdos_renyi_graph(n: int, p: float, seed: int | random.Random = 0) -> DynamicGraph:
+    """G(n, p): each of the ``n(n-1)/2`` possible edges present independently."""
+    if not 0.0 <= p <= 1.0:
+        raise ValueError("p must lie in [0, 1]")
+    rng = _rng(seed)
+    graph = DynamicGraph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if rng.random() < p:
+                graph.insert_edge(u, v)
+    return graph
+
+
+def gnm_random_graph(n: int, m: int, seed: int | random.Random = 0) -> DynamicGraph:
+    """G(n, m): exactly ``m`` distinct edges chosen uniformly at random."""
+    max_edges = n * (n - 1) // 2
+    if m > max_edges:
+        raise ValueError(f"cannot place {m} edges in a graph on {n} vertices (max {max_edges})")
+    rng = _rng(seed)
+    graph = DynamicGraph(n)
+    chosen: set[tuple[int, int]] = set()
+    while len(chosen) < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        edge = normalize_edge(u, v)
+        if edge in chosen:
+            continue
+        chosen.add(edge)
+        graph.insert_edge(*edge)
+    return graph
+
+
+def random_forest(n: int, num_trees: int = 1, seed: int | random.Random = 0) -> DynamicGraph:
+    """A random forest on ``n`` vertices with (about) ``num_trees`` trees.
+
+    Built by a random-attachment process within each tree, which produces
+    varied shapes (paths, stars and everything between) — useful for
+    exercising the Euler-tour machinery on non-trivial topologies.
+    """
+    if num_trees < 1:
+        raise ValueError("num_trees must be at least 1")
+    rng = _rng(seed)
+    graph = DynamicGraph(n)
+    if n == 0:
+        return graph
+    num_trees = min(num_trees, n)
+    # Assign vertices to trees round-robin after a shuffle.
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    trees: list[list[int]] = [[] for _ in range(num_trees)]
+    for i, v in enumerate(vertices):
+        trees[i % num_trees].append(v)
+    for members in trees:
+        for i in range(1, len(members)):
+            parent = members[rng.randrange(i)]
+            graph.insert_edge(parent, members[i])
+    return graph
+
+
+def random_connected_graph(n: int, extra_edges: int = 0, seed: int | random.Random = 0) -> DynamicGraph:
+    """A connected graph: a random spanning tree plus ``extra_edges`` random edges."""
+    rng = _rng(seed)
+    graph = random_forest(n, 1, rng)
+    max_extra = n * (n - 1) // 2 - max(0, n - 1)
+    extra_edges = min(extra_edges, max_extra)
+    added = 0
+    while added < extra_edges:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v or graph.has_edge(u, v):
+            continue
+        graph.insert_edge(u, v)
+        added += 1
+    return graph
+
+
+def preferential_attachment_graph(n: int, attach: int = 2, seed: int | random.Random = 0) -> DynamicGraph:
+    """A Barabási–Albert-style power-law graph.
+
+    Each new vertex attaches to ``attach`` existing vertices chosen with
+    probability proportional to degree.  Produces the skewed degree
+    distributions under which the heavy/light vertex split of Section 3
+    actually matters.
+    """
+    if attach < 1:
+        raise ValueError("attach must be at least 1")
+    rng = _rng(seed)
+    graph = DynamicGraph(n)
+    if n == 0:
+        return graph
+    targets: list[int] = [0]
+    for v in range(1, n):
+        k = min(attach, v)
+        chosen: set[int] = set()
+        while len(chosen) < k:
+            chosen.add(targets[rng.randrange(len(targets))])
+        for t in chosen:
+            if graph.insert_edge(v, t):
+                targets.append(v)
+                targets.append(t)
+    return graph
+
+
+def grid_graph(rows: int, cols: int) -> DynamicGraph:
+    """A ``rows x cols`` grid (vertex ``r * cols + c``)."""
+    graph = DynamicGraph(rows * cols)
+    for r in range(rows):
+        for c in range(cols):
+            v = r * cols + c
+            if c + 1 < cols:
+                graph.insert_edge(v, v + 1)
+            if r + 1 < rows:
+                graph.insert_edge(v, v + cols)
+    return graph
+
+
+def path_graph(n: int) -> DynamicGraph:
+    """A simple path ``0 - 1 - ... - (n-1)``."""
+    graph = DynamicGraph(n)
+    for v in range(n - 1):
+        graph.insert_edge(v, v + 1)
+    return graph
+
+
+def star_graph(n: int) -> DynamicGraph:
+    """A star with centre 0 and ``n - 1`` leaves."""
+    graph = DynamicGraph(n)
+    for v in range(1, n):
+        graph.insert_edge(0, v)
+    return graph
+
+
+def complete_graph(n: int) -> DynamicGraph:
+    """The complete graph ``K_n``."""
+    graph = DynamicGraph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            graph.insert_edge(u, v)
+    return graph
+
+
+def random_weighted_graph(
+    n: int,
+    m: int,
+    seed: int | random.Random = 0,
+    *,
+    weight_range: tuple[float, float] = (1.0, 100.0),
+    integer_weights: bool = False,
+) -> DynamicGraph:
+    """A G(n, m) graph with random edge weights (for the MST experiments)."""
+    rng = _rng(seed)
+    graph = gnm_random_graph(n, m, rng)
+    lo, hi = weight_range
+    if lo > hi:
+        raise ValueError("weight_range must be (low, high) with low <= high")
+    weighted = DynamicGraph(n)
+    for (u, v) in graph.edges():
+        w = rng.uniform(lo, hi)
+        if integer_weights:
+            w = float(int(w))
+        weighted.insert_edge(u, v, w)
+    return weighted

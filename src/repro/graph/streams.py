@@ -1,0 +1,265 @@
+"""Update-stream generators.
+
+A dynamic algorithm is only as well tested as the update sequences thrown at
+it.  These generators produce the workloads used in the benchmarks and
+property tests:
+
+* :func:`insert_only_stream` — incremental workloads;
+* :func:`insert_then_delete_stream` — build a graph, then tear it down;
+* :func:`mixed_stream` — intermixed insertions/deletions with a target ratio;
+* :func:`sliding_window_stream` — a window of recent edges (models evolving
+  social/web graphs where old links decay);
+* :func:`matched_edge_adversary_stream` — deletions that preferentially
+  target edges currently in the maintained matching (the worst case for
+  Sections 3, 4 and 6: only matched-edge deletions force real work);
+* :func:`tree_edge_adversary_stream` — deletions that preferentially target
+  spanning-forest edges (the worst case for Section 5: only tree-edge
+  deletions force a replacement search).
+
+All generators are deterministic given the seed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable
+
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.graph.updates import GraphUpdate, UpdateSequence
+
+__all__ = [
+    "insert_only_stream",
+    "insert_then_delete_stream",
+    "mixed_stream",
+    "sliding_window_stream",
+    "matched_edge_adversary_stream",
+    "tree_edge_adversary_stream",
+]
+
+
+def _rng(seed: int | random.Random) -> random.Random:
+    return seed if isinstance(seed, random.Random) else random.Random(seed)
+
+
+def _random_absent_edge(rng: random.Random, n: int, present: set[tuple[int, int]], max_tries: int = 200) -> tuple[int, int] | None:
+    for _ in range(max_tries):
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u == v:
+            continue
+        edge = normalize_edge(u, v)
+        if edge not in present:
+            return edge
+    return None
+
+
+def insert_only_stream(n: int, num_updates: int, seed: int | random.Random = 0, *, weighted: bool = False, weight_range: tuple[float, float] = (1.0, 100.0)) -> UpdateSequence:
+    """``num_updates`` distinct random edge insertions on ``n`` vertices."""
+    rng = _rng(seed)
+    present: set[tuple[int, int]] = set()
+    seq = UpdateSequence()
+    for _ in range(num_updates):
+        edge = _random_absent_edge(rng, n, present)
+        if edge is None:
+            break
+        present.add(edge)
+        weight = rng.uniform(*weight_range) if weighted else 1.0
+        seq.append(GraphUpdate.insert(edge[0], edge[1], weight))
+    return seq
+
+
+def insert_then_delete_stream(n: int, num_edges: int, seed: int | random.Random = 0, *, weighted: bool = False) -> UpdateSequence:
+    """Insert ``num_edges`` random edges, then delete them in random order."""
+    rng = _rng(seed)
+    inserts = insert_only_stream(n, num_edges, rng, weighted=weighted)
+    seq = UpdateSequence(list(inserts))
+    edges = [upd.edge for upd in inserts]
+    rng.shuffle(edges)
+    for (u, v) in edges:
+        seq.append(GraphUpdate.delete(u, v))
+    return seq
+
+
+def mixed_stream(
+    n: int,
+    num_updates: int,
+    seed: int | random.Random = 0,
+    *,
+    insert_probability: float = 0.6,
+    initial: DynamicGraph | None = None,
+    weighted: bool = False,
+    weight_range: tuple[float, float] = (1.0, 100.0),
+) -> UpdateSequence:
+    """Intermixed insertions and deletions.
+
+    Each step is an insertion of a random absent edge with probability
+    ``insert_probability`` (or whenever the graph is empty) and otherwise a
+    deletion of a uniformly random present edge.
+    """
+    if not 0.0 <= insert_probability <= 1.0:
+        raise ValueError("insert_probability must lie in [0, 1]")
+    rng = _rng(seed)
+    present: set[tuple[int, int]] = set(initial.edges()) if initial is not None else set()
+    seq = UpdateSequence()
+    for _ in range(num_updates):
+        do_insert = rng.random() < insert_probability or not present
+        if do_insert:
+            edge = _random_absent_edge(rng, n, present)
+            if edge is None:
+                if not present:
+                    break
+                do_insert = False
+            else:
+                present.add(edge)
+                weight = rng.uniform(*weight_range) if weighted else 1.0
+                seq.append(GraphUpdate.insert(edge[0], edge[1], weight))
+                continue
+        edge = rng.choice(sorted(present))
+        present.discard(edge)
+        seq.append(GraphUpdate.delete(edge[0], edge[1]))
+    return seq
+
+
+def sliding_window_stream(n: int, num_updates: int, window: int, seed: int | random.Random = 0) -> UpdateSequence:
+    """Keep only the most recent ``window`` edges alive.
+
+    Every step inserts a fresh random edge; once more than ``window`` edges
+    are alive the oldest one is deleted first, so the stream alternates
+    delete/insert in steady state — a common model of evolving networks.
+    """
+    if window < 1:
+        raise ValueError("window must be positive")
+    rng = _rng(seed)
+    present: set[tuple[int, int]] = set()
+    order: list[tuple[int, int]] = []
+    seq = UpdateSequence()
+    produced = 0
+    while produced < num_updates:
+        if len(order) >= window:
+            old = order.pop(0)
+            present.discard(old)
+            seq.append(GraphUpdate.delete(old[0], old[1]))
+            produced += 1
+            if produced >= num_updates:
+                break
+        edge = _random_absent_edge(rng, n, present)
+        if edge is None:
+            break
+        present.add(edge)
+        order.append(edge)
+        seq.append(GraphUpdate.insert(edge[0], edge[1]))
+        produced += 1
+    return seq
+
+
+def matched_edge_adversary_stream(
+    n: int,
+    num_updates: int,
+    matched_edges: Callable[[], Iterable[tuple[int, int]]],
+    seed: int | random.Random = 0,
+    *,
+    delete_probability: float = 0.5,
+) -> "AdaptiveStream":
+    """An *adaptive* stream that deletes currently-matched edges.
+
+    Unlike the offline generators above, the adversary needs to observe the
+    algorithm's current matching, so this returns an :class:`AdaptiveStream`
+    that produces updates one at a time.  ``matched_edges`` is a callable
+    returning the edges currently in the maintained matching.
+    """
+    return AdaptiveStream(
+        n=n,
+        num_updates=num_updates,
+        seed=seed,
+        target_edges=matched_edges,
+        delete_probability=delete_probability,
+    )
+
+
+def tree_edge_adversary_stream(
+    n: int,
+    num_updates: int,
+    tree_edges: Callable[[], Iterable[tuple[int, int]]],
+    seed: int | random.Random = 0,
+    *,
+    delete_probability: float = 0.5,
+) -> "AdaptiveStream":
+    """An adaptive stream that deletes current spanning-forest edges."""
+    return AdaptiveStream(
+        n=n,
+        num_updates=num_updates,
+        seed=seed,
+        target_edges=tree_edges,
+        delete_probability=delete_probability,
+    )
+
+
+class AdaptiveStream:
+    """Produces updates one at a time, reacting to the algorithm's state.
+
+    On each :meth:`next_update` call the stream flips a coin: with
+    probability ``delete_probability`` it deletes an edge drawn from the
+    algorithm's *target* set (matched edges / tree edges) if one exists in
+    the current graph, otherwise it inserts a fresh random edge.  The stream
+    tracks graph membership itself so the produced sequence is always
+    consistent.
+    """
+
+    def __init__(
+        self,
+        n: int,
+        num_updates: int,
+        seed: int | random.Random,
+        target_edges: Callable[[], Iterable[tuple[int, int]]],
+        delete_probability: float,
+    ) -> None:
+        if not 0.0 <= delete_probability <= 1.0:
+            raise ValueError("delete_probability must lie in [0, 1]")
+        self.n = n
+        self.num_updates = num_updates
+        self.rng = _rng(seed)
+        self.target_edges = target_edges
+        self.delete_probability = delete_probability
+        self.present: set[tuple[int, int]] = set()
+        self.produced = 0
+        self.history = UpdateSequence()
+
+    def __iter__(self):
+        while True:
+            update = self.next_update()
+            if update is None:
+                return
+            yield update
+
+    def seed_graph(self, graph: DynamicGraph) -> None:
+        """Tell the stream about edges that already exist (preprocessed input)."""
+        self.present = set(graph.edges())
+
+    def next_update(self) -> GraphUpdate | None:
+        """Produce the next update, or ``None`` once ``num_updates`` were produced."""
+        if self.produced >= self.num_updates:
+            return None
+        update: GraphUpdate | None = None
+        if self.rng.random() < self.delete_probability:
+            candidates = [normalize_edge(u, v) for (u, v) in self.target_edges()]
+            candidates = [e for e in candidates if e in self.present]
+            if candidates:
+                edge = candidates[self.rng.randrange(len(candidates))]
+                update = GraphUpdate.delete(edge[0], edge[1])
+        if update is None:
+            edge = _random_absent_edge(self.rng, self.n, self.present)
+            if edge is None:
+                # graph is (nearly) complete: fall back to deleting any edge
+                if not self.present:
+                    return None
+                edge = self.rng.choice(sorted(self.present))
+                update = GraphUpdate.delete(edge[0], edge[1])
+            else:
+                update = GraphUpdate.insert(edge[0], edge[1])
+        if update.is_insert:
+            self.present.add(update.edge)
+        else:
+            self.present.discard(update.edge)
+        self.produced += 1
+        self.history.append(update)
+        return update

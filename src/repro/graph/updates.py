@@ -1,0 +1,146 @@
+"""Update operations and update sequences.
+
+A *fully-dynamic* algorithm consumes an intermixed sequence of edge
+insertions and deletions.  :class:`GraphUpdate` is a single operation;
+:class:`UpdateSequence` is an ordered list of them with helpers to replay
+the sequence onto a :class:`~repro.graph.graph.DynamicGraph` and to check
+well-formedness (no duplicate insertions, no deletions of absent edges).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from repro.graph.graph import DynamicGraph, normalize_edge
+
+__all__ = ["GraphUpdate", "UpdateSequence"]
+
+INSERT = "insert"
+DELETE = "delete"
+
+
+@dataclass(frozen=True)
+class GraphUpdate:
+    """A single edge insertion or deletion (with an optional weight)."""
+
+    op: str
+    u: int
+    v: int
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.op not in (INSERT, DELETE):
+            raise ValueError(f"unknown update operation {self.op!r}")
+        if self.u == self.v:
+            raise ValueError("self-loop updates are not supported")
+
+    @property
+    def edge(self) -> tuple[int, int]:
+        return normalize_edge(self.u, self.v)
+
+    @property
+    def is_insert(self) -> bool:
+        return self.op == INSERT
+
+    @property
+    def is_delete(self) -> bool:
+        return self.op == DELETE
+
+    @staticmethod
+    def insert(u: int, v: int, weight: float = 1.0) -> "GraphUpdate":
+        return GraphUpdate(INSERT, u, v, weight)
+
+    @staticmethod
+    def delete(u: int, v: int) -> "GraphUpdate":
+        return GraphUpdate(DELETE, u, v)
+
+    def dmpc_words(self) -> int:
+        """An update is a constant number of words on the wire."""
+        return 4
+
+
+class UpdateSequence:
+    """An ordered sequence of :class:`GraphUpdate` operations."""
+
+    def __init__(self, updates: Iterable[GraphUpdate] = ()) -> None:
+        self._updates: list[GraphUpdate] = list(updates)
+
+    def append(self, update: GraphUpdate) -> None:
+        self._updates.append(update)
+
+    def extend(self, updates: Iterable[GraphUpdate]) -> None:
+        self._updates.extend(updates)
+
+    def __iter__(self) -> Iterator[GraphUpdate]:
+        return iter(self._updates)
+
+    def __len__(self) -> int:
+        return len(self._updates)
+
+    def __getitem__(self, index: int) -> GraphUpdate:
+        return self._updates[index]
+
+    @property
+    def num_inserts(self) -> int:
+        return sum(1 for u in self._updates if u.is_insert)
+
+    @property
+    def num_deletes(self) -> int:
+        return sum(1 for u in self._updates if u.is_delete)
+
+    def max_vertex(self) -> int:
+        """Largest vertex id touched by the sequence (-1 if empty)."""
+        largest = -1
+        for upd in self._updates:
+            largest = max(largest, upd.u, upd.v)
+        return largest
+
+    def max_concurrent_edges(self, initial: DynamicGraph | None = None) -> int:
+        """Maximum number of edges present at any point while replaying.
+
+        This is the quantity the paper calls ``m`` ("the maximum number of
+        edges throughout the update sequence") and is what deployments are
+        sized by.
+        """
+        graph = initial.copy() if initial is not None else DynamicGraph()
+        peak = graph.num_edges
+        for upd in self._updates:
+            if upd.is_insert:
+                graph.insert_edge(upd.u, upd.v, upd.weight)
+            else:
+                graph.delete_edge(upd.u, upd.v)
+            peak = max(peak, graph.num_edges)
+        return peak
+
+    def is_consistent(self, initial: DynamicGraph | None = None) -> bool:
+        """True if every insert adds a new edge and every delete removes an
+        existing one when replayed from ``initial`` (or the empty graph)."""
+        graph = initial.copy() if initial is not None else DynamicGraph()
+        for upd in self._updates:
+            if upd.is_insert:
+                if graph.has_edge(upd.u, upd.v):
+                    return False
+                graph.insert_edge(upd.u, upd.v, upd.weight)
+            else:
+                if not graph.has_edge(upd.u, upd.v):
+                    return False
+                graph.delete_edge(upd.u, upd.v)
+        return True
+
+    def apply_to(self, graph: DynamicGraph) -> DynamicGraph:
+        """Replay the sequence onto ``graph`` in place and return it."""
+        for upd in self._updates:
+            if upd.is_insert:
+                graph.insert_edge(upd.u, upd.v, upd.weight)
+            else:
+                graph.delete_edge(upd.u, upd.v)
+        return graph
+
+    def final_graph(self, initial: DynamicGraph | None = None) -> DynamicGraph:
+        """The graph obtained by replaying the sequence from ``initial``."""
+        graph = initial.copy() if initial is not None else DynamicGraph()
+        return self.apply_to(graph)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"UpdateSequence(len={len(self)}, inserts={self.num_inserts}, deletes={self.num_deletes})"

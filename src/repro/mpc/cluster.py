@@ -1,0 +1,161 @@
+"""The simulated DMPC cluster: machines + synchronous rounds + accounting."""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Callable, Iterable, Iterator
+
+from repro.config import DMPCConfig
+from repro.exceptions import MessageSizeExceeded, ProtocolError, UnknownMachineError
+from repro.mpc.machine import Machine
+from repro.mpc.message import Message
+from repro.mpc.metrics import MetricsLedger, RoundRecord
+
+__all__ = ["Cluster"]
+
+
+class Cluster:
+    """A collection of memory-bounded machines advancing in synchronous rounds.
+
+    Two programming styles are supported and may be mixed freely:
+
+    * **driver style** — the algorithm driver stages messages on machines
+      with :meth:`Machine.send` and calls :meth:`exchange` to run one
+      synchronous round;
+    * **superstep style** — the driver calls :meth:`superstep` with a
+      per-machine handler ``handler(machine, inbox) -> None`` which reads the
+      inbox, updates local state and stages outgoing messages; the cluster
+      then delivers them as one round.
+
+    Every delivered round is recorded in the :class:`MetricsLedger`.  The
+    per-round I/O cap of the model (each machine sends and receives at most
+    ``S`` words per round) is enforced when ``enforce_io_cap`` is true.
+    """
+
+    def __init__(
+        self,
+        config: DMPCConfig,
+        *,
+        enforce_io_cap: bool = False,
+        ledger: MetricsLedger | None = None,
+    ) -> None:
+        self.config = config
+        self.enforce_io_cap = enforce_io_cap
+        self.ledger = ledger if ledger is not None else MetricsLedger()
+        self._machines: dict[str, Machine] = {}
+
+    # --------------------------------------------------------------- machines
+    def add_machine(self, machine_id: str, *, role: str = "worker", capacity: int | None = None) -> Machine:
+        """Create and register a machine.  Capacity defaults to ``S`` from config."""
+        if machine_id in self._machines:
+            raise ProtocolError(f"machine {machine_id!r} already exists")
+        machine = Machine(
+            machine_id,
+            capacity if capacity is not None else self.config.machine_memory,
+            strict=self.config.strict_memory,
+            role=role,
+        )
+        self._machines[machine_id] = machine
+        return machine
+
+    def add_machines(self, prefix: str, count: int, *, role: str = "worker") -> list[Machine]:
+        """Create ``count`` machines named ``{prefix}{i}`` and return them."""
+        return [self.add_machine(f"{prefix}{i}", role=role) for i in range(count)]
+
+    def machine(self, machine_id: str) -> Machine:
+        """Return the machine with the given id."""
+        try:
+            return self._machines[machine_id]
+        except KeyError:
+            raise UnknownMachineError(f"no machine named {machine_id!r}") from None
+
+    def machines(self, role: str | None = None) -> list[Machine]:
+        """All machines, optionally filtered by role."""
+        if role is None:
+            return list(self._machines.values())
+        return [m for m in self._machines.values() if m.role == role]
+
+    def machine_ids(self, role: str | None = None) -> list[str]:
+        return [m.machine_id for m in self.machines(role)]
+
+    def __contains__(self, machine_id: str) -> bool:
+        return machine_id in self._machines
+
+    def __len__(self) -> int:
+        return len(self._machines)
+
+    @property
+    def total_stored_words(self) -> int:
+        """Sum of local-store sizes over all machines (the ``O(N)`` total memory)."""
+        return sum(m.used_words for m in self._machines.values())
+
+    # ----------------------------------------------------------------- rounds
+    def exchange(self) -> RoundRecord:
+        """Deliver all staged messages as one synchronous round.
+
+        Raises :class:`MessageSizeExceeded` if any machine would send or
+        receive more than ``S`` words in this round (when enforcement is on)
+        and :class:`UnknownMachineError` for misaddressed messages.
+        """
+        outgoing: list[Message] = []
+        sent_words: dict[str, int] = {}
+        for machine in self._machines.values():
+            if machine.outbox:
+                for msg in machine.outbox:
+                    if msg.receiver not in self._machines:
+                        raise UnknownMachineError(
+                            f"message from {msg.sender!r} addressed to unknown machine {msg.receiver!r}"
+                        )
+                    outgoing.append(msg)
+                    sent_words[msg.sender] = sent_words.get(msg.sender, 0) + msg.words
+                machine.outbox = []
+
+        received_words: dict[str, int] = {}
+        for msg in outgoing:
+            received_words[msg.receiver] = received_words.get(msg.receiver, 0) + msg.words
+
+        if self.enforce_io_cap:
+            cap = self.config.machine_memory
+            for machine_id, words in sent_words.items():
+                if words > cap:
+                    raise MessageSizeExceeded(machine_id, "send", words, cap)
+            for machine_id, words in received_words.items():
+                if words > cap:
+                    raise MessageSizeExceeded(machine_id, "receive", words, cap)
+
+        for msg in outgoing:
+            self._machines[msg.receiver].inbox.append(msg)
+
+        return self.ledger.record_round(outgoing)
+
+    def superstep(self, handler: Callable[[Machine, list[Message]], None], *, machines: Iterable[str] | None = None) -> RoundRecord:
+        """Run ``handler`` on each (selected) machine, then exchange one round.
+
+        The handler receives the machine and its drained inbox.  This is the
+        BSP-style entry point used by the static MPC algorithms, where every
+        machine executes the same local code each round.
+        """
+        targets = self.machines() if machines is None else [self.machine(mid) for mid in machines]
+        for machine in targets:
+            inbox = machine.drain()
+            handler(machine, inbox)
+        return self.exchange()
+
+    def discard_undelivered(self) -> None:
+        """Drop any staged (outbox) and pending (inbox) messages on all machines."""
+        for machine in self._machines.values():
+            machine.outbox.clear()
+            machine.inbox.clear()
+
+    # ---------------------------------------------------------------- updates
+    @contextmanager
+    def update(self, label: str) -> Iterator[None]:
+        """Context manager scoping the rounds of one update in the ledger."""
+        self.ledger.begin_update(label)
+        try:
+            yield
+        finally:
+            self.ledger.end_update()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Cluster(machines={len(self._machines)}, S={self.config.machine_memory})"

@@ -1,0 +1,130 @@
+"""A single simulated DMPC machine.
+
+A machine owns
+
+* a **local store** — a key/value dictionary whose total word size is
+  bounded by the machine memory ``S`` (enforced when the owning cluster is
+  configured with ``strict_memory=True``),
+* an **outbox** of messages staged for the next synchronous round, and
+* an **inbox** of messages delivered by the previous round.
+
+Machines never touch each other's stores directly; every cross-machine data
+movement goes through messages so that the metrics ledger sees all
+communication.  (The *drivers* implementing algorithms are allowed to read a
+machine's local store directly — they model the code running *on* that
+machine — but any information that must flow to code running on a different
+machine has to be sent.)
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator
+
+from repro.exceptions import MachineMemoryExceeded
+from repro.mpc.message import Message
+from repro.mpc.sizing import word_size
+
+__all__ = ["Machine"]
+
+
+class Machine:
+    """A memory-bounded machine participating in a :class:`Cluster`."""
+
+    __slots__ = ("machine_id", "capacity", "strict", "_store", "_stored_words", "inbox", "outbox", "role")
+
+    def __init__(self, machine_id: str, capacity: int, *, strict: bool = True, role: str = "worker") -> None:
+        if capacity < 1:
+            raise ValueError("machine capacity must be at least one word")
+        self.machine_id = machine_id
+        self.capacity = capacity
+        self.strict = strict
+        self.role = role
+        self._store: dict[Any, Any] = {}
+        self._stored_words = 0
+        self.inbox: list[Message] = []
+        self.outbox: list[Message] = []
+
+    # ------------------------------------------------------------------ store
+    def store(self, key: Any, value: Any) -> None:
+        """Store ``value`` under ``key``, charging its word size to local memory."""
+        new_words = word_size(key) + word_size(value)
+        old_words = 0
+        if key in self._store:
+            old_words = word_size(key) + word_size(self._store[key])
+        projected = self._stored_words - old_words + new_words
+        if self.strict and projected > self.capacity:
+            raise MachineMemoryExceeded(self.machine_id, self._stored_words - old_words, self.capacity, new_words)
+        self._store[key] = value
+        self._stored_words = projected
+
+    def load(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` (or ``default``)."""
+        return self._store.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+    def delete(self, key: Any) -> None:
+        """Remove ``key`` from the local store (no-op if absent)."""
+        if key in self._store:
+            self._stored_words -= word_size(key) + word_size(self._store[key])
+            del self._store[key]
+
+    def keys(self) -> Iterator[Any]:
+        """Iterate over the keys currently stored on this machine."""
+        return iter(list(self._store.keys()))
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Iterate over ``(key, value)`` pairs currently stored on this machine."""
+        return iter(list(self._store.items()))
+
+    @property
+    def used_words(self) -> int:
+        """Number of words currently charged against this machine's memory."""
+        return self._stored_words
+
+    @property
+    def free_words(self) -> int:
+        """Remaining memory in words."""
+        return max(0, self.capacity - self._stored_words)
+
+    def clear(self) -> None:
+        """Empty the local store and both mailboxes."""
+        self._store.clear()
+        self._stored_words = 0
+        self.inbox.clear()
+        self.outbox.clear()
+
+    # -------------------------------------------------------------- messaging
+    def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> Message:
+        """Stage a message for delivery in the next round and return it."""
+        message = Message(
+            sender=self.machine_id,
+            receiver=receiver,
+            tag=tag,
+            payload=payload,
+            words=-1 if words is None else words,
+        )
+        self.outbox.append(message)
+        return message
+
+    def receive(self, tag: str | None = None) -> list[Message]:
+        """Return (without consuming) inbox messages, optionally filtered by tag."""
+        if tag is None:
+            return list(self.inbox)
+        return [m for m in self.inbox if m.tag == tag]
+
+    def drain(self, tag: str | None = None) -> list[Message]:
+        """Consume and return inbox messages, optionally filtered by tag."""
+        if tag is None:
+            drained, self.inbox = self.inbox, []
+            return drained
+        drained = [m for m in self.inbox if m.tag == tag]
+        self.inbox = [m for m in self.inbox if m.tag != tag]
+        return drained
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Machine({self.machine_id!r}, role={self.role!r}, "
+            f"used={self._stored_words}/{self.capacity})"
+        )

@@ -1,0 +1,53 @@
+"""Message envelopes exchanged between simulated machines."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.mpc.sizing import word_size
+
+__all__ = ["Message"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """A single message sent from one machine to another in one round.
+
+    Attributes
+    ----------
+    sender:
+        Identifier of the sending machine.
+    receiver:
+        Identifier of the receiving machine.
+    tag:
+        A short string describing the purpose of the message (e.g.
+        ``"update-history"``, ``"etour-shift"``).  Tags make metrics
+        breakdowns and debugging traces readable; they are charged to the
+        message size like any other payload component.
+    payload:
+        Arbitrary (word-size-accountable) content.
+    words:
+        The charged size of the message in machine words.  Computed at
+        construction from ``tag`` and ``payload`` unless given explicitly
+        (explicit sizes are used by the Section 7 reduction, which
+        aggregates many constant-size memory accesses into one record).
+    """
+
+    sender: str
+    receiver: str
+    tag: str
+    payload: Any = None
+    words: int = field(default=-1)
+
+    def __post_init__(self) -> None:
+        if self.words < 0:
+            object.__setattr__(self, "words", word_size(self.tag) + word_size(self.payload))
+        if self.words < 1:
+            raise ValueError("a message always costs at least one word")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Message({self.sender!r} -> {self.receiver!r}, tag={self.tag!r}, "
+            f"words={self.words})"
+        )

@@ -1,0 +1,231 @@
+"""Per-round and per-update cost accounting.
+
+The DMPC model judges a dynamic algorithm by three quantities per update
+(Section 2):
+
+1. the number of synchronous **rounds**,
+2. the number of **active machines** per round (machines sending or
+   receiving at least one message), and
+3. the **total communication** per round (sum of message sizes in words).
+
+:class:`MetricsLedger` records these for every round of every update, plus
+the Section 8 *entropy* of the communication distribution across machine
+pairs.  Summaries aggregate over updates so benchmarks can report the
+worst-case and mean behaviour that Table 1 bounds.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from statistics import mean
+from typing import Iterable
+
+from repro.exceptions import ProtocolError
+from repro.mpc.message import Message
+
+__all__ = ["RoundRecord", "UpdateRecord", "UpdateSummary", "MetricsLedger"]
+
+
+@dataclass(frozen=True)
+class RoundRecord:
+    """Costs of a single synchronous round."""
+
+    round_index: int
+    active_machines: int
+    total_words: int
+    message_count: int
+    max_message_words: int
+    pair_words: dict[tuple[str, str], int] = field(default_factory=dict, compare=False)
+
+    @staticmethod
+    def from_messages(round_index: int, messages: Iterable[Message]) -> "RoundRecord":
+        """Build a record from the messages delivered in one round."""
+        active: set[str] = set()
+        total = 0
+        count = 0
+        largest = 0
+        pair_words: dict[tuple[str, str], int] = {}
+        for msg in messages:
+            active.add(msg.sender)
+            active.add(msg.receiver)
+            total += msg.words
+            count += 1
+            largest = max(largest, msg.words)
+            key = (msg.sender, msg.receiver)
+            pair_words[key] = pair_words.get(key, 0) + msg.words
+        return RoundRecord(
+            round_index=round_index,
+            active_machines=len(active),
+            total_words=total,
+            message_count=count,
+            max_message_words=largest,
+            pair_words=pair_words,
+        )
+
+
+@dataclass
+class UpdateRecord:
+    """All rounds executed on behalf of one update (or one labelled phase)."""
+
+    label: str
+    rounds: list[RoundRecord] = field(default_factory=list)
+
+    @property
+    def num_rounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def total_words(self) -> int:
+        return sum(r.total_words for r in self.rounds)
+
+    @property
+    def max_words_per_round(self) -> int:
+        return max((r.total_words for r in self.rounds), default=0)
+
+    @property
+    def max_active_machines(self) -> int:
+        return max((r.active_machines for r in self.rounds), default=0)
+
+    @property
+    def mean_active_machines(self) -> float:
+        if not self.rounds:
+            return 0.0
+        return mean(r.active_machines for r in self.rounds)
+
+    def pair_words(self) -> dict[tuple[str, str], int]:
+        """Aggregate per-(sender, receiver) communication over the update."""
+        totals: dict[tuple[str, str], int] = {}
+        for record in self.rounds:
+            for pair, words in record.pair_words.items():
+                totals[pair] = totals.get(pair, 0) + words
+        return totals
+
+
+@dataclass(frozen=True)
+class UpdateSummary:
+    """Aggregate of many updates — the quantities Table 1 bounds."""
+
+    num_updates: int
+    max_rounds: int
+    mean_rounds: float
+    max_active_machines: int
+    mean_active_machines: float
+    max_words_per_round: int
+    mean_words_per_round: float
+    total_words: int
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "num_updates": self.num_updates,
+            "max_rounds": self.max_rounds,
+            "mean_rounds": self.mean_rounds,
+            "max_active_machines": self.max_active_machines,
+            "mean_active_machines": self.mean_active_machines,
+            "max_words_per_round": self.max_words_per_round,
+            "mean_words_per_round": self.mean_words_per_round,
+            "total_words": self.total_words,
+        }
+
+
+class MetricsLedger:
+    """Collects :class:`RoundRecord` objects grouped into labelled updates."""
+
+    def __init__(self) -> None:
+        self._updates: list[UpdateRecord] = []
+        self._current: UpdateRecord | None = None
+        self._round_counter = 0
+
+    # ----------------------------------------------------------------- update
+    def begin_update(self, label: str) -> UpdateRecord:
+        """Open a new labelled update; subsequent rounds are charged to it."""
+        if self._current is not None:
+            raise ProtocolError(
+                f"begin_update({label!r}) called while update {self._current.label!r} is open"
+            )
+        self._current = UpdateRecord(label=label)
+        return self._current
+
+    def end_update(self) -> UpdateRecord:
+        """Close the currently open update and return its record."""
+        if self._current is None:
+            raise ProtocolError("end_update() called with no open update")
+        record, self._current = self._current, None
+        self._updates.append(record)
+        return record
+
+    @property
+    def in_update(self) -> bool:
+        return self._current is not None
+
+    def record_round(self, messages: Iterable[Message]) -> RoundRecord:
+        """Record one synchronous round.  Rounds outside an update are allowed
+        (e.g. ad-hoc probes) but are tracked under an anonymous update."""
+        self._round_counter += 1
+        record = RoundRecord.from_messages(self._round_counter, messages)
+        if self._current is None:
+            anonymous = UpdateRecord(label="<unlabelled>")
+            anonymous.rounds.append(record)
+            self._updates.append(anonymous)
+        else:
+            self._current.rounds.append(record)
+        return record
+
+    # -------------------------------------------------------------- summaries
+    @property
+    def updates(self) -> list[UpdateRecord]:
+        return list(self._updates)
+
+    def updates_labelled(self, prefix: str) -> list[UpdateRecord]:
+        """Return updates whose label starts with ``prefix``."""
+        return [u for u in self._updates if u.label.startswith(prefix)]
+
+    def summary(self, prefix: str | None = None) -> UpdateSummary:
+        """Aggregate the recorded updates (optionally filtered by label prefix)."""
+        updates = self._updates if prefix is None else self.updates_labelled(prefix)
+        if not updates:
+            return UpdateSummary(0, 0, 0.0, 0, 0.0, 0, 0.0, 0)
+        rounds = [u.num_rounds for u in updates]
+        active = [u.max_active_machines for u in updates]
+        words = [u.max_words_per_round for u in updates]
+        return UpdateSummary(
+            num_updates=len(updates),
+            max_rounds=max(rounds),
+            mean_rounds=mean(rounds),
+            max_active_machines=max(active),
+            mean_active_machines=mean(u.mean_active_machines for u in updates),
+            max_words_per_round=max(words),
+            mean_words_per_round=mean(words),
+            total_words=sum(u.total_words for u in updates),
+        )
+
+    def reset(self) -> None:
+        """Discard all recorded updates (keeps the global round counter)."""
+        if self._current is not None:
+            raise ProtocolError("cannot reset the ledger while an update is open")
+        self._updates.clear()
+
+    # --------------------------------------------------------------- entropy
+    def communication_entropy(self, prefix: str | None = None) -> float:
+        """Shannon entropy (bits) of the communication distribution (Section 8).
+
+        The paper proposes measuring how evenly communication is spread over
+        machine pairs: coordinator-centric algorithms concentrate traffic on
+        a few pairs and therefore have low entropy, while symmetric
+        algorithms spread it and have high entropy.  We compute the entropy
+        of the normalised per-(sender, receiver) word counts aggregated over
+        the selected updates.
+        """
+        updates = self._updates if prefix is None else self.updates_labelled(prefix)
+        totals: dict[tuple[str, str], int] = {}
+        for update in updates:
+            for pair, words in update.pair_words().items():
+                totals[pair] = totals.get(pair, 0) + words
+        grand = sum(totals.values())
+        if grand <= 0:
+            return 0.0
+        entropy = 0.0
+        for words in totals.values():
+            p = words / grand
+            entropy -= p * math.log2(p)
+        return entropy

@@ -1,0 +1,145 @@
+"""Constant-round MPC communication primitives.
+
+The paper repeatedly relies on primitives that are known to take ``O(1)``
+rounds in the MPC model (Goodrich, Sitchinava, Zhang 2011): broadcasting a
+constant-size message from one machine to all machines, aggregating
+constant-size reports from all machines at one machine, and sorting.  These
+are implemented here against the simulator so that algorithms built on top
+of them inherit correct round/communication accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Sequence
+
+from repro.mpc.cluster import Cluster
+from repro.mpc.machine import Machine
+
+__all__ = ["broadcast", "gather", "aggregate_sum", "sample_sort"]
+
+
+def broadcast(cluster: Cluster, sender_id: str, tag: str, payload: Any, receivers: Sequence[str] | None = None) -> int:
+    """Send ``payload`` from ``sender_id`` to every (selected) machine.
+
+    Takes exactly one round.  Returns the number of receivers.  The total
+    communication is ``O(|payload| * #receivers)`` — for a constant-size
+    payload and ``O(sqrt(N))`` machines this is the ``O(sqrt(N))``
+    communication the connectivity algorithm of Section 5 budgets per update.
+    """
+    sender = cluster.machine(sender_id)
+    targets = receivers if receivers is not None else [m for m in cluster.machine_ids() if m != sender_id]
+    for receiver in targets:
+        sender.send(receiver, tag, payload)
+    cluster.exchange()
+    return len(targets)
+
+
+def gather(cluster: Cluster, receiver_id: str, tag: str, contributions: dict[str, Any]) -> list[Any]:
+    """Send one message per contributing machine to ``receiver_id`` (one round).
+
+    ``contributions`` maps machine id → payload; machines with a ``None``
+    payload are skipped (they stay inactive, which matters for the
+    active-machine count).  Returns the payloads received, in arbitrary
+    order, after consuming them from the receiver's inbox.
+    """
+    for machine_id, payload in contributions.items():
+        if payload is None:
+            continue
+        cluster.machine(machine_id).send(receiver_id, tag, payload)
+    cluster.exchange()
+    return [m.payload for m in cluster.machine(receiver_id).drain(tag)]
+
+
+def aggregate_sum(cluster: Cluster, receiver_id: str, tag: str, contributions: dict[str, float]) -> float:
+    """Sum numeric contributions from many machines at ``receiver_id`` (one round)."""
+    values = gather(cluster, receiver_id, tag, {k: v for k, v in contributions.items() if v})
+    return float(sum(values))
+
+
+def sample_sort(
+    cluster: Cluster,
+    items_by_machine: dict[str, list[Any]],
+    *,
+    key: Callable[[Any], Any] = lambda item: item,
+    leader: str | None = None,
+    tag: str = "sort",
+    oversampling: int = 4,
+) -> dict[str, list[Any]]:
+    """Sort items distributed across machines in ``O(1)`` rounds (sample sort).
+
+    The classic MPC sorting scheme (TeraSort / Goodrich et al.):
+
+    1. every machine holding items sends a small random-ish sample of keys to
+       a leader machine (one round);
+    2. the leader picks ``p - 1`` splitters and broadcasts them (one round);
+    3. every machine routes each of its items to the bucket machine owning
+       the item's key range (one round);
+    4. each bucket machine sorts its received items locally (free — local
+       computation is not charged in the MPC model).
+
+    Returns ``{machine_id: sorted_items}`` where concatenating the lists in
+    machine order yields the globally sorted sequence.  The participating
+    machines are exactly the keys of ``items_by_machine``.
+    """
+    participants = sorted(items_by_machine)
+    if not participants:
+        return {}
+    leader_id = leader if leader is not None else participants[0]
+
+    # Round 1: samples to the leader.  Deterministic striding keeps the
+    # primitive reproducible without threading an RNG through it.
+    for machine_id in participants:
+        items = items_by_machine[machine_id]
+        if not items:
+            continue
+        stride = max(1, len(items) // oversampling)
+        sample = sorted(key(item) for item in items[::stride])[: oversampling * 2]
+        cluster.machine(machine_id).send(leader_id, f"{tag}-sample", list(sample))
+    cluster.exchange()
+
+    samples: list[Any] = []
+    for msg in cluster.machine(leader_id).drain(f"{tag}-sample"):
+        samples.extend(msg.payload)
+    samples.sort()
+
+    # Leader picks p-1 splitters.
+    p = len(participants)
+    splitters: list[Any] = []
+    if samples and p > 1:
+        step = max(1, len(samples) // p)
+        splitters = [samples[min(len(samples) - 1, (i + 1) * step)] for i in range(p - 1)]
+
+    # Round 2: broadcast splitters.
+    broadcast(cluster, leader_id, f"{tag}-splitters", list(splitters), receivers=[m for m in participants if m != leader_id])
+
+    def bucket_of(value: Any) -> int:
+        lo, hi = 0, len(splitters)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= splitters[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        return lo
+
+    # Round 3: route items to their bucket machines.
+    for machine_id in participants:
+        machine = cluster.machine(machine_id)
+        machine.drain(f"{tag}-splitters")
+        buckets: dict[str, list[Any]] = {}
+        for item in items_by_machine[machine_id]:
+            target = participants[bucket_of(key(item))]
+            buckets.setdefault(target, []).append(item)
+        for target, bucket_items in buckets.items():
+            machine.send(target, f"{tag}-items", bucket_items)
+    cluster.exchange()
+
+    # Local sort on each bucket machine.
+    result: dict[str, list[Any]] = {}
+    for machine_id in participants:
+        received: list[Any] = []
+        for msg in cluster.machine(machine_id).drain(f"{tag}-items"):
+            received.extend(msg.payload)
+        received.sort(key=key)
+        result[machine_id] = received
+    return result

@@ -1,0 +1,267 @@
+"""Euler-tour trees over randomized treaps.
+
+This is the classical sequential data structure behind polylogarithmic
+dynamic connectivity (Henzinger–King, Holm–de Lichtenberg–Thorup): the Euler
+tour of every tree in a forest is stored in a balanced binary search tree
+keyed by implicit position, so that *link*, *cut*, *reroot*, *connected* and
+*tree size* all take ``O(log n)`` time with high probability.
+
+Representation
+--------------
+The tour of a tree contains one **vertex arc** ``(v, v)`` for every vertex
+and two **edge arcs** ``(u, v)`` / ``(v, u)`` for every tree edge, arranged
+so that the arcs of the subtree of a vertex form a contiguous range.  A
+singleton vertex is a tour consisting of just its vertex arc.
+
+The treap stores subtree sizes and vertex-arc counts so the number of
+vertices of a tree is available at its root.  Parent pointers allow
+position queries from an arc handle without searching from the root.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+__all__ = ["EulerTourTree"]
+
+
+class _Node:
+    """One arc of an Euler tour, stored as a treap node."""
+
+    __slots__ = ("arc", "prio", "left", "right", "parent", "size", "vertex_arcs")
+
+    def __init__(self, arc: tuple[int, int], prio: float) -> None:
+        self.arc = arc
+        self.prio = prio
+        self.left: "_Node | None" = None
+        self.right: "_Node | None" = None
+        self.parent: "_Node | None" = None
+        self.size = 1
+        self.vertex_arcs = 1 if arc[0] == arc[1] else 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"_Node({self.arc})"
+
+
+def _update(node: _Node | None) -> None:
+    if node is None:
+        return
+    node.size = 1
+    node.vertex_arcs = 1 if node.arc[0] == node.arc[1] else 0
+    for child in (node.left, node.right):
+        if child is not None:
+            node.size += child.size
+            node.vertex_arcs += child.vertex_arcs
+            child.parent = node
+
+
+def _root_of(node: _Node) -> _Node:
+    while node.parent is not None:
+        node = node.parent
+    return node
+
+
+def _merge(a: _Node | None, b: _Node | None) -> _Node | None:
+    """Concatenate two treaps (all positions of ``a`` before those of ``b``)."""
+    if a is None:
+        if b is not None:
+            b.parent = None
+        return b
+    if b is None:
+        a.parent = None
+        return a
+    if a.prio > b.prio:
+        a.right = _merge(a.right, b)
+        _update(a)
+        a.parent = None
+        return a
+    b.left = _merge(a, b.left)
+    _update(b)
+    b.parent = None
+    return b
+
+
+def _split(node: _Node | None, count: int) -> tuple[_Node | None, _Node | None]:
+    """Split a treap into the first ``count`` positions and the rest."""
+    if node is None:
+        return None, None
+    node.parent = None
+    left_size = node.left.size if node.left is not None else 0
+    if count <= left_size:
+        left, right = _split(node.left, count)
+        node.left = right
+        _update(node)
+        node.parent = None
+        if left is not None:
+            left.parent = None
+        return left, node
+    left, right = _split(node.right, count - left_size - 1)
+    node.right = left
+    _update(node)
+    node.parent = None
+    if right is not None:
+        right.parent = None
+    return node, right
+
+
+def _position(node: _Node) -> int:
+    """0-based position of ``node`` within its treap (via parent pointers)."""
+    pos = node.left.size if node.left is not None else 0
+    current = node
+    while current.parent is not None:
+        parent = current.parent
+        if current is parent.right:
+            pos += 1 + (parent.left.size if parent.left is not None else 0)
+        current = parent
+    return pos
+
+
+def _iter_inorder(node: _Node | None) -> Iterator[_Node]:
+    stack: list[_Node] = []
+    current = node
+    while stack or current is not None:
+        while current is not None:
+            stack.append(current)
+            current = current.left
+        current = stack.pop()
+        yield current
+        current = current.right
+
+
+class EulerTourTree:
+    """A dynamic forest supporting ``O(log n)`` link / cut / connectivity.
+
+    Despite the singular name this object manages an entire forest; the name
+    follows the literature.  All methods count treap operations in
+    ``self.operations`` so the Section 7 reduction can charge DMPC rounds.
+    """
+
+    def __init__(self, seed: int = 17) -> None:
+        self._rng = random.Random(seed)
+        self._vertex_arc: dict[int, _Node] = {}
+        self._edge_arcs: dict[tuple[int, int, int, int], _Node] = {}
+        self.operations = 0
+
+    # ---------------------------------------------------------------- helpers
+    def _tick(self, amount: int = 1) -> None:
+        self.operations += amount
+
+    def _new_node(self, arc: tuple[int, int]) -> _Node:
+        return _Node(arc, self._rng.random())
+
+    @staticmethod
+    def _edge_key(u: int, v: int) -> tuple[int, int, int, int]:
+        return (u, v, v, u)
+
+    # --------------------------------------------------------------- vertices
+    def add_vertex(self, v: int) -> None:
+        """Register ``v`` as (initially) an isolated tree (idempotent)."""
+        if v in self._vertex_arc:
+            return
+        self._vertex_arc[v] = self._new_node((v, v))
+        self._tick()
+
+    def __contains__(self, v: int) -> bool:
+        return v in self._vertex_arc
+
+    @property
+    def vertices(self) -> list[int]:
+        return sorted(self._vertex_arc)
+
+    # ------------------------------------------------------------------ query
+    def connected(self, u: int, v: int) -> bool:
+        """True iff ``u`` and ``v`` belong to the same tree."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._tick(2)
+        return _root_of(self._vertex_arc[u]) is _root_of(self._vertex_arc[v])
+
+    def tree_size(self, v: int) -> int:
+        """Number of vertices of the tree containing ``v``."""
+        self.add_vertex(v)
+        self._tick()
+        return _root_of(self._vertex_arc[v]).vertex_arcs
+
+    def tree_vertices(self, v: int) -> list[int]:
+        """All vertices of the tree containing ``v`` (O(size of tree))."""
+        self.add_vertex(v)
+        root = _root_of(self._vertex_arc[v])
+        vertices = [node.arc[0] for node in _iter_inorder(root) if node.arc[0] == node.arc[1]]
+        self._tick(len(vertices))
+        return vertices
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """True iff ``(u, v)`` is currently a tree edge of the forest."""
+        return (u, v, v, u) in self._edge_arcs or (v, u, u, v) in self._edge_arcs
+
+    def tour(self, v: int) -> list[tuple[int, int]]:
+        """The arc sequence of ``v``'s tree (for tests and debugging)."""
+        self.add_vertex(v)
+        root = _root_of(self._vertex_arc[v])
+        return [node.arc for node in _iter_inorder(root)]
+
+    # -------------------------------------------------------------- operations
+    def _reroot(self, v: int) -> _Node:
+        """Rotate ``v``'s tour so it starts at ``v``'s vertex arc; return treap root."""
+        node = self._vertex_arc[v]
+        root = _root_of(node)
+        pos = _position(node)
+        self._tick(8)
+        if pos == 0:
+            return root
+        left, right = _split(root, pos)
+        merged = _merge(right, left)
+        assert merged is not None
+        return merged
+
+    def link(self, u: int, v: int) -> None:
+        """Add tree edge ``(u, v)``; the two endpoints must be in different trees."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if self.connected(u, v):
+            raise ValueError(f"link({u}, {v}): endpoints already connected")
+        tour_u = self._reroot(u)
+        tour_v = self._reroot(v)
+        arc_uv = self._new_node((u, v))
+        arc_vu = self._new_node((v, u))
+        self._edge_arcs[self._edge_key(u, v)] = arc_uv
+        self._edge_arcs[self._edge_key(v, u)] = arc_vu
+        merged = _merge(_merge(_merge(tour_u, arc_uv), tour_v), arc_vu)
+        assert merged is not None
+        self._tick(8)
+
+    def cut(self, u: int, v: int) -> None:
+        """Remove tree edge ``(u, v)``, splitting its tree into two."""
+        key_uv = self._edge_key(u, v)
+        key_vu = self._edge_key(v, u)
+        if key_uv not in self._edge_arcs:
+            if key_vu in self._edge_arcs:
+                u, v = v, u
+                key_uv, key_vu = key_vu, key_uv
+            else:
+                raise ValueError(f"cut({u}, {v}): not a tree edge")
+        arc_uv = self._edge_arcs.pop(key_uv)
+        arc_vu = self._edge_arcs.pop(key_vu)
+        root = _root_of(arc_uv)
+        pos_uv = _position(arc_uv)
+        pos_vu = _position(arc_vu)
+        self._tick(16)
+        first, second = (pos_uv, pos_vu) if pos_uv < pos_vu else (pos_vu, pos_uv)
+        # Split out [0, first), [first, first+1), (first, second), [second, second+1), rest.
+        left, rest = _split(root, first)
+        first_arc, rest = _split(rest, 1)
+        middle, rest = _split(rest, second - first - 1)
+        second_arc, tail = _split(rest, 1)
+        assert first_arc is not None and second_arc is not None
+        # middle is the subtree's tour; left+tail is the remaining tree's tour.
+        _merge(left, tail)
+        if middle is not None:
+            middle.parent = None
+
+    def components(self) -> list[set[int]]:
+        """All trees of the forest as vertex sets."""
+        by_root: dict[int, set[int]] = {}
+        for v, node in self._vertex_arc.items():
+            by_root.setdefault(id(_root_of(node)), set()).add(v)
+        return list(by_root.values())

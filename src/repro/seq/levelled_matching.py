@@ -1,0 +1,167 @@
+"""Levelled randomized fully-dynamic matching (Baswana–Gupta–Sen style).
+
+Reference [9] of the paper, and the framework on which the Charikar–Solomon
+algorithm (and therefore the Section 6 DMPC algorithm) is built.  Matched
+vertices live on levels ``0 .. log_gamma(n)``; the level of a matched edge
+records (the logarithm of) the size of the sample space it was drawn from,
+so an adversary needs ``~gamma^level`` deletions in expectation to hit it.
+
+This implementation follows the published invariants:
+
+* every matched vertex has level ``>= 0``; free vertices have level ``-1``;
+* both endpoints of a matched edge share its level;
+* a free vertex with a free neighbour never stays free (maximality);
+* when a vertex becomes free it is settled by ``handle_free``: it rises to
+  the highest level ``l`` where it has at least ``gamma^l`` neighbours of
+  strictly lower level and picks its mate uniformly at random among them
+  (possibly evicting that mate's former partner, which is handled
+  recursively).
+
+The algorithm maintains a *maximal* matching at all times; its interest over
+the deterministic algorithm is the amortized polylogarithmic update time
+against oblivious adversaries, and it is the sequential counterpart used by
+the Section 6 benchmarks.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.graph.graph import normalize_edge
+
+__all__ = ["LevelledMatching"]
+
+
+class LevelledMatching:
+    """Randomized fully-dynamic maximal matching with a level decomposition."""
+
+    def __init__(self, gamma: float = 4.0, *, seed: int = 7) -> None:
+        if gamma <= 1.0:
+            raise ValueError("gamma must exceed 1")
+        self.gamma = gamma
+        self._rng = random.Random(seed)
+        self._adj: dict[int, set[int]] = {}
+        self._mate: dict[int, int] = {}
+        self._level: dict[int, int] = {}
+        self.operations = 0
+
+    # ---------------------------------------------------------------- helpers
+    def _tick(self, amount: int = 1) -> None:
+        self.operations += amount
+
+    def add_vertex(self, v: int) -> None:
+        if v not in self._adj:
+            self._adj[v] = set()
+            self._level[v] = -1
+
+    def level(self, v: int) -> int:
+        """Level of ``v`` (-1 for free vertices)."""
+        return self._level.get(v, -1)
+
+    def is_matched(self, v: int) -> bool:
+        return v in self._mate
+
+    def mate(self, v: int) -> int | None:
+        return self._mate.get(v)
+
+    def matching(self) -> set[tuple[int, int]]:
+        return {normalize_edge(u, v) for u, v in self._mate.items() if u < v}
+
+    def matching_size(self) -> int:
+        return len(self._mate) // 2
+
+    def max_level(self) -> int:
+        """Highest level that currently hosts a matched vertex."""
+        return max((lvl for lvl in self._level.values()), default=-1)
+
+    # ----------------------------------------------------------- level logic
+    def _phi(self, v: int, level: int) -> int:
+        """Number of neighbours of ``v`` with level strictly below ``level``."""
+        count = 0
+        for w in self._adj[v]:
+            self._tick()
+            if self._level.get(w, -1) < level:
+                count += 1
+        return count
+
+    def _target_level(self, v: int) -> int:
+        """Highest level ``l >= 0`` with ``phi_v(l) >= gamma^l`` (or -1)."""
+        degree = len(self._adj[v])
+        if degree == 0:
+            return -1
+        upper = max(0, math.ceil(math.log(max(degree, 1), self.gamma)))
+        best = -1
+        for lvl in range(0, upper + 1):
+            if self._phi(v, lvl) >= self.gamma**lvl:
+                best = lvl
+        return best
+
+    def _set_level(self, v: int, level: int) -> None:
+        self._level[v] = level
+        self._tick()
+
+    def _match(self, u: int, v: int, level: int) -> None:
+        assert u not in self._mate and v not in self._mate
+        self._mate[u] = v
+        self._mate[v] = u
+        self._set_level(u, level)
+        self._set_level(v, level)
+
+    def _unmatch(self, u: int, v: int) -> None:
+        assert self._mate.get(u) == v
+        del self._mate[u]
+        del self._mate[v]
+        self._set_level(u, -1)
+        self._set_level(v, -1)
+
+    def _handle_free(self, v: int) -> None:
+        """Settle a newly free vertex, possibly evicting a lower-level pair."""
+        if v in self._mate or v not in self._adj:
+            return
+        level = self._target_level(v)
+        if level < 0:
+            # No usable sample space: fall back to matching any free neighbour
+            for w in self._adj[v]:
+                self._tick()
+                if w not in self._mate:
+                    self._match(v, w, 0)
+                    return
+            return
+        candidates = [w for w in self._adj[v] if self._level.get(w, -1) < level]
+        self._tick(len(candidates))
+        if not candidates:
+            return
+        w = candidates[self._rng.randrange(len(candidates))]
+        former = self._mate.get(w)
+        if former is not None:
+            self._unmatch(w, former)
+        self._match(v, w, level)
+        if former is not None:
+            self._handle_free(former)
+
+    # ----------------------------------------------------------------- updates
+    def insert(self, u: int, v: int) -> None:
+        """Insert edge ``(u, v)`` and restore the invariants."""
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            raise ValueError(f"edge {normalize_edge(u, v)} already present")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._tick(2)
+        if u not in self._mate and v not in self._mate:
+            self._match(u, v, 0)
+
+    def delete(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)`` and restore the invariants."""
+        if u not in self._adj or v not in self._adj[u]:
+            raise ValueError(f"edge {normalize_edge(u, v)} not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._tick(2)
+        if self._mate.get(u) != v:
+            return
+        self._unmatch(u, v)
+        self._handle_free(u)
+        self._handle_free(v)

@@ -1,0 +1,167 @@
+"""Neiman–Solomon fully-dynamic maximal matching (sequential reference).
+
+Reference [30] of the paper: a deterministic fully-dynamic algorithm
+maintaining a *maximal* matching (hence a 2-approximate maximum matching)
+with ``O(sqrt m)`` worst-case update time.  Its key observation — a vertex
+either has low degree, or only few of its neighbours can have high degree —
+is exactly the heavy/light split the DMPC algorithm of Section 3 adapts, so
+this sequential version doubles as the behavioural oracle for that
+algorithm in the tests.
+
+The threshold separating *heavy* from *light* vertices is ``sqrt(2 m)``
+where ``m`` is the maximum number of edges the instance is sized for.
+Invariant (the paper's Invariant 3.1): once matched, a heavy vertex never
+becomes unmatched (unless it becomes light).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.graph.graph import normalize_edge
+
+__all__ = ["NeimanSolomonMatching"]
+
+
+class NeimanSolomonMatching:
+    """Sequential fully-dynamic maximal matching with the heavy/light rule."""
+
+    def __init__(self, max_edges: int = 1024) -> None:
+        if max_edges < 1:
+            raise ValueError("max_edges must be positive")
+        self.max_edges = max_edges
+        self.threshold = max(2, math.isqrt(2 * max_edges))
+        self._adj: dict[int, set[int]] = {}
+        self._mate: dict[int, int] = {}
+        self._num_edges = 0
+        self.operations = 0
+
+    # ---------------------------------------------------------------- helpers
+    def _tick(self, amount: int = 1) -> None:
+        self.operations += amount
+
+    def add_vertex(self, v: int) -> None:
+        self._adj.setdefault(v, set())
+
+    def degree(self, v: int) -> int:
+        return len(self._adj.get(v, ()))
+
+    def is_heavy(self, v: int) -> bool:
+        """True iff ``v``'s degree is at least the heavy threshold."""
+        return self.degree(v) >= self.threshold
+
+    def is_matched(self, v: int) -> bool:
+        return v in self._mate
+
+    def mate(self, v: int) -> int | None:
+        return self._mate.get(v)
+
+    @property
+    def num_edges(self) -> int:
+        return self._num_edges
+
+    def matching(self) -> set[tuple[int, int]]:
+        """The maintained matching as a set of canonical edges."""
+        return {normalize_edge(u, v) for u, v in self._mate.items() if u < v}
+
+    def matching_size(self) -> int:
+        return len(self._mate) // 2
+
+    # -------------------------------------------------------------- matching ops
+    def _match(self, u: int, v: int) -> None:
+        assert u not in self._mate and v not in self._mate
+        self._mate[u] = v
+        self._mate[v] = u
+        self._tick()
+
+    def _unmatch(self, u: int, v: int) -> None:
+        assert self._mate.get(u) == v and self._mate.get(v) == u
+        del self._mate[u]
+        del self._mate[v]
+        self._tick()
+
+    def _find_free_neighbor(self, v: int) -> int | None:
+        """Scan ``v``'s adjacency for an unmatched neighbour (O(deg(v)))."""
+        for w in self._adj.get(v, ()):
+            self._tick()
+            if w not in self._mate:
+                return w
+        return None
+
+    def _find_surrogate(self, v: int) -> tuple[int, int] | None:
+        """For a heavy, unmatched ``v``: find a neighbour ``w`` whose mate is light.
+
+        Scans only the first ``threshold`` neighbours — by the degree-sum
+        argument of Neiman–Solomon at least one of them must have a light
+        mate.  Returns ``(w, mate(w))`` or ``None`` if no neighbour qualifies
+        (possible only when some neighbour is free, which the caller handles
+        first).
+        """
+        scanned = 0
+        for w in self._adj.get(v, ()):
+            if scanned >= self.threshold:
+                break
+            scanned += 1
+            self._tick()
+            mate_w = self._mate.get(w)
+            if mate_w is None:
+                continue
+            if not self.is_heavy(mate_w):
+                return (w, mate_w)
+        return None
+
+    def _settle(self, v: int) -> None:
+        """(Re)match a newly free vertex ``v``, restoring maximality around it."""
+        if v in self._mate:
+            return
+        free = self._find_free_neighbor(v)
+        if free is not None:
+            self._match(v, free)
+            return
+        if not self.is_heavy(v):
+            return  # light and all neighbours matched: maximality holds around v
+        surrogate = self._find_surrogate(v)
+        if surrogate is None:
+            return
+        w, z = surrogate  # w is v's neighbour, z is w's (light) mate
+        self._unmatch(w, z)
+        self._match(v, w)
+        free_z = self._find_free_neighbor(z)
+        if free_z is not None:
+            self._match(z, free_z)
+
+    # ----------------------------------------------------------------- updates
+    def insert(self, u: int, v: int) -> None:
+        """Insert edge ``(u, v)`` and restore maximality."""
+        edge = normalize_edge(u, v)
+        self.add_vertex(u)
+        self.add_vertex(v)
+        if v in self._adj[u]:
+            raise ValueError(f"edge {edge} already present")
+        self._adj[u].add(v)
+        self._adj[v].add(u)
+        self._num_edges += 1
+        self._tick(2)
+        if u not in self._mate and v not in self._mate:
+            self._match(u, v)
+            return
+        # One endpoint matched: if the other endpoint is an unmatched heavy
+        # vertex, Invariant 3.1 requires matching it via a surrogate.
+        for x in (u, v):
+            if x not in self._mate and self.is_heavy(x):
+                self._settle(x)
+
+    def delete(self, u: int, v: int) -> None:
+        """Delete edge ``(u, v)`` and restore maximality."""
+        edge = normalize_edge(u, v)
+        if u not in self._adj or v not in self._adj[u]:
+            raise ValueError(f"edge {edge} not present")
+        self._adj[u].discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        self._tick(2)
+        if self._mate.get(u) != v:
+            return
+        self._unmatch(u, v)
+        self._settle(u)
+        self._settle(v)

@@ -1,0 +1,77 @@
+"""Disjoint-set forest with union by rank and path compression."""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["UnionFind"]
+
+
+class UnionFind:
+    """Classic union-find over arbitrary hashable items.
+
+    Elements are created lazily by :meth:`find`/:meth:`union`.  The structure
+    also counts primitive operations (parent-pointer reads) in
+    ``self.operations`` so callers simulating it in the DMPC reduction can
+    charge rounds accurately.
+    """
+
+    def __init__(self, items: Iterable[Hashable] = ()) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._rank: dict[Hashable, int] = {}
+        self._count = 0
+        self.operations = 0
+        for item in items:
+            self.add(item)
+
+    def add(self, item: Hashable) -> None:
+        """Register ``item`` as a singleton set (no-op if already present)."""
+        if item not in self._parent:
+            self._parent[item] = item
+            self._rank[item] = 0
+            self._count += 1
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._parent
+
+    def find(self, item: Hashable) -> Hashable:
+        """Return the canonical representative of ``item``'s set."""
+        self.add(item)
+        root = item
+        while self._parent[root] != root:
+            self.operations += 1
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the sets of ``a`` and ``b``; returns ``False`` if already merged."""
+        ra, rb = self.find(a), self.find(b)
+        self.operations += 1
+        if ra == rb:
+            return False
+        if self._rank[ra] < self._rank[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        if self._rank[ra] == self._rank[rb]:
+            self._rank[ra] += 1
+        self._count -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True iff ``a`` and ``b`` are in the same set."""
+        return self.find(a) == self.find(b)
+
+    @property
+    def num_sets(self) -> int:
+        """Number of disjoint sets over all registered items."""
+        return self._count
+
+    def groups(self) -> list[set[Hashable]]:
+        """All sets as a list of element groups."""
+        by_root: dict[Hashable, set[Hashable]] = {}
+        for item in self._parent:
+            by_root.setdefault(self.find(item), set()).add(item)
+        return list(by_root.values())

@@ -1,0 +1,96 @@
+"""Static MPC connected components (and spanning forest) by label propagation.
+
+Every vertex starts with its own identifier as its component label.  In each
+round every machine sends, for every edge ``(u, v)`` with an owned endpoint
+``u``, the current label of ``u`` to the owner of ``v``; owners then lower
+each owned vertex's label to the minimum received value.  The process
+converges when no label changes — after ``O(diameter)`` rounds, which on the
+random graphs used in the benchmarks behaves like the ``O(log n)`` bound of
+the contraction-based algorithms the paper cites [14, 25].
+
+The algorithm also records, for every vertex whose label strictly
+decreases, the neighbour the smaller label arrived from.  These "via"
+pointers form a spanning forest of the graph (each strict decrease points to
+a vertex that held the smaller label strictly earlier, so no cycles can
+form), which is what the Section 5 preprocessing needs.
+"""
+
+from __future__ import annotations
+
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.static_mpc.common import StaticMPCSetup, build_static_cluster
+
+__all__ = ["StaticConnectedComponents"]
+
+
+class StaticConnectedComponents:
+    """Min-label propagation over vertex-partitioned adjacency lists."""
+
+    def __init__(self, graph: DynamicGraph, *, num_workers: int | None = None, max_rounds: int | None = None) -> None:
+        self.graph = graph
+        self.setup: StaticMPCSetup = build_static_cluster(graph, num_workers=num_workers)
+        self.cluster = self.setup.cluster
+        self.max_rounds = max_rounds if max_rounds is not None else 4 * max(4, graph.num_vertices)
+        self.labels: dict[int, int] = {}
+        self.parent_edges: dict[int, tuple[int, int]] = {}
+        self.rounds_used = 0
+
+    # --------------------------------------------------------------------- run
+    def run(self, label: str = "static-cc") -> dict[int, int]:
+        """Execute the algorithm; returns the vertex → component-label map."""
+        cluster = self.cluster
+        setup = self.setup
+        labels = {v: v for v in self.graph.vertices}
+        via: dict[int, tuple[int, int]] = {}
+
+        with cluster.update(label):
+            changed = True
+            rounds = 0
+            while changed and rounds < self.max_rounds:
+                changed = False
+                rounds += 1
+                # Every owner ships its owned labels along every incident edge.
+                for machine_id in setup.worker_ids:
+                    machine = cluster.machine(machine_id)
+                    proposals: dict[str, list[tuple[int, int, int]]] = {}
+                    for v in setup.owned_vertices(machine_id):
+                        adj = machine.load(("adj", v), [])
+                        for w in adj:
+                            target = setup.owner(w)
+                            proposals.setdefault(target, []).append((w, labels[v], v))
+                    for target, items in proposals.items():
+                        machine.send(target, "label-proposal", items)
+                cluster.exchange()
+                # Owners lower labels to the minimum proposal.
+                for machine_id in setup.worker_ids:
+                    machine = cluster.machine(machine_id)
+                    for msg in machine.drain("label-proposal"):
+                        for (w, proposed, sender_vertex) in msg.payload:
+                            if proposed < labels[w]:
+                                labels[w] = proposed
+                                via[w] = (sender_vertex, w)
+                                changed = True
+                # One more round of constant-size messages to agree on termination.
+                for machine_id in setup.worker_ids[1:]:
+                    cluster.machine(machine_id).send(setup.worker_ids[0], "changed", changed)
+                cluster.exchange()
+                cluster.machine(setup.worker_ids[0]).drain("changed")
+            self.rounds_used = rounds
+
+        self.labels = labels
+        self.parent_edges = via
+        return labels
+
+    # ----------------------------------------------------------------- results
+    def components(self) -> list[set[int]]:
+        """The computed components as vertex sets (``run`` must have been called)."""
+        if not self.labels and self.graph.num_vertices > 0:
+            raise RuntimeError("call run() before reading the components")
+        groups: dict[int, set[int]] = {}
+        for v, lbl in self.labels.items():
+            groups.setdefault(lbl, set()).add(v)
+        return list(groups.values())
+
+    def spanning_forest(self) -> set[tuple[int, int]]:
+        """A spanning forest assembled from the label-propagation via-pointers."""
+        return {normalize_edge(u, v) for (u, v) in self.parent_edges.values()}

@@ -1,0 +1,115 @@
+"""Static MPC maximal matching by randomized proposal rounds.
+
+A distributed maximal matching in the spirit of Israeli–Itai [23] — the
+algorithm the paper invokes for the preprocessing of its Section 3 dynamic
+matching ("compute a maximal matching in O(log n) rounds with the
+randomized CONGEST algorithm").  Each round:
+
+1. every still-free vertex picks one free neighbour uniformly at random and
+   *proposes* to it (one message along the chosen edge);
+2. every free vertex that received proposals *accepts* exactly one
+   (preferring a proposer it itself proposed to, then lowest id), and the
+   accepted pairs join the matching;
+3. matched vertices announce their new status to their neighbours' owners
+   so dead edges are pruned.
+
+With constant probability a constant fraction of the edges incident to free
+vertices disappears each round, so the process finishes in ``O(log n)``
+rounds with high probability — with **all** machines active and ``Theta(m)``
+words shuffled per round, which is the baseline cost the dynamic algorithm
+of Section 3 avoids.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.static_mpc.common import StaticMPCSetup, build_static_cluster
+
+__all__ = ["StaticMaximalMatching"]
+
+
+class StaticMaximalMatching:
+    """Randomized proposal-round maximal matching on the simulator."""
+
+    def __init__(self, graph: DynamicGraph, *, num_workers: int | None = None, seed: int = 2019, max_rounds: int | None = None) -> None:
+        self.graph = graph
+        self.setup: StaticMPCSetup = build_static_cluster(graph, num_workers=num_workers)
+        self.cluster = self.setup.cluster
+        self.rng = random.Random(seed)
+        self.max_rounds = max_rounds if max_rounds is not None else 8 * max(4, graph.num_vertices.bit_length() + 1) + 32
+        self.matching: set[tuple[int, int]] = set()
+        self.rounds_used = 0
+
+    def run(self, label: str = "static-matching") -> set[tuple[int, int]]:
+        """Execute the algorithm; returns the computed maximal matching."""
+        cluster = self.cluster
+        setup = self.setup
+        free_adj: dict[int, set[int]] = {v: set(self.graph.neighbors(v)) for v in self.graph.vertices}
+        matched: set[int] = set()
+        matching: set[tuple[int, int]] = set()
+
+        with cluster.update(label):
+            rounds = 0
+            while rounds < self.max_rounds and any(free_adj[v] for v in free_adj if v not in matched):
+                rounds += 1
+                # Phase 1: proposals along randomly chosen incident edges.
+                proposals_by_target: dict[int, list[int]] = {}
+                for machine_id in setup.worker_ids:
+                    machine = cluster.machine(machine_id)
+                    outgoing: dict[str, list[tuple[int, int]]] = {}
+                    for v in setup.owned_vertices(machine_id):
+                        if v in matched or not free_adj[v]:
+                            continue
+                        choice = self.rng.choice(sorted(free_adj[v]))
+                        outgoing.setdefault(setup.owner(choice), []).append((v, choice))
+                    for target, pairs in outgoing.items():
+                        machine.send(target, "propose", pairs)
+                cluster.exchange()
+                for machine_id in setup.worker_ids:
+                    machine = cluster.machine(machine_id)
+                    for msg in machine.drain("propose"):
+                        for (proposer, target) in msg.payload:
+                            proposals_by_target.setdefault(target, []).append(proposer)
+
+                # Phase 2: acceptances (local decision at the owner of the target).
+                newly_matched: list[tuple[int, int]] = []
+                for target, proposers in sorted(proposals_by_target.items()):
+                    if target in matched:
+                        continue
+                    candidates = [p for p in proposers if p not in matched]
+                    if not candidates:
+                        continue
+                    chosen = min(candidates)
+                    if chosen == target:
+                        continue
+                    matched.add(target)
+                    matched.add(chosen)
+                    newly_matched.append(normalize_edge(target, chosen))
+                matching.update(newly_matched)
+
+                # Phase 3: announce new statuses so machines prune dead edges.
+                for machine_id in setup.worker_ids:
+                    machine = cluster.machine(machine_id)
+                    announcements: dict[str, list[int]] = {}
+                    for v in setup.owned_vertices(machine_id):
+                        if v in matched and free_adj[v]:
+                            for w in free_adj[v]:
+                                announcements.setdefault(setup.owner(w), []).append(v)
+                    for target, vertices in announcements.items():
+                        machine.send(target, "matched-status", vertices)
+                cluster.exchange()
+                for machine_id in setup.worker_ids:
+                    machine = cluster.machine(machine_id)
+                    for msg in machine.drain("matched-status"):
+                        for v in msg.payload:
+                            for w in setup.owned_vertices(machine_id):
+                                free_adj[w].discard(v)
+                for v in list(free_adj):
+                    if v in matched:
+                        free_adj[v] = set()
+            self.rounds_used = rounds
+
+        self.matching = matching
+        return matching

@@ -1,0 +1,102 @@
+"""Tests for shape classification, Table 1 assembly and comparisons."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    PAPER_TABLE1,
+    StaticDynamicComparison,
+    Table1Row,
+    build_table1_row,
+    classify_growth,
+    compare_connectivity,
+    compare_matching,
+    format_table,
+    growth_ratio,
+)
+from repro.config import DMPCConfig
+from repro.graph.generators import gnm_random_graph
+from repro.graph.streams import mixed_stream
+from repro.mpc.metrics import UpdateSummary
+
+
+class TestShapes:
+    def test_classify_constant(self):
+        sizes = [64, 128, 256, 512]
+        assert classify_growth(sizes, [5, 5, 6, 5]) == "constant"
+
+    def test_classify_log(self):
+        sizes = [64, 256, 1024, 4096]
+        values = [math.log2(s) for s in sizes]
+        assert classify_growth(sizes, values) == "log"
+
+    def test_classify_sqrt(self):
+        sizes = [64, 256, 1024, 4096]
+        values = [3 * math.sqrt(s) for s in sizes]
+        assert classify_growth(sizes, values) == "sqrt"
+
+    def test_classify_linear(self):
+        sizes = [64, 256, 1024]
+        values = [2 * s for s in sizes]
+        assert classify_growth(sizes, values) == "linear"
+
+    def test_growth_ratio_flat_vs_linear(self):
+        sizes = [100, 1000]
+        assert growth_ratio(sizes, [7, 7]) < 0.2
+        assert growth_ratio(sizes, [100, 1000]) > 0.9
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            classify_growth([1], [])
+        with pytest.raises(ValueError):
+            growth_ratio([1], [1])
+
+
+class TestTable1:
+    def test_paper_table_contains_all_rows(self):
+        assert {"maximal-matching", "three-halves-matching", "two-plus-eps-matching", "connectivity", "approx-mst"} <= set(
+            PAPER_TABLE1
+        )
+
+    def test_build_and_format_row(self):
+        summary = UpdateSummary(
+            num_updates=10,
+            max_rounds=7,
+            mean_rounds=5.5,
+            max_active_machines=3,
+            mean_active_machines=2.5,
+            max_words_per_round=40,
+            mean_words_per_round=20.0,
+            total_words=800,
+        )
+        row = build_table1_row("maximal-matching", n=64, m=128, sqrt_N=14, summary=summary)
+        assert isinstance(row, Table1Row)
+        assert row.paper_rounds == "O(1)"
+        assert row.measured_max_rounds == 7
+        text = format_table([row])
+        assert "Maximal matching" in text
+        assert "O(sqrt N)" in text
+        assert row.as_dict()["measured"]["max_rounds"] == 7
+
+
+class TestComparisons:
+    def test_compare_connectivity_reports_advantages(self):
+        graph = gnm_random_graph(24, 36, seed=1)
+        updates = mixed_stream(24, 40, seed=2, insert_probability=0.5, initial=graph)
+        comparison = compare_connectivity(graph, updates)
+        assert isinstance(comparison, StaticDynamicComparison)
+        assert comparison.dynamic_max_rounds >= 1
+        assert comparison.static_total_words > 0
+        assert comparison.communication_advantage > 1.0
+        assert "round_advantage" in comparison.as_dict()
+
+    def test_compare_matching_reports_advantages(self):
+        graph = gnm_random_graph(20, 40, seed=3)
+        updates = mixed_stream(20, 30, seed=4, insert_probability=0.5, initial=graph)
+        comparison = compare_matching(graph, updates, config=DMPCConfig.for_graph(20, 120))
+        assert comparison.dynamic_max_rounds >= 1
+        assert comparison.static_rounds >= 1
+        assert comparison.communication_advantage > 0

@@ -1,0 +1,26 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import DMPCConfig
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(2019)
+
+
+@pytest.fixture
+def small_config() -> DMPCConfig:
+    """A deployment sized for small test graphs (up to ~64 vertices, ~256 edges)."""
+    return DMPCConfig(capacity_n=64, capacity_m=256)
+
+
+@pytest.fixture
+def tiny_config() -> DMPCConfig:
+    """A deployment sized for tiny hand-checkable graphs."""
+    return DMPCConfig(capacity_n=16, capacity_m=40)

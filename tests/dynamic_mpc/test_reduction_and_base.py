@@ -1,0 +1,111 @@
+"""Section 7 reduction wrapper and the shared driver plumbing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import SequentialSimulationDMPC
+from repro.graph import DynamicGraph, GraphUpdate
+from repro.graph.generators import gnm_random_graph, random_weighted_graph
+from repro.graph.streams import mixed_stream
+from repro.graph.validation import (
+    connected_components,
+    is_maximal_matching,
+    minimum_spanning_forest_weight,
+    same_partition,
+)
+from repro.seq import HDTConnectivity, NeimanSolomonMatching, SequentialDynamicMST
+
+
+class TestReductionConnectivity:
+    def test_solution_matches_reference(self):
+        graph = gnm_random_graph(20, 30, seed=1)
+        payload = HDTConnectivity(20)
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(20, 120), payload)
+        alg.preprocess(graph)
+        stream = mixed_stream(20, 80, seed=2, insert_probability=0.5, initial=graph)
+        alg.apply_sequence(stream)
+        assert same_partition(payload.components(), connected_components(alg.shadow))
+
+    def test_constant_machines_and_communication(self):
+        graph = gnm_random_graph(16, 24, seed=3)
+        payload = HDTConnectivity(16)
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(16, 100), payload)
+        alg.preprocess(graph)
+        stream = mixed_stream(16, 60, seed=4, insert_probability=0.5, initial=graph)
+        alg.apply_sequence(stream)
+        summary = alg.update_summary()
+        assert summary.max_active_machines <= 2      # controller + one memory machine
+        assert summary.max_words_per_round <= 8      # O(1) words per round
+        assert summary.max_rounds >= 1
+
+    def test_rounds_track_payload_operations(self):
+        payload = HDTConnectivity(10)
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(10, 60), payload)
+        alg.preprocess(DynamicGraph(10))
+        before_ops = payload.operations
+        alg.apply(GraphUpdate.insert(0, 1))
+        delta_ops = payload.operations - before_ops
+        assert alg.ledger.updates[-1].num_rounds == max(1, delta_ops)
+
+
+class TestReductionMatchingAndMST:
+    def test_matching_payload(self):
+        payload = NeimanSolomonMatching(max_edges=200)
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(18, 150), payload)
+        alg.preprocess(DynamicGraph(18))
+        stream = mixed_stream(18, 100, seed=5, insert_probability=0.6)
+        alg.apply_sequence(stream)
+        assert is_maximal_matching(alg.shadow, alg.solution())
+
+    def test_mst_payload(self):
+        graph = random_weighted_graph(14, 30, seed=6)
+        payload = SequentialDynamicMST()
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(14, 150), payload, weighted=True)
+        alg.preprocess(graph)
+        stream = mixed_stream(14, 60, seed=7, insert_probability=0.5, initial=graph, weighted=True)
+        alg.apply_sequence(stream)
+        assert abs(payload.forest_weight() - minimum_spanning_forest_weight(alg.shadow)) < 1e-9
+
+    def test_solution_accessor_errors_for_unknown_payload(self):
+        class Opaque:
+            operations = 0
+
+            def insert(self, u, v):
+                self.operations += 1
+
+            def delete(self, u, v):
+                self.operations += 1
+
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(4, 8), Opaque())
+        alg.preprocess(DynamicGraph(2))
+        with pytest.raises(AttributeError):
+            alg.solution()
+        assert alg.solution(extractor=lambda p: "ok") == "ok"
+
+
+class TestDriverPlumbing:
+    def test_apply_before_preprocess_uses_empty_graph(self):
+        payload = HDTConnectivity(4)
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(4, 16), payload)
+        alg.apply(GraphUpdate.insert(0, 1))
+        assert payload.connected(0, 1)
+
+    def test_update_and_preprocessing_summaries_are_separate(self):
+        graph = gnm_random_graph(12, 18, seed=8)
+        payload = HDTConnectivity(12)
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(12, 80), payload)
+        alg.preprocess(graph)
+        alg.apply(GraphUpdate.insert(0, 11) if not graph.has_edge(0, 11) else GraphUpdate.delete(0, 11))
+        assert alg.preprocessing_summary().num_updates == 1
+        assert alg.update_summary().num_updates == 1
+        assert alg.operations_total() > 0
+
+    def test_update_labels_identify_operations(self):
+        payload = HDTConnectivity(4)
+        alg = SequentialSimulationDMPC(DMPCConfig.for_graph(4, 16), payload)
+        alg.preprocess(DynamicGraph(4))
+        alg.apply(GraphUpdate.insert(1, 2))
+        labels = [u.label for u in alg.ledger.updates]
+        assert any(label.endswith("insert:1-2") for label in labels)

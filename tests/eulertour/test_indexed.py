@@ -1,0 +1,101 @@
+"""The index-arithmetic Euler-tour forest must agree with the explicit one."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.eulertour import EulerTourForest, IndexedEulerTourForest
+
+
+def assert_equivalent(indexed: IndexedEulerTourForest, reference: EulerTourForest, vertices: range) -> None:
+    for v in vertices:
+        assert indexed.component_vertices(v) == reference.component_vertices(v)
+        assert indexed.first_appearance(v) == reference.first_appearance(v)
+        assert indexed.last_appearance(v) == reference.last_appearance(v)
+        assert sorted(indexed.indexes(v)) == sorted(reference.indexes(v))
+    indexed.check_invariants()
+
+
+class TestFigure1Indexed:
+    def test_insert_e_g_matches_paper(self):
+        indexed = IndexedEulerTourForest(range(7))
+        for (u, v) in [(1, 4), (1, 2), (2, 3), (0, 5), (5, 6)]:
+            indexed.link(u, v)
+        indexed.link(6, 4)
+        assert indexed.tour(0) == [0, 5, 5, 6, 6, 4, 4, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 6, 6, 5, 5, 0]
+
+    def test_cut_a_b_matches_paper(self):
+        indexed = IndexedEulerTourForest(range(7))
+        for (u, v) in [(0, 5), (5, 6), (0, 1), (1, 4), (1, 2), (2, 3)]:
+            indexed.link(u, v)
+        indexed.cut(0, 1)
+        assert indexed.tour(1) == [1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1]
+        assert indexed.tour(0) == [0, 5, 5, 6, 6, 5, 5, 0]
+        assert not indexed.connected(0, 1)
+
+
+class TestAgainstReference:
+    def test_random_operations_agree_with_reference(self):
+        rng = random.Random(11)
+        n = 24
+        indexed = IndexedEulerTourForest(range(n))
+        reference = EulerTourForest(range(n))
+        edges: list[tuple[int, int]] = []
+        for _ in range(500):
+            op = rng.random()
+            if edges and op < 0.35:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                indexed.cut(u, v)
+                reference.cut(u, v)
+            elif op < 0.45 and edges:
+                r = rng.randrange(n)
+                indexed.reroot(r)
+                reference.reroot(r)
+            else:
+                u, v = rng.randrange(n), rng.randrange(n)
+                if u != v and not indexed.connected(u, v):
+                    indexed.link(u, v)
+                    reference.link(u, v)
+                    edges.append((u, v))
+            assert {frozenset(c) for c in indexed.components()} == {
+                frozenset(c) for c in reference.components()
+            }
+        assert_equivalent(indexed, reference, range(n))
+
+    def test_ancestor_queries_agree(self):
+        rng = random.Random(3)
+        n = 16
+        indexed = IndexedEulerTourForest(range(n))
+        reference = EulerTourForest(range(n))
+        for v in range(1, n):
+            p = rng.randrange(v)
+            indexed.link(p, v)
+            reference.link(p, v)
+        for u in range(n):
+            for v in range(n):
+                assert indexed.is_ancestor(u, v) == reference.is_ancestor(u, v)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 11), st.integers(0, 11)), min_size=1, max_size=40), st.randoms(use_true_random=False))
+def test_property_random_forests_stay_consistent(pairs, pyrandom):
+    """Property: any sequence of valid links/cuts keeps both structures identical."""
+    indexed = IndexedEulerTourForest(range(12))
+    reference = EulerTourForest(range(12))
+    edges: list[tuple[int, int]] = []
+    for (u, v) in pairs:
+        if u == v:
+            continue
+        if indexed.connected(u, v):
+            if edges and pyrandom.random() < 0.7:
+                a, b = edges.pop(pyrandom.randrange(len(edges)))
+                indexed.cut(a, b)
+                reference.cut(a, b)
+            continue
+        indexed.link(u, v)
+        reference.link(u, v)
+        edges.append((u, v))
+    assert_equivalent(indexed, reference, range(12))

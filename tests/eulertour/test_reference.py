@@ -1,0 +1,175 @@
+"""Unit tests for the explicit-sequence Euler-tour forest."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.eulertour import EulerTourForest
+
+
+def build_figure1_forest() -> EulerTourForest:
+    """The forest of Figure 1(i): tree rooted at b (children c, e; c's child d)
+    and tree rooted at a (child f; f's child g).  Vertices are encoded as
+    a=0, b=1, c=2, d=3, e=4, f=5, g=6.  The link order is chosen so the
+    resulting tours are exactly the ones printed in the figure."""
+    forest = EulerTourForest(range(7))
+    forest.link(1, 4)  # b - e
+    forest.link(1, 2)  # b - c
+    forest.link(2, 3)  # c - d
+    forest.link(0, 5)  # a - f
+    forest.link(5, 6)  # f - g
+    return forest
+
+
+class TestBasics:
+    def test_singleton_has_empty_tour(self):
+        forest = EulerTourForest([7])
+        assert forest.tour(7) == []
+        assert forest.tour_length(7) == 0
+        assert forest.first_appearance(7) == 0
+        assert forest.root(7) == 7
+
+    def test_add_vertex_is_idempotent(self):
+        forest = EulerTourForest()
+        forest.add_vertex(3)
+        comp = forest.component_of(3)
+        forest.add_vertex(3)
+        assert forest.component_of(3) == comp
+
+    def test_link_creates_tour_of_length_4(self):
+        forest = EulerTourForest([0, 1])
+        forest.link(0, 1)
+        assert forest.tour(0) == [0, 1, 1, 0]
+        assert forest.tour_length(0) == 4
+
+    def test_link_same_component_raises(self):
+        forest = EulerTourForest([0, 1, 2])
+        forest.link(0, 1)
+        forest.link(1, 2)
+        with pytest.raises(ValueError):
+            forest.link(0, 2)
+
+    def test_cut_non_tree_edge_raises(self):
+        forest = EulerTourForest([0, 1, 2])
+        forest.link(0, 1)
+        with pytest.raises(ValueError):
+            forest.cut(1, 2)
+
+    def test_connected_and_components(self):
+        forest = build_figure1_forest()
+        assert forest.connected(1, 3)
+        assert not forest.connected(1, 0)
+        comps = {frozenset(c) for c in forest.components()}
+        assert comps == {frozenset({1, 2, 3, 4}), frozenset({0, 5, 6})}
+
+    def test_tree_edges_tracked(self):
+        forest = build_figure1_forest()
+        assert forest.has_tree_edge(1, 2)
+        assert forest.has_tree_edge(2, 1)
+        assert not forest.has_tree_edge(0, 1)
+
+
+class TestFigure1:
+    """Figure 1 of the paper, step by step (vertices a..g -> 0..6)."""
+
+    def test_panel_i_tours(self):
+        forest = build_figure1_forest()
+        # Euler tour 1: [b,c,c,d,d,c,c,b,b,e,e,b]
+        assert forest.tour(1) == [1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1]
+        # Euler tour 2: [a,f,f,g,g,f,f,a]
+        assert forest.tour(0) == [0, 5, 5, 6, 6, 5, 5, 0]
+        # Bracket values from the figure.
+        assert (forest.first_appearance(1), forest.last_appearance(1)) == (1, 12)
+        assert (forest.first_appearance(2), forest.last_appearance(2)) == (2, 7)
+        assert (forest.first_appearance(3), forest.last_appearance(3)) == (4, 5)
+        assert (forest.first_appearance(4), forest.last_appearance(4)) == (10, 11)
+
+    def test_panel_ii_reroot_at_e(self):
+        forest = build_figure1_forest()
+        forest.reroot(4)
+        # Euler tour 1 after rerooting at e: [e,b,b,c,c,d,d,c,c,b,b,e]
+        assert forest.tour(4) == [4, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4]
+        assert (forest.first_appearance(4), forest.last_appearance(4)) == (1, 12)
+        assert (forest.first_appearance(1), forest.last_appearance(1)) == (2, 11)
+        assert (forest.first_appearance(2), forest.last_appearance(2)) == (4, 9)
+        assert (forest.first_appearance(3), forest.last_appearance(3)) == (6, 7)
+
+    def test_panel_iii_insert_edge_e_g(self):
+        forest = build_figure1_forest()
+        # insert (e, g): g is in the tree of a, e becomes the root of its tree first.
+        forest.link(6, 4)  # x = g, y = e
+        expected = [0, 5, 5, 6, 6, 4, 4, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 6, 6, 5, 5, 0]
+        assert forest.tour(0) == expected
+        assert forest.tour_length(0) == 24
+        # Bracket values from Figure 1(iii).
+        assert (forest.first_appearance(0), forest.last_appearance(0)) == (1, 24)
+        assert (forest.first_appearance(5), forest.last_appearance(5)) == (2, 23)
+        assert (forest.first_appearance(6), forest.last_appearance(6)) == (4, 21)
+        assert (forest.first_appearance(4), forest.last_appearance(4)) == (6, 19)
+        assert (forest.first_appearance(1), forest.last_appearance(1)) == (8, 17)
+        assert (forest.first_appearance(2), forest.last_appearance(2)) == (10, 15)
+        assert (forest.first_appearance(3), forest.last_appearance(3)) == (12, 13)
+
+
+class TestFigure2:
+    """Figure 2 of the paper: deleting tree edge (a, b) splits the tour."""
+
+    def build(self) -> EulerTourForest:
+        # Single tree rooted at a: a-(b, f); b-(c, e); c-d; f-g.  The link
+        # order reproduces the exact tour printed in the figure.
+        forest = EulerTourForest(range(7))
+        forest.link(0, 5)  # a - f
+        forest.link(5, 6)  # f - g
+        forest.link(0, 1)  # a - b
+        forest.link(1, 4)  # b - e
+        forest.link(1, 2)  # b - c
+        forest.link(2, 3)  # c - d
+        return forest
+
+    def test_initial_tour(self):
+        forest = self.build()
+        expected = [0, 1, 1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1, 1, 0, 0, 5, 5, 6, 6, 5, 5, 0]
+        assert forest.tour(0) == expected
+        assert (forest.first_appearance(1), forest.last_appearance(1)) == (2, 15)
+
+    def test_delete_edge_a_b(self):
+        forest = self.build()
+        forest.cut(0, 1)
+        # Euler tour 1: [b,c,c,d,d,c,c,b,b,e,e,b]; Euler tour 2: [a,f,f,g,g,f,f,a]
+        assert forest.tour(1) == [1, 2, 2, 3, 3, 2, 2, 1, 1, 4, 4, 1]
+        assert forest.tour(0) == [0, 5, 5, 6, 6, 5, 5, 0]
+        assert not forest.connected(0, 1)
+        forest.check_invariants()
+
+
+class TestRandomized:
+    def test_random_link_cut_sequence_preserves_invariants(self):
+        rng = random.Random(5)
+        forest = EulerTourForest(range(30))
+        edges: list[tuple[int, int]] = []
+        for _ in range(400):
+            if edges and rng.random() < 0.4:
+                u, v = edges.pop(rng.randrange(len(edges)))
+                forest.cut(u, v)
+            else:
+                u, v = rng.randrange(30), rng.randrange(30)
+                if u != v and not forest.connected(u, v):
+                    forest.link(u, v)
+                    edges.append((u, v))
+            forest.check_invariants()
+
+    def test_reroot_preserves_component_and_length(self):
+        rng = random.Random(9)
+        forest = EulerTourForest(range(12))
+        for v in range(1, 12):
+            forest.link(rng.randrange(v), v)
+        before = forest.component_vertices(0)
+        length = forest.tour_length(0)
+        for r in range(12):
+            forest.reroot(r)
+            assert forest.root(r) == r
+            assert forest.component_vertices(0) == before
+            assert forest.tour_length(0) == length
+            forest.check_invariants()

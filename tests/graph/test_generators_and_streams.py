@@ -1,0 +1,113 @@
+"""Unit tests for graph generators and update-stream generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import (
+    complete_graph,
+    erdos_renyi_graph,
+    gnm_random_graph,
+    grid_graph,
+    insert_only_stream,
+    insert_then_delete_stream,
+    matched_edge_adversary_stream,
+    mixed_stream,
+    path_graph,
+    preferential_attachment_graph,
+    random_connected_graph,
+    random_forest,
+    random_weighted_graph,
+    sliding_window_stream,
+    star_graph,
+)
+from repro.graph.validation import connected_components
+
+
+class TestGenerators:
+    def test_gnm_exact_edge_count_and_determinism(self):
+        g1 = gnm_random_graph(20, 35, seed=7)
+        g2 = gnm_random_graph(20, 35, seed=7)
+        assert g1.num_edges == 35
+        assert g1.edge_list() == g2.edge_list()
+
+    def test_gnm_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            gnm_random_graph(4, 10)
+
+    def test_erdos_renyi_probability_bounds(self):
+        assert erdos_renyi_graph(10, 0.0).num_edges == 0
+        assert erdos_renyi_graph(6, 1.0).num_edges == 15
+        with pytest.raises(ValueError):
+            erdos_renyi_graph(5, 1.5)
+
+    def test_random_forest_is_acyclic_with_right_tree_count(self):
+        g = random_forest(30, num_trees=3, seed=4)
+        comps = connected_components(g)
+        assert len(comps) == 3
+        assert g.num_edges == 30 - 3
+
+    def test_random_connected_graph(self):
+        g = random_connected_graph(25, extra_edges=10, seed=5)
+        assert len(connected_components(g)) == 1
+        assert g.num_edges == 24 + 10
+
+    def test_preferential_attachment_degrees_skewed(self):
+        g = preferential_attachment_graph(60, attach=2, seed=6)
+        degrees = sorted((g.degree(v) for v in g.vertices), reverse=True)
+        assert degrees[0] >= 2 * degrees[len(degrees) // 2]
+
+    def test_structured_graphs(self):
+        assert path_graph(5).num_edges == 4
+        assert star_graph(6).degree(0) == 5
+        assert complete_graph(5).num_edges == 10
+        grid = grid_graph(3, 4)
+        assert grid.num_vertices == 12
+        assert grid.num_edges == 3 * 3 + 2 * 4
+
+    def test_random_weighted_graph_weights_in_range(self):
+        g = random_weighted_graph(15, 30, seed=8, weight_range=(2.0, 5.0))
+        for (_u, _v, w) in g.weighted_edges():
+            assert 2.0 <= w <= 5.0
+
+
+class TestStreams:
+    def test_insert_only_stream_consistent(self):
+        seq = insert_only_stream(20, 50, seed=1)
+        assert seq.num_deletes == 0
+        assert seq.is_consistent()
+
+    def test_insert_then_delete_returns_to_empty(self):
+        seq = insert_then_delete_stream(15, 30, seed=2)
+        assert seq.is_consistent()
+        assert seq.final_graph().num_edges == 0
+
+    def test_mixed_stream_respects_ratio_roughly(self):
+        seq = mixed_stream(25, 300, seed=3, insert_probability=0.7)
+        assert seq.is_consistent()
+        assert seq.num_inserts > seq.num_deletes
+
+    def test_mixed_stream_from_initial_graph(self):
+        initial = gnm_random_graph(10, 20, seed=4)
+        seq = mixed_stream(10, 60, seed=5, insert_probability=0.3, initial=initial)
+        assert seq.is_consistent(initial)
+
+    def test_sliding_window_bounds_live_edges(self):
+        window = 12
+        seq = sliding_window_stream(30, 200, window, seed=6)
+        assert seq.is_consistent()
+        graph = seq.final_graph()
+        assert graph.num_edges <= window
+
+    def test_adaptive_adversary_targets_matched_edges(self):
+        matched: set[tuple[int, int]] = set()
+        stream = matched_edge_adversary_stream(12, 100, lambda: matched, seed=7, delete_probability=0.6)
+        deletions_of_matched = 0
+        for update in stream:
+            if update.is_delete and update.edge in matched:
+                deletions_of_matched += 1
+                matched.discard(update.edge)
+            elif update.is_insert and len(matched) < 4:
+                matched.add(update.edge)
+        assert stream.history.is_consistent()
+        assert deletions_of_matched > 0

@@ -1,0 +1,115 @@
+"""Unit tests for the dynamic graph container and update sequences."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph import DynamicGraph, GraphUpdate, UpdateSequence
+from repro.graph.generators import gnm_random_graph
+
+
+class TestDynamicGraph:
+    def test_insert_and_delete_edges(self):
+        g = DynamicGraph()
+        assert g.insert_edge(1, 2)
+        assert not g.insert_edge(2, 1)  # duplicate
+        assert g.has_edge(2, 1)
+        assert g.num_edges == 1
+        assert g.degree(1) == 1
+        assert g.delete_edge(1, 2)
+        assert not g.delete_edge(1, 2)
+        assert g.num_edges == 0
+
+    def test_self_loops_rejected(self):
+        g = DynamicGraph()
+        with pytest.raises(ValueError):
+            g.insert_edge(3, 3)
+
+    def test_weights(self):
+        g = DynamicGraph()
+        g.insert_edge(0, 1, 2.5)
+        assert g.weight(1, 0) == 2.5
+        with pytest.raises(KeyError):
+            g.weight(0, 2)
+        assert g.weight(0, 2, default=9.0) == 9.0
+
+    def test_vertices_created_implicitly(self):
+        g = DynamicGraph(3)
+        g.insert_edge(5, 6)
+        assert g.num_vertices == 5
+        assert g.vertices == [0, 1, 2, 5, 6]
+
+    def test_copy_is_independent(self):
+        g = DynamicGraph()
+        g.insert_edge(0, 1)
+        h = g.copy()
+        h.delete_edge(0, 1)
+        assert g.has_edge(0, 1)
+
+    def test_subgraph(self):
+        g = gnm_random_graph(10, 20, seed=1)
+        sub = g.subgraph(range(5))
+        for (u, v) in sub.edges():
+            assert u < 5 and v < 5
+            assert g.has_edge(u, v)
+
+    def test_input_size(self):
+        g = gnm_random_graph(8, 12, seed=2)
+        assert g.input_size == 8 + 12
+
+
+class TestGraphUpdate:
+    def test_constructors_and_properties(self):
+        ins = GraphUpdate.insert(3, 1, 2.0)
+        assert ins.is_insert and not ins.is_delete
+        assert ins.edge == (1, 3)
+        dele = GraphUpdate.delete(4, 2)
+        assert dele.is_delete
+        assert dele.dmpc_words() == 4
+
+    def test_invalid_updates_rejected(self):
+        with pytest.raises(ValueError):
+            GraphUpdate("swap", 1, 2)
+        with pytest.raises(ValueError):
+            GraphUpdate.insert(1, 1)
+
+
+class TestUpdateSequence:
+    def test_counts_and_replay(self):
+        seq = UpdateSequence([GraphUpdate.insert(0, 1), GraphUpdate.insert(1, 2), GraphUpdate.delete(0, 1)])
+        assert len(seq) == 3
+        assert seq.num_inserts == 2
+        assert seq.num_deletes == 1
+        final = seq.final_graph()
+        assert final.has_edge(1, 2) and not final.has_edge(0, 1)
+        assert seq.max_vertex() == 2
+        assert seq.max_concurrent_edges() == 2
+
+    def test_consistency_check(self):
+        good = UpdateSequence([GraphUpdate.insert(0, 1), GraphUpdate.delete(0, 1)])
+        assert good.is_consistent()
+        bad = UpdateSequence([GraphUpdate.delete(0, 1)])
+        assert not bad.is_consistent()
+        dup = UpdateSequence([GraphUpdate.insert(0, 1), GraphUpdate.insert(0, 1)])
+        assert not dup.is_consistent()
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), max_size=40))
+    def test_property_replay_matches_manual_bookkeeping(self, pairs):
+        """Property: replaying a generated consistent sequence tracks a plain set."""
+        present: set[tuple[int, int]] = set()
+        seq = UpdateSequence()
+        for (u, v) in pairs:
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in present:
+                seq.append(GraphUpdate.delete(*edge))
+                present.discard(edge)
+            else:
+                seq.append(GraphUpdate.insert(*edge))
+                present.add(edge)
+        assert seq.is_consistent()
+        final = seq.final_graph()
+        assert set(final.edges()) == present

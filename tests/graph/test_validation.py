@@ -1,0 +1,138 @@
+"""Unit tests for the solution validators (including the blossom oracle)."""
+
+from __future__ import annotations
+
+import pytest
+
+try:
+    import networkx as nx
+except ImportError:  # pragma: no cover
+    nx = None
+
+from repro.graph import DynamicGraph
+from repro.graph.generators import complete_graph, gnm_random_graph, path_graph, random_weighted_graph
+from repro.graph.validation import (
+    connected_components,
+    forest_weight,
+    greedy_maximal_matching,
+    has_length3_augmenting_path,
+    is_matching,
+    is_maximal_matching,
+    is_spanning_forest,
+    matching_size,
+    maximum_matching_size,
+    minimum_spanning_forest_weight,
+    same_partition,
+)
+
+
+class TestMatchingValidators:
+    def test_is_matching_rejects_shared_vertices_and_missing_edges(self):
+        g = path_graph(4)
+        assert is_matching(g, {(0, 1), (2, 3)})
+        assert not is_matching(g, {(0, 1), (1, 2)})
+        assert not is_matching(g, {(0, 3)})
+
+    def test_maximality(self):
+        g = path_graph(5)
+        assert is_maximal_matching(g, {(1, 2), (3, 4)})
+        assert not is_maximal_matching(g, {(1, 2)})  # edge (3,4) uncovered
+
+    def test_greedy_is_maximal(self):
+        g = gnm_random_graph(30, 80, seed=1)
+        matching = greedy_maximal_matching(g)
+        assert is_maximal_matching(g, matching)
+
+    def test_length3_augmenting_path_detection(self):
+        # path 0-1-2-3 with the middle edge matched has an augmenting path.
+        g = path_graph(4)
+        assert has_length3_augmenting_path(g, {(1, 2)})
+        assert not has_length3_augmenting_path(g, {(0, 1), (2, 3)})
+
+    def test_maximum_matching_on_known_graphs(self):
+        assert maximum_matching_size(path_graph(6)) == 3
+        assert maximum_matching_size(path_graph(7)) == 3
+        assert maximum_matching_size(complete_graph(6)) == 3
+        # odd cycle C5 has maximum matching 2 (needs blossom handling)
+        c5 = DynamicGraph()
+        for i in range(5):
+            c5.insert_edge(i, (i + 1) % 5)
+        assert maximum_matching_size(c5) == 2
+
+    def test_petersen_like_blossoms(self):
+        # Two triangles joined by a bridge: maximum matching is 3.
+        g = DynamicGraph()
+        for (u, v) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)]:
+            g.insert_edge(u, v)
+        assert maximum_matching_size(g) == 3
+
+    @pytest.mark.skipif(nx is None, reason="networkx not available")
+    def test_maximum_matching_agrees_with_networkx(self):
+        for seed in range(5):
+            g = gnm_random_graph(18, 40, seed=seed)
+            nx_graph = nx.Graph(list(g.edges()))
+            expected = len(nx.max_weight_matching(nx_graph, maxcardinality=True))
+            assert maximum_matching_size(g) == expected
+
+    def test_matching_size_normalises_orientation(self):
+        assert matching_size({(2, 1), (1, 2), (3, 4)}) == 2
+
+
+class TestConnectivityValidators:
+    def test_connected_components_bfs(self):
+        g = DynamicGraph(6)
+        g.insert_edge(0, 1)
+        g.insert_edge(2, 3)
+        comps = connected_components(g)
+        assert same_partition(comps, [{0, 1}, {2, 3}, {4}, {5}])
+
+    def test_same_partition_detects_differences(self):
+        assert not same_partition([{0, 1}], [{0}, {1}])
+
+
+class TestForestValidators:
+    def test_is_spanning_forest(self):
+        g = gnm_random_graph(20, 40, seed=3)
+        forest = set()
+        seen = set()
+        for comp in connected_components(g):
+            # build a BFS tree per component
+            import collections
+
+            root = min(comp)
+            seen.add(root)
+            queue = collections.deque([root])
+            while queue:
+                v = queue.popleft()
+                for w in g.neighbors(v):
+                    if w not in seen:
+                        seen.add(w)
+                        forest.add((min(v, w), max(v, w)))
+                        queue.append(w)
+        assert is_spanning_forest(g, forest)
+        # dropping one edge breaks the spanning property (unless empty)
+        if forest:
+            assert not is_spanning_forest(g, set(list(forest)[1:]))
+
+    def test_cycle_rejected(self):
+        g = complete_graph(3)
+        assert not is_spanning_forest(g, {(0, 1), (1, 2), (0, 2)})
+
+    def test_minimum_spanning_forest_weight_matches_kruskal_by_hand(self):
+        g = DynamicGraph()
+        g.insert_edge(0, 1, 1.0)
+        g.insert_edge(1, 2, 2.0)
+        g.insert_edge(0, 2, 5.0)
+        g.insert_edge(3, 4, 7.0)
+        assert minimum_spanning_forest_weight(g) == 10.0
+        assert forest_weight(g, {(0, 1), (1, 2), (3, 4)}) == 10.0
+
+    @pytest.mark.skipif(nx is None, reason="networkx not available")
+    def test_msf_weight_agrees_with_networkx(self):
+        for seed in range(3):
+            g = random_weighted_graph(20, 45, seed=seed)
+            nx_graph = nx.Graph()
+            for (u, v, w) in g.weighted_edges():
+                nx_graph.add_edge(u, v, weight=w)
+            expected = sum(d["weight"] for (_u, _v, d) in nx.minimum_spanning_edges(nx_graph, data=True))
+            assert abs(minimum_spanning_forest_weight(g) - expected) < 1e-9

@@ -1,0 +1,114 @@
+"""Unit tests for word sizing, messages and machines."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import MachineMemoryExceeded
+from repro.mpc import Machine, Message, word_size
+
+
+class TestWordSize:
+    def test_scalars_cost_one_word(self):
+        assert word_size(None) == 1
+        assert word_size(True) == 1
+        assert word_size(42) == 1
+        assert word_size(3.14) == 1
+
+    def test_strings_cost_by_length(self):
+        assert word_size("ab") == 1
+        assert word_size("x" * 17) == 3
+
+    def test_containers_cost_framing_plus_contents(self):
+        assert word_size([1, 2, 3]) == 4
+        assert word_size((1, 2)) == 3
+        assert word_size({1: 2}) == 3
+        assert word_size({}) == 1
+
+    def test_nested_structures(self):
+        payload = {"edge": (3, 7), "weight": 1.5}
+        # dict framing 1 + key 1 + tuple 3 + key 1 + float 1 = 7
+        assert word_size(payload) == 7
+
+    def test_objects_with_dmpc_words_hook(self):
+        class Thing:
+            def dmpc_words(self) -> int:
+                return 5
+
+        assert word_size(Thing()) == 5
+
+    def test_invalid_dmpc_words_rejected(self):
+        class Bad:
+            def dmpc_words(self) -> int:
+                return 0
+
+        with pytest.raises(ValueError):
+            word_size(Bad())
+
+
+class TestMessage:
+    def test_size_computed_from_payload(self):
+        msg = Message(sender="a", receiver="b", tag="t", payload=[1, 2, 3])
+        assert msg.words == word_size("t") + 4
+
+    def test_explicit_size_respected(self):
+        msg = Message(sender="a", receiver="b", tag="t", payload=None, words=17)
+        assert msg.words == 17
+
+    def test_zero_word_message_rejected(self):
+        with pytest.raises(ValueError):
+            Message(sender="a", receiver="b", tag="t", payload=None, words=0)
+
+
+class TestMachine:
+    def test_store_load_delete(self):
+        machine = Machine("m0", capacity=100)
+        machine.store("key", [1, 2, 3])
+        assert machine.load("key") == [1, 2, 3]
+        assert "key" in machine
+        machine.delete("key")
+        assert machine.load("key") is None
+        assert machine.used_words == 0
+
+    def test_memory_enforcement(self):
+        machine = Machine("m0", capacity=10, strict=True)
+        machine.store("a", [1, 2, 3])
+        with pytest.raises(MachineMemoryExceeded):
+            machine.store("b", list(range(20)))
+
+    def test_memory_not_enforced_when_lenient(self):
+        machine = Machine("m0", capacity=10, strict=False)
+        machine.store("b", list(range(50)))
+        assert machine.used_words > 10
+
+    def test_overwrite_updates_accounting(self):
+        machine = Machine("m0", capacity=100)
+        machine.store("k", [1, 2, 3, 4])
+        first = machine.used_words
+        machine.store("k", [1])
+        assert machine.used_words < first
+
+    def test_send_and_drain(self):
+        machine = Machine("m0", capacity=100)
+        machine.send("m1", "greeting", "hello")
+        assert len(machine.outbox) == 1
+        machine.inbox.append(Message("m1", "m0", "reply", "ok"))
+        assert [m.payload for m in machine.receive("reply")] == ["ok"]
+        drained = machine.drain("reply")
+        assert len(drained) == 1
+        assert machine.inbox == []
+
+    def test_drain_filters_by_tag(self):
+        machine = Machine("m0", capacity=100)
+        machine.inbox.append(Message("a", "m0", "x", 1))
+        machine.inbox.append(Message("a", "m0", "y", 2))
+        assert [m.payload for m in machine.drain("x")] == [1]
+        assert [m.payload for m in machine.inbox] == [2]
+
+    def test_clear(self):
+        machine = Machine("m0", capacity=100)
+        machine.store("k", 1)
+        machine.send("m1", "t", None)
+        machine.clear()
+        assert machine.used_words == 0
+        assert machine.outbox == []
