@@ -1,0 +1,174 @@
+"""Batched vs per-update application: rounds and words across the DMPC stack.
+
+Measures the tentpole claim of the batched update engine: on a mixed stream,
+``apply_batch`` (batch size >= 8) spends measurably fewer total rounds than
+per-update ``apply`` — compatible connectivity updates share one scalar
+broadcast, and the matching algorithms amortise their round-robin
+maintenance — while reaching an identical solution on every stream,
+including the adversarial ones.
+
+Runs two ways:
+
+* under pytest-benchmark with the rest of the Table 1 suite
+  (``PYTHONPATH=src python -m pytest benchmarks/bench_batched_updates.py``);
+* as a plain script, for CI smoke runs and quick local comparisons
+  (``python benchmarks/bench_batched_updates.py [--quick]``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+if __package__ is None and not os.environ.get("PYTHONPATH"):  # script mode
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import DMPCConnectivity, DMPCMaximalMatching
+from repro.graph import batched
+from repro.graph.generators import gnm_random_graph
+from repro.graph.streams import mixed_stream, tree_edge_adversary_stream
+
+
+def record_adversarial_stream(n: int, m: int, num_updates: int, seed: int):
+    """Record a tree-edge adversary stream (adaptive, so recorded once)."""
+    graph = gnm_random_graph(n, m, seed=seed)
+    recorder = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m))
+    recorder.preprocess(graph)
+    adaptive = tree_edge_adversary_stream(
+        n, num_updates, recorder.spanning_forest, seed=seed + 1, delete_probability=0.6
+    )
+    adaptive.seed_graph(graph)
+    for update in adaptive:
+        recorder.apply(update)
+    return graph, list(adaptive.history)
+
+
+def compare(algorithm_factory, graph, stream, batch_size: int, *, solution) -> dict:
+    """Run the same stream per-update and batched; return the cost comparison."""
+    sequential = algorithm_factory()
+    if graph is not None:
+        sequential.preprocess(graph)
+    for update in stream:
+        sequential.apply(update)
+
+    batch = algorithm_factory()
+    if graph is not None:
+        batch.preprocess(graph)
+    for chunk in batched(stream, batch_size):
+        batch.apply_batch(chunk)
+
+    if solution(sequential) != solution(batch):
+        raise AssertionError("batched application diverged from sequential application")
+    return {
+        "updates": len(stream),
+        "batch_size": batch_size,
+        "sequential_rounds": sequential.update_round_total(),
+        "batched_rounds": batch.update_round_total(),
+        "sequential_words": sequential.update_summary().total_words,
+        "batched_words": batch.update_summary().total_words,
+        "batches": len(batch.ledger.batches()),
+    }
+
+
+def connectivity_solution(alg):
+    return (sorted(sorted(c) for c in alg.components()), sorted(alg.spanning_forest()))
+
+
+def matching_solution(alg):
+    return sorted(alg.matching())
+
+
+def run_comparisons(*, n: int, num_updates: int, batch_size: int, seed: int = 2019) -> dict[str, dict]:
+    m = 2 * n
+    graph = gnm_random_graph(n, m, seed=seed)
+    stream = mixed_stream(n, num_updates, seed=seed + 1, insert_probability=0.5, initial=graph)
+    results = {
+        "connectivity/mixed": compare(
+            lambda: DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m)),
+            graph,
+            stream,
+            batch_size,
+            solution=connectivity_solution,
+        ),
+        "maximal-matching/mixed": compare(
+            lambda: DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m)),
+            graph,
+            stream,
+            batch_size,
+            solution=matching_solution,
+        ),
+    }
+    adv_graph, adv_stream = record_adversarial_stream(n, m // 2, num_updates, seed + 2)
+    results["connectivity/tree-adversary"] = compare(
+        lambda: DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m)),
+        adv_graph,
+        adv_stream,
+        batch_size,
+        solution=connectivity_solution,
+    )
+    return results
+
+
+def format_results(results: dict[str, dict]) -> str:
+    header = f"{'workload':<28} {'updates':>7} {'batch':>5} {'rounds seq':>10} {'rounds bat':>10} {'saved':>6} {'words seq':>10} {'words bat':>10}"
+    lines = [header, "-" * len(header)]
+    for name, r in results.items():
+        saved = 1.0 - r["batched_rounds"] / max(1, r["sequential_rounds"])
+        lines.append(
+            f"{name:<28} {r['updates']:>7} {r['batch_size']:>5} {r['sequential_rounds']:>10} "
+            f"{r['batched_rounds']:>10} {saved:>5.0%} {r['sequential_words']:>10} {r['batched_words']:>10}"
+        )
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------------- pytest
+def test_batched_updates_round_savings(benchmark):
+    results = run_comparisons(n=64, num_updates=80, batch_size=8)
+    benchmark.extra_info["comparisons"] = results
+    print()
+    print(format_results(results))
+
+    n, m = 64, 128
+    graph = gnm_random_graph(n, m, seed=2019)
+    stream = mixed_stream(n, 80, seed=2020, insert_probability=0.5, initial=graph)
+    chunks = [list(c) for c in batched(stream, 8)]
+
+    def setup():
+        global _alg
+        _alg = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m))
+        _alg.preprocess(graph)
+
+    def process():
+        for chunk in chunks:
+            _alg.apply_batch(chunk)
+
+    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    for result in results.values():
+        assert result["batched_rounds"] < result["sequential_rounds"]
+
+
+# ------------------------------------------------------------------------ CLI
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true", help="small smoke-test sizes (used by CI)")
+    parser.add_argument("--n", type=int, default=96, help="number of vertices")
+    parser.add_argument("--updates", type=int, default=200, help="stream length")
+    parser.add_argument("--batch-size", type=int, default=16, help="updates per batch (>= 8 for the Table 1 claim)")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n, args.updates, args.batch_size = 32, 60, 8
+
+    results = run_comparisons(n=args.n, num_updates=args.updates, batch_size=args.batch_size)
+    print(format_results(results))
+    for name, result in results.items():
+        if result["batched_rounds"] >= result["sequential_rounds"]:
+            print(f"FAIL: {name} did not save rounds")
+            return 1
+    print("\nOK: batched application saved rounds on every workload (identical solutions).")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

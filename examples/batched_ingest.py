@@ -1,0 +1,67 @@
+#!/usr/bin/env python3
+"""Batched ingest: apply pending updates in batches instead of one at a time.
+
+A production deployment rarely sees one update at a time — changes queue up
+while the previous ones are processed.  This example chunks a mixed update
+stream with :func:`repro.graph.batched` and feeds it to
+``DMPCConnectivity.apply_batch`` and ``DMPCMaximalMatching.apply_batch``,
+then compares the total synchronous rounds against per-update application.
+Compatible connectivity updates (touching disjoint Euler tours, or only
+non-tree edge records) share a single scalar broadcast, and the matching
+coordinator merges its round-robin maintenance, so the batched run finishes
+in measurably fewer rounds while maintaining the exact same solution.
+
+Run with:  python examples/batched_ingest.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+if not os.environ.get("PYTHONPATH"):
+    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import DMPCConnectivity, DMPCMaximalMatching
+from repro.graph import batched
+from repro.graph.generators import gnm_random_graph
+from repro.graph.streams import mixed_stream
+
+
+def main() -> None:
+    n, m, updates, batch_size = 96, 192, 240, 16
+    graph = gnm_random_graph(n, m, seed=2019)
+    stream = mixed_stream(n, updates, seed=2020, insert_probability=0.5, initial=graph)
+    print(f"Workload: G(n={n}, m={m}) plus {updates} updates, ingested {batch_size} at a time\n")
+
+    for name, factory, solution in (
+        ("connectivity", lambda: DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m)),
+         lambda alg: sorted(sorted(c) for c in alg.components())),
+        ("maximal matching", lambda: DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m)),
+         lambda alg: sorted(alg.matching())),
+    ):
+        sequential = factory()
+        sequential.preprocess(graph)
+        for update in stream:
+            sequential.apply(update)
+
+        batch = factory()
+        batch.preprocess(graph)
+        for chunk in batched(stream, batch_size):
+            batch.apply_batch(chunk)
+
+        assert solution(sequential) == solution(batch), "batched result diverged"
+        seq_rounds = sequential.update_round_total()
+        bat_rounds = batch.update_round_total()
+        num_batches = len(batch.ledger.batches())
+        print(f"{name}:")
+        print(f"  per-update rounds : {seq_rounds}")
+        print(f"  batched rounds    : {bat_rounds}  ({1 - bat_rounds / seq_rounds:.0%} saved)")
+        print(f"  rounds per batch  : mean {bat_rounds / num_batches:.1f} over {num_batches} batches "
+              f"of {batch_size} updates")
+        print(f"  solutions         : identical\n")
+
+
+if __name__ == "__main__":
+    main()

@@ -127,24 +127,19 @@ class DMPCApproxMST(DMPCConnectivity):
         """Broadcast the cut of tree edge ``(x, y)`` without a replacement search."""
         self._remove_edge_record(x, y)
         self._remove_edge_record(y, x)
-        sx = self._vertex_state(x)
-        sy = self._vertex_state(y)
-        assert sx is not None and sy is not None
-        fx, lx = min(sx["indexes"], default=0), max(sx["indexes"], default=0)
-        fy, ly = min(sy["indexes"], default=0), max(sy["indexes"], default=0)
-        if not (fx < fy and lx > ly):
-            x, y = y, x
-            sx, sy = sy, sx
-            fx, lx, fy, ly = fy, ly, fx, lx
-        comp = sx["comp"]
-        new_comp = self._new_component(0)
-        span = ly - fy + 1
-        scalars = {"op": "cut", "x": x, "y": y, "comp": comp, "new_comp": new_comp, "f_y": fy, "l_y": ly}
+        scalars = self._cut_scalars(x, y)
         self._broadcast(scalars)
-        for machine in self.cluster.machines(role="worker"):
-            self._apply_cut_locally(machine, scalars)
-        self._comp_length[new_comp] = span - 2
-        self._comp_length[comp] = self._comp_length[comp] - span - 2
+        self._commit_cut(scalars)
+
+    def _apply_batch(self, updates) -> None:
+        """MST batches fall back to sequential application.
+
+        The connectivity batch path prepares plain link/record packets for
+        insertions, which would bypass the heaviest-path-edge swap that
+        keeps the maintained forest minimum; batched ingestion still
+        amortises the ledger scoping but pays per-update rounds.
+        """
+        self._apply_batch_sequential(updates)
 
     def _max_weight_path_edge(self, x: int, y: int, sx: dict, sy: dict) -> tuple[int, int, float] | None:
         """Find the maximum-weight tree edge on the tree path between x and y (2 rounds).

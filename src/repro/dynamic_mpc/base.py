@@ -25,7 +25,13 @@ class DynamicMPCAlgorithm(abc.ABC):
     * :meth:`apply` — process one :class:`GraphUpdate`; every round spent on
       it is recorded in the ledger under a label
       ``"{kind}:{op}:{u}-{v}"``;
-    * :meth:`apply_sequence` — convenience loop over an update sequence.
+    * :meth:`apply_batch` — process several pending updates as one batch;
+      the ledger scopes the batch so per-batch costs can be reported, and
+      algorithms that can amortise communication across compatible updates
+      override :meth:`_apply_batch` (the default falls back to applying the
+      updates sequentially inside the batch scope);
+    * :meth:`apply_sequence` — convenience loop over an update sequence,
+      optionally chunked into batches.
 
     Subclasses must implement ``_preprocess`` and ``_apply`` and may expose
     solution accessors (``matching()``, ``components()`` ...).
@@ -74,8 +80,52 @@ class DynamicMPCAlgorithm(abc.ABC):
         if self.check_invariants:
             self.verify_invariants()
 
-    def apply_sequence(self, updates: UpdateSequence | list[GraphUpdate]) -> None:
-        """Process an entire update sequence."""
+    def apply_batch(self, updates: UpdateSequence | list[GraphUpdate]) -> None:
+        """Process a batch of pending updates, recording it as one ledger batch.
+
+        The batch is semantically equivalent to applying the updates in
+        order with :meth:`apply`; what changes is the *cost*: algorithms
+        overriding :meth:`_apply_batch` merge the communication of
+        compatible updates so a batch of ``k`` updates can cost far fewer
+        rounds than ``k`` separate applications.
+        """
+        updates = list(updates)
+        if not updates:
+            return
+        if not self._preprocessed:
+            self.preprocess(DynamicGraph())
+        with self.cluster.batch():
+            self._apply_batch(updates)
+        if self.check_invariants:
+            self.verify_invariants()
+
+    def _apply_batch(self, updates: list[GraphUpdate]) -> None:
+        """Batch hook; the default applies the updates sequentially.
+
+        Subclasses override this to merge communication across the batch.
+        Overrides must open ledger update scopes themselves (either one per
+        update, as here, or one per merged group, labelled
+        ``"{kind}:batch:..."`` so :meth:`update_summary` finds them).
+        """
+        self._apply_batch_sequential(updates)
+
+    def _apply_batch_sequential(self, updates: list[GraphUpdate]) -> None:
+        """The sequential fallback, available to subclasses that opt out."""
+        for update in updates:
+            label = f"{self.kind}:{update.op}:{update.u}-{update.v}"
+            with self.cluster.update(label):
+                self._apply(update)
+
+    def apply_sequence(self, updates: UpdateSequence | list[GraphUpdate], *, batch_size: int | None = None) -> None:
+        """Process an entire update sequence (optionally in batches of ``batch_size``)."""
+        if batch_size is not None:
+            if batch_size < 1:
+                raise ValueError("batch_size must be positive")
+            from repro.graph.updates import batched
+
+            for chunk in batched(updates, batch_size):
+                self.apply_batch(chunk)
+            return
         for update in updates:
             self.apply(update)
 
@@ -84,10 +134,16 @@ class DynamicMPCAlgorithm(abc.ABC):
         """Optional self-check hook; subclasses override to assert invariants."""
 
     def update_summary(self) -> UpdateSummary:
-        """Cost summary over all *dynamic updates* (preprocessing excluded)."""
-        prefix_insert = f"{self.kind}:insert"
-        prefix_delete = f"{self.kind}:delete"
-        updates = self.ledger.updates_labelled(prefix_insert) + self.ledger.updates_labelled(prefix_delete)
+        """Cost summary over all *dynamic updates* (preprocessing excluded).
+
+        Batched groups (recorded under ``"{kind}:batch:..."`` labels) count
+        as updates here; use :meth:`batch_summary` for per-batch aggregates.
+        """
+        updates = [
+            record
+            for prefix in (f"{self.kind}:insert", f"{self.kind}:delete", f"{self.kind}:batch")
+            for record in self.ledger.updates_labelled(prefix)
+        ]
         scratch = MetricsLedger()
         for record in updates:
             scratch.begin_update(record.label)
@@ -95,6 +151,13 @@ class DynamicMPCAlgorithm(abc.ABC):
                 scratch._current.rounds.append(round_record)  # noqa: SLF001 - intra-package use
             scratch.end_update()
         return scratch.summary()
+
+    def update_round_total(self) -> int:
+        """Total synchronous rounds spent on dynamic updates (preprocessing excluded)."""
+        return sum(
+            self.ledger.total_rounds(prefix)
+            for prefix in (f"{self.kind}:insert", f"{self.kind}:delete", f"{self.kind}:batch")
+        )
 
     def preprocessing_summary(self) -> UpdateSummary:
         """Cost summary of the preprocessing phase alone."""

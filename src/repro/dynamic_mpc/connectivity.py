@@ -191,6 +191,136 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         else:
             self._delete(update.u, update.v)
 
+    # --------------------------------------------------------- batched updates
+    def _classify_update(self, update: GraphUpdate) -> tuple[bool, set]:
+        """Whether an update is *structural*, plus its component conflict keys.
+
+        A **structural** update rewrites Euler-tour indexes: a link
+        (cross-component insert, including inserts that first materialise an
+        unseen endpoint as a singleton) or a tree-edge cut.  A **flat**
+        update only touches the edge records of its two endpoints (non-tree
+        insert / non-tree delete) and leaves every tour untouched.
+
+        Keys are the touched component ids; endpoints the algorithm has
+        never seen key by vertex id instead.
+        """
+        keys = set()
+        states = []
+        for v in (update.u, update.v):
+            state = self._vertex_state(v)
+            states.append(state)
+            keys.add(("comp", state["comp"]) if state is not None else ("vertex", v))
+        if update.is_insert:
+            sx, sy = states
+            structural = sx is None or sy is None or sx["comp"] != sy["comp"]
+        else:
+            record = self._edges_of(update.u).get(update.v, {})
+            structural = bool(record.get("tree"))
+        return structural, keys
+
+    def _apply_batch(self, updates: list[GraphUpdate]) -> None:
+        """Apply a batch in waves of compatible groups.
+
+        A group admits any mix of updates whose effects commute: flat
+        updates (non-tree inserts/deletes) coexist freely — they only edit
+        per-vertex edge records, and the group applies them in stream order
+        — while a structural update (link / tree cut) claims its components
+        exclusively, conflicting with *any* other update that touches them.
+        A group's Section 5 index-shift scalars are composed into one merged
+        packet list and shipped with a single broadcast round, so ``k``
+        compatible updates cost ``O(1)`` rounds instead of ``O(k)``.  A
+        conflicting update closes the group (order between groups is
+        preserved, so the result equals sequential application).
+        """
+        position = 0
+        group_index = 0
+        while position < len(updates):
+            group: list[GraphUpdate] = []
+            structural_keys: set = set()
+            flat_keys: set = set()
+            while position < len(updates):
+                structural, keys = self._classify_update(updates[position])
+                conflict = keys & (structural_keys | flat_keys) if structural else keys & structural_keys
+                if conflict and group:
+                    break
+                (structural_keys if structural else flat_keys).update(keys)
+                group.append(updates[position])
+                position += 1
+            if len(group) == 1:
+                update = group[0]
+                with self.cluster.update(f"{self.kind}:{update.op}:{update.u}-{update.v}"):
+                    self._apply(update)
+            else:
+                ops = f"{sum(u.is_insert for u in group)}i{sum(u.is_delete for u in group)}d"
+                with self.cluster.update(f"{self.kind}:batch:{group_index}[{len(group)}:{ops}]"):
+                    self._apply_group(group)
+            group_index += 1
+
+    def _apply_group(self, group: list[GraphUpdate]) -> None:
+        """Apply one compatible (component-disjoint) group of updates.
+
+        Wave structure (constant rounds regardless of the group size):
+
+        1. one merged endpoint-scalar exchange for every update (2 rounds);
+        2. one merged broadcast carrying every link/cut packet (1 round),
+           then the local index rewrites for each packet;
+        3. for tree-edge cuts, one merged replacement-offer round resolving
+           every split component at once, and one more merged broadcast for
+           the replacement links.
+        """
+        self._endpoint_query_many([(u.u, u.v) for u in group])
+
+        packets: list[tuple[str, dict, float]] = []
+        for update in group:
+            x, y = update.u, update.v
+            if update.is_insert:
+                self.shadow.insert_edge(x, y, update.weight)
+                sx = self._vertex_state(x, create=True)
+                sy = self._vertex_state(y, create=True)
+                if sx["comp"] == sy["comp"]:
+                    self._store_edge_record(x, y, tree=False, weight=update.weight)
+                    self._store_edge_record(y, x, tree=False, weight=update.weight)
+                else:
+                    packets.append(("link", self._link_scalars(x, y), update.weight))
+            else:
+                self.shadow.delete_edge(x, y)
+                record = self._edges_of(x).get(y, {})
+                is_tree = bool(record.get("tree"))
+                self._remove_edge_record(x, y)
+                self._remove_edge_record(y, x)
+                if is_tree:
+                    packets.append(("cut", self._cut_scalars(x, y), 0.0))
+
+        self._broadcast_many([scalars for (_op, scalars, _w) in packets])
+        pending_cuts: list[dict] = []
+        for op, scalars, weight in packets:
+            if op == "link":
+                self._commit_link(scalars, weight=weight)
+            else:
+                self._commit_cut(scalars)
+                pending_cuts.append(scalars)
+
+        if not pending_cuts:
+            return
+        replacements = self._find_replacements_many(
+            [(scalars["comp"], scalars["new_comp"]) for scalars in pending_cuts]
+        )
+        links: list[tuple[dict, float]] = []
+        for scalars in pending_cuts:
+            replacement = replacements.get(scalars["new_comp"])
+            if replacement is None:
+                continue
+            a, b, weight = replacement
+            # Re-orient so the first endpoint lies in the surviving component.
+            if self._vertex_state(a)["comp"] == scalars["new_comp"]:
+                a, b = b, a
+            self._remove_edge_record(a, b)
+            self._remove_edge_record(b, a)
+            links.append((self._link_scalars(a, b), weight))
+        self._broadcast_many([scalars for (scalars, _w) in links])
+        for scalars, weight in links:
+            self._commit_link(scalars, weight=weight)
+
     # ------------------------------------------------------------------ insert
     def _insert(self, x: int, y: int, weight: float = 1.0) -> None:
         self.shadow.insert_edge(x, y, weight)
@@ -209,10 +339,22 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
 
     def _link(self, x: int, y: int, *, weight: float) -> None:
         """Make ``(x, y)`` a tree edge merging ``y``'s component into ``x``'s."""
+        scalars = self._link_scalars(x, y)
+        self._broadcast(scalars)
+        self._commit_link(scalars, weight=weight)
+
+    def _link_scalars(self, x: int, y: int) -> dict:
+        """The constant-size scalar packet describing the link of ``(x, y)``.
+
+        Pure driver-side arithmetic over the endpoints' tour state — the
+        messaging (one broadcast) and the local index rewrites happen in
+        :meth:`_broadcast` / :meth:`_commit_link`, so batched application
+        can merge several packets into a single broadcast round.
+        """
         sx = self._vertex_state(x, create=True)
         sy = self._vertex_state(y, create=True)
         comp_x, comp_y = sx["comp"], sy["comp"]
-        len_x, len_y = self._comp_length[comp_x], self._comp_length[comp_y]
+        len_y = self._comp_length[comp_y]
         l_y = max(sy["indexes"], default=0)
         f_y = min(sy["indexes"], default=0)
         # Attachment offset: x's first appearance rounded down to the arc
@@ -221,7 +363,7 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         if f_x % 2 == 1:
             f_x -= 1
 
-        scalars = {
+        return {
             "op": "link",
             "x": x,
             "y": y,
@@ -234,10 +376,15 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
             # (rotating in that case would produce an invalid tour).
             "reroot": len_y > 0 and f_y != 1,
         }
-        self._broadcast(scalars)
+
+    def _commit_link(self, scalars: dict, *, weight: float) -> None:
+        """Apply a broadcast link packet: local rewrites + edge records."""
         for machine in self.cluster.machines(role="worker"):
             self._apply_link_locally(machine, scalars)
-        self._comp_length[comp_x] = len_x + len_y + 4
+        x, y = scalars["x"], scalars["y"]
+        comp_x, comp_y = scalars["comp_x"], scalars["comp_y"]
+        f_x, len_y = scalars["f_x"], scalars["len_y"]
+        self._comp_length[comp_x] = self._comp_length[comp_x] + len_y + 4
         self._comp_length.pop(comp_y, None)
         # The new tree edge's tour index pairs (x is the parent, y the child).
         self._store_edge_record(x, y, tree=True, weight=weight, indexes=(f_x + 1, f_x + len_y + 4))
@@ -254,6 +401,27 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         if not is_tree:
             return
 
+        scalars = self._cut_scalars(x, y)
+        self._broadcast(scalars)
+        self._commit_cut(scalars)
+
+        replacement = self._find_replacement(scalars["comp"], scalars["new_comp"])
+        if replacement is not None:
+            a, b, weight = replacement
+            # Re-orient so the first endpoint lies in the surviving component.
+            if self._vertex_state(a)["comp"] == scalars["new_comp"]:
+                a, b = b, a
+            self._remove_edge_record(a, b)
+            self._remove_edge_record(b, a)
+            self._link(a, b, weight=weight)
+
+    def _cut_scalars(self, x: int, y: int) -> dict:
+        """The constant-size scalar packet describing the cut of tree edge ``(x, y)``.
+
+        Orients the pair so ``x`` is the ancestor endpoint and allocates the
+        identifier of the split-off component; like :meth:`_link_scalars`
+        this is pure driver-side arithmetic so packets can be batched.
+        """
         sx = self._vertex_state(x)
         sy = self._vertex_state(y)
         assert sx is not None and sy is not None
@@ -265,33 +433,24 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
             sx, sy = sy, sx
             fx, lx, fy, ly = fy, ly, fx, lx
 
-        comp = sx["comp"]
-        new_comp = self._new_component(0)
-        span = ly - fy + 1
-        scalars = {
+        return {
             "op": "cut",
             "x": x,
             "y": y,
-            "comp": comp,
-            "new_comp": new_comp,
+            "comp": sx["comp"],
+            "new_comp": self._new_component(0),
             "f_y": fy,
             "l_y": ly,
         }
-        self._broadcast(scalars)
+
+    def _commit_cut(self, scalars: dict) -> None:
+        """Apply a broadcast cut packet: local rewrites + component lengths."""
         for machine in self.cluster.machines(role="worker"):
             self._apply_cut_locally(machine, scalars)
+        comp, new_comp = scalars["comp"], scalars["new_comp"]
+        span = scalars["l_y"] - scalars["f_y"] + 1
         self._comp_length[new_comp] = span - 2
         self._comp_length[comp] = self._comp_length[comp] - span - 2
-
-        replacement = self._find_replacement(comp, new_comp)
-        if replacement is not None:
-            a, b, weight = replacement
-            # Re-orient so the first endpoint lies in the surviving component.
-            if self._vertex_state(a)["comp"] == new_comp:
-                a, b = b, a
-            self._remove_edge_record(a, b)
-            self._remove_edge_record(b, a)
-            self._link(a, b, weight=weight)
 
     # --------------------------------------------------------------- messaging
     def _endpoint_query(self, x: int, y: int) -> None:
@@ -311,12 +470,54 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         mx.drain("endpoint-ack")
         my.drain("endpoint-ack")
 
+    def _endpoint_query_many(self, pairs: list[tuple[int, int]]) -> None:
+        """Merged endpoint exchange for a whole group of updates (2 rounds).
+
+        Every distinct owner ships the scalars of all its involved endpoints
+        in one message, so the round cost stays 2 regardless of how many
+        updates ride the batch.
+        """
+        by_owner: dict[str, list[int]] = {}
+        for x, y in pairs:
+            for v in (x, y):
+                by_owner.setdefault(self.owner(v), []).append(v)
+        for owner_id, vertices in by_owner.items():
+            self.cluster.machine(owner_id).send(
+                self.aggregator_id, "endpoint-info", tuple(vertices), words=max(1, len(vertices))
+            )
+        self.cluster.exchange()
+        agg = self.cluster.machine(self.aggregator_id)
+        agg.drain("endpoint-info")
+        for owner_id in by_owner:
+            agg.send(owner_id, "endpoint-ack", None)
+        self.cluster.exchange()
+        for owner_id in by_owner:
+            self.cluster.machine(owner_id).drain("endpoint-ack")
+
     def _broadcast(self, scalars: dict) -> None:
         """Broadcast the constant-size update scalars to every worker (1 round)."""
         sender = self.cluster.machine(self.owner(scalars["x"]))
         for machine_id in self.worker_ids:
             if machine_id != sender.machine_id:
                 sender.send(machine_id, "tour-scalars", None, words=10)
+        self.cluster.exchange()
+        for machine_id in self.worker_ids:
+            self.cluster.machine(machine_id).drain("tour-scalars")
+
+    def _broadcast_many(self, packets: list[dict]) -> None:
+        """Broadcast a merged list of scalar packets to every worker (1 round).
+
+        The endpoint owners already shipped their scalars to the aggregator
+        during :meth:`_endpoint_query_many`, so the aggregator is the sender
+        of the composed packet (``10`` words per update, one round total).
+        """
+        if not packets:
+            return
+        sender = self.cluster.machine(self.aggregator_id)
+        words = 10 * len(packets)
+        for machine_id in self.worker_ids:
+            if machine_id != sender.machine_id:
+                sender.send(machine_id, "tour-scalars", None, words=words)
         self.cluster.exchange()
         for machine_id in self.worker_ids:
             self.cluster.machine(machine_id).drain("tour-scalars")
@@ -473,6 +674,51 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         best = min(crossing, key=lambda e: (weights[e], e))
         v, w = endpoints[best]
         return (v, w, weights[best])
+
+    def _find_replacements_many(self, cuts: list[tuple[int, int]]) -> dict[int, tuple[int, int, float]]:
+        """Merged replacement search for several split components (2 rounds).
+
+        Every machine offers, in one message, the non-tree edges of all its
+        vertices that landed in *any* of the split-off components, tagging
+        each offer with the component.  The aggregator then resolves every
+        cut with the sequential odd-offer-count rule (both endpoints of any
+        edge share a component, so offers for different cuts cannot mix).
+        Returns ``{new_comp: (v, w, weight)}`` for the cuts with a
+        reconnecting edge.
+        """
+        new_comps = {new_comp for (_old, new_comp) in cuts}
+        for machine in self.cluster.machines(role="worker"):
+            offers: list[tuple[int, int, int, float]] = []
+            for key, state in machine.items():
+                if not (isinstance(key, tuple) and key[0] == "tour"):
+                    continue
+                if state["comp"] not in new_comps:
+                    continue
+                v = key[1]
+                for w, record in machine.load(("edges", v), {}).items():
+                    if record.get("tree"):
+                        continue
+                    offers.append((state["comp"], v, w, float(record.get("weight", 1.0))))
+            if offers:
+                machine.send(self.aggregator_id, "replacement-offer", offers, words=4 * len(offers) + 1)
+        self.cluster.exchange()
+
+        agg = self.cluster.machine(self.aggregator_id)
+        by_comp: dict[int, dict[tuple[int, int], list]] = {}
+        for msg in agg.drain("replacement-offer"):
+            for comp, v, w, weight in msg.payload:
+                entry = by_comp.setdefault(comp, {}).setdefault(normalize_edge(v, w), [0, weight, (v, w)])
+                entry[0] += 1
+        results: dict[int, tuple[int, int, float]] = {}
+        for _old, new_comp in cuts:
+            offers = by_comp.get(new_comp, {})
+            crossing = [edge for edge, (count, _weight, _vw) in offers.items() if count == 1]
+            if not crossing:
+                continue
+            best = min(crossing, key=lambda e: (offers[e][1], e))
+            _count, weight, (v, w) = offers[best]
+            results[new_comp] = (v, w, weight)
+        return results
 
     # ------------------------------------------------------------ diagnostics
     def verify_invariants(self) -> None:

@@ -27,7 +27,9 @@ metrics ledger observes the true round / machine / communication costs.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
+from typing import Iterator
 
 from repro.config import DMPCConfig
 from repro.exceptions import ProtocolError
@@ -91,6 +93,14 @@ class MatchingFabric:
         capacity = max(config.sqrt_N, 10 * (pool_size + 8))
         self.coordinator.history = UpdateHistory(capacity=capacity)
 
+        # Batch mode: round-robin maintenance deferred and merged (see batched()).
+        # The deferral cap keeps the total staleness a batch can accumulate well
+        # below the history capacity (each update appends only a few entries),
+        # so bounded-buffer eviction can never outrun a deferred refresh.
+        self._batch_depth = 0
+        self._deferred_refreshes = 0
+        self._max_deferred_refreshes = max(1, capacity // 8)
+
     # ------------------------------------------------------------- allocation
     def _allocate_machine(self, *, light: bool) -> str:
         if not self._unallocated:
@@ -109,7 +119,16 @@ class MatchingFabric:
 
     # ------------------------------------------------------------------ stats
     def stats_of(self, v: int) -> VertexStats:
-        """Read ``v``'s statistics *locally* (driver-side view of the stats machine)."""
+        """Read ``v``'s statistics *locally* (driver-side view of the stats machine).
+
+        **Read-only contract**: for a vertex with no stored record this
+        returns a fresh blank :class:`VertexStats` that is *not* persisted,
+        so mutating the returned object does not write through — the change
+        is silently lost unless the caller follows up with
+        :meth:`store_stats`.  Callers that need read-modify-write semantics
+        should use :meth:`mutate_stats`, which persists on exit for stored
+        and unseen vertices alike.
+        """
         machine = self.cluster.machine(self.partition.machine_for(v))
         stats = machine.load(("st", v))
         if stats is None:
@@ -119,6 +138,23 @@ class MatchingFabric:
     def store_stats(self, v: int, stats: VertexStats) -> None:
         machine = self.cluster.machine(self.partition.machine_for(v))
         machine.store(("st", v), stats)
+
+    @contextmanager
+    def mutate_stats(self, v: int) -> Iterator[VertexStats]:
+        """Read-modify-write ``v``'s statistics; the record persists on exit.
+
+        Unlike bare :meth:`stats_of`, this always writes the (possibly
+        freshly created) record back to the statistics machine, so
+        mutations to an unseen vertex's statistics cannot be lost.
+        """
+        machine = self.cluster.machine(self.partition.machine_for(v))
+        stats = machine.load(("st", v))
+        if stats is None:
+            stats = VertexStats()
+        try:
+            yield stats
+        finally:
+            machine.store(("st", v), stats)
 
     def is_heavy(self, v: int) -> bool:
         return self.stats_of(v).degree >= self.threshold
@@ -261,14 +297,74 @@ class MatchingFabric:
         """Refresh the next edge machine in round-robin order (1 round).
 
         This is the Section 3 maintenance step that bounds every machine's
-        staleness by ``O(sqrt N)`` updates.
+        staleness by ``O(sqrt N)`` updates.  Inside a :meth:`batched` scope
+        the refresh is deferred and merged — the batch pays one refresh
+        round for all its updates instead of one round each (the pointer
+        still advances once per update, so the staleness bound holds).
         """
+        if self._batch_depth > 0:
+            self._deferred_refreshes += 1
+            # A batch larger than the history buffer can absorb must flush
+            # mid-batch (charged to the current update's ledger scope).
+            if self._deferred_refreshes >= self._max_deferred_refreshes:
+                self.flush_deferred_refreshes()
+            return
         allocated = [mid for mid in self.edge_pool if mid not in self._unallocated]
         if not allocated:
             return
         machine_id = allocated[self._refresh_pointer % len(allocated)]
         self._refresh_pointer += 1
         self.refresh_machine(machine_id)
+
+    @contextmanager
+    def batched(self) -> Iterator["MatchingFabric"]:
+        """Scope in which round-robin maintenance is deferred and merged.
+
+        The matching algorithms wrap a batch of updates in this scope and
+        call :meth:`flush_deferred_refreshes` once at the end (inside a
+        ledger update scope, so the merged round is attributed to the
+        batch).  All *decision* reads stay exact — every query path applies
+        the pending coordinator history before reading — so deferring the
+        maintenance never changes the maintained matching.
+        """
+        self._batch_depth += 1
+        try:
+            yield self
+        finally:
+            self._batch_depth -= 1
+
+    def flush_deferred_refreshes(self) -> int:
+        """Deliver the deferred round-robin refreshes as one merged round.
+
+        The coordinator ships each pending machine's history slice in the
+        same exchange (one message per machine, one round total) — the
+        piggy-backing that makes a batch of ``k`` updates pay ``O(1)``
+        maintenance rounds instead of ``k``.  Returns the number of
+        machines refreshed.
+        """
+        count, self._deferred_refreshes = self._deferred_refreshes, 0
+        if count == 0:
+            return 0
+        allocated = [mid for mid in self.edge_pool if mid not in self._unallocated]
+        if not allocated:
+            return 0
+        targets: dict[str, None] = {}
+        for _ in range(count):
+            targets.setdefault(allocated[self._refresh_pointer % len(allocated)], None)
+            self._refresh_pointer += 1
+        coordinator = self.coordinator.machine
+        payloads: dict[str, list[HistoryEntry]] = {}
+        for machine_id in targets:
+            entries = self._history_payload_for(machine_id)
+            payloads[machine_id] = entries
+            coordinator.send(machine_id, "refresh", None, words=max(1, sum(e.dmpc_words() for e in entries)))
+        self.cluster.exchange()
+        for machine_id, entries in payloads.items():
+            machine = self.cluster.machine(machine_id)
+            machine.drain("refresh")
+            self._apply_history_locally(machine, entries)
+            self._mark_seen(machine_id)
+        return len(payloads)
 
     def update_vertex(self, v: int, stats: VertexStats, query: str | None = None, *, exclude: tuple[int, ...] = ()) -> dict:
         """The paper's ``updateVertex``: refresh ``v``'s alive machine and optionally query it.
@@ -439,9 +535,8 @@ class MatchingFabric:
             machine = self.cluster.machine(machine_id)
             machine.drain("counter-delta")
             for v, delta in items:
-                stats = machine.load(("st", v), VertexStats())
-                stats.free_neighbors = max(0, stats.free_neighbors + delta)
-                machine.store(("st", v), stats)
+                with self.mutate_stats(v) as stats:
+                    stats.free_neighbors = max(0, stats.free_neighbors + delta)
 
     def query_lightness(self, vertices: list[int]) -> dict[int, bool]:
         """Coordinator asks the stats machines whether each vertex is light (2 rounds)."""
@@ -505,13 +600,22 @@ class MatchingFabric:
             machine.store(("adj", v), adj)
 
     def move_vertex_edges(self, v: int, stats: VertexStats, target_id: str) -> None:
-        """The paper's ``moveEdges``: relocate ``v``'s alive edges to ``target_id`` (2 rounds)."""
+        """The paper's ``moveEdges``: relocate ``v``'s alive edges to ``target_id`` (2 rounds).
+
+        The pending history is applied to the source machine before its
+        records are copied, so the relocated adjacency/status records are
+        current regardless of when the round-robin maintenance last visited
+        the source — which is what keeps batched application (deferred
+        maintenance) byte-identical to sequential application.
+        """
         source_id = stats.alive_machine
         if source_id is None or source_id == target_id:
             stats.alive_machine = target_id
             return
         source = self.cluster.machine(source_id)
         target = self.cluster.machine(target_id)
+        self._apply_history_locally(source, self._history_payload_for(source_id))
+        self._mark_seen(source_id)
         adjacency = dict(source.load(("adj", v), {}))
         statuses = {w: source.load(("status", w)) for w in adjacency}
         self.coordinator.machine.send(source_id, "move-request", v)

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from repro.graph.graph import DynamicGraph
-from repro.graph.updates import GraphUpdate, UpdateSequence
+from repro.graph.updates import GraphUpdate, UpdateSequence, batched
 from repro.graph.generators import (
     erdos_renyi_graph,
     gnm_random_graph,
@@ -42,6 +42,7 @@ __all__ = [
     "DynamicGraph",
     "GraphUpdate",
     "UpdateSequence",
+    "batched",
     "erdos_renyi_graph",
     "gnm_random_graph",
     "random_forest",

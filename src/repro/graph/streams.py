@@ -16,7 +16,13 @@ property tests:
   spanning-forest edges (the worst case for Section 5: only tree-edge
   deletions force a replacement search).
 
-All generators are deterministic given the seed.
+:func:`batched` (re-exported from :mod:`repro.graph.updates`) chunks any of
+these streams into fixed-size batches for
+:meth:`~repro.dynamic_mpc.base.DynamicMPCAlgorithm.apply_batch`.
+
+All generators are deterministic given the seed and always produce exactly
+the requested number of updates (they raise :class:`ValueError` when the
+workload cannot make progress, rather than silently coming up short).
 """
 
 from __future__ import annotations
@@ -25,7 +31,7 @@ import random
 from typing import Callable, Iterable
 
 from repro.graph.graph import DynamicGraph, normalize_edge
-from repro.graph.updates import GraphUpdate, UpdateSequence
+from repro.graph.updates import GraphUpdate, UpdateSequence, batched
 
 __all__ = [
     "insert_only_stream",
@@ -34,6 +40,7 @@ __all__ = [
     "sliding_window_stream",
     "matched_edge_adversary_stream",
     "tree_edge_adversary_stream",
+    "batched",
 ]
 
 
@@ -41,7 +48,25 @@ def _rng(seed: int | random.Random) -> random.Random:
     return seed if isinstance(seed, random.Random) else random.Random(seed)
 
 
-def _random_absent_edge(rng: random.Random, n: int, present: set[tuple[int, int]], max_tries: int = 200) -> tuple[int, int] | None:
+def _random_absent_edge(rng: random.Random, n: int, present, max_tries: int = 200) -> tuple[int, int] | None:
+    """A uniformly random edge of the complete graph on ``n`` vertices not in ``present``.
+
+    Rejection sampling runs first; if the bounded sampler keeps colliding
+    (near-complete graphs) the absent edges are enumerated deterministically
+    and one is drawn from the enumeration, so an absent edge is *always*
+    found when one exists.  Returns ``None`` only when the graph is complete
+    — callers must then either fall back to a deletion or fail loudly,
+    never silently shorten the stream.
+
+    ``present`` may be any container of normalized edges supporting ``in``
+    and ``len`` (a set, or the position dict kept by :func:`mixed_stream`).
+    """
+    total = n * (n - 1) // 2
+    if len(present) >= total:
+        return None
+    # Rejection sampling succeeds in O(total / #absent) expected tries, so it
+    # stays cheap at any density the bounded loop can realistically beat; the
+    # O(n^2) enumeration is the fallback for near-complete graphs only.
     for _ in range(max_tries):
         u = rng.randrange(n)
         v = rng.randrange(n)
@@ -50,7 +75,8 @@ def _random_absent_edge(rng: random.Random, n: int, present: set[tuple[int, int]
         edge = normalize_edge(u, v)
         if edge not in present:
             return edge
-    return None
+    absent = [(u, v) for u in range(n) for v in range(u + 1, n) if (u, v) not in present]
+    return absent[rng.randrange(len(absent))]
 
 
 def insert_only_stream(n: int, num_updates: int, seed: int | random.Random = 0, *, weighted: bool = False, weight_range: tuple[float, float] = (1.0, 100.0)) -> UpdateSequence:
@@ -61,7 +87,10 @@ def insert_only_stream(n: int, num_updates: int, seed: int | random.Random = 0, 
     for _ in range(num_updates):
         edge = _random_absent_edge(rng, n, present)
         if edge is None:
-            break
+            raise ValueError(
+                f"cannot produce {num_updates} distinct insertions on {n} vertices: "
+                f"the graph is complete after {len(seq)} updates"
+            )
         present.add(edge)
         weight = rng.uniform(*weight_range) if weighted else 1.0
         seq.append(GraphUpdate.insert(edge[0], edge[1], weight))
@@ -93,29 +122,52 @@ def mixed_stream(
     """Intermixed insertions and deletions.
 
     Each step is an insertion of a random absent edge with probability
-    ``insert_probability`` (or whenever the graph is empty) and otherwise a
-    deletion of a uniformly random present edge.
+    ``insert_probability`` (or whenever the graph is empty, or a deletion
+    whenever the graph is complete) and otherwise a deletion of a uniformly
+    random present edge.  The returned sequence always has exactly
+    ``num_updates`` updates; a workload that cannot make progress (no edge
+    to insert *or* delete) raises :class:`ValueError` instead of silently
+    coming up short.
+
+    Present edges are kept in a position-indexed list so a uniform deletion
+    costs ``O(1)`` (swap the victim with the last slot and pop) instead of
+    sorting the edge set on every draw.
     """
     if not 0.0 <= insert_probability <= 1.0:
         raise ValueError("insert_probability must lie in [0, 1]")
     rng = _rng(seed)
-    present: set[tuple[int, int]] = set(initial.edges()) if initial is not None else set()
+    # ``position`` doubles as the membership test handed to the sampler.
+    position: dict[tuple[int, int], int] = {}
+    edges: list[tuple[int, int]] = []
+    if initial is not None:
+        for edge in sorted(initial.edges()):
+            position[edge] = len(edges)
+            edges.append(edge)
     seq = UpdateSequence()
     for _ in range(num_updates):
-        do_insert = rng.random() < insert_probability or not present
+        do_insert = rng.random() < insert_probability or not edges
         if do_insert:
-            edge = _random_absent_edge(rng, n, present)
+            edge = _random_absent_edge(rng, n, position)
             if edge is None:
-                if not present:
-                    break
+                if not edges:
+                    raise ValueError(
+                        f"cannot continue the stream on {n} vertices: "
+                        "the graph is complete and empty at the same time"
+                    )
                 do_insert = False
             else:
-                present.add(edge)
+                position[edge] = len(edges)
+                edges.append(edge)
                 weight = rng.uniform(*weight_range) if weighted else 1.0
                 seq.append(GraphUpdate.insert(edge[0], edge[1], weight))
                 continue
-        edge = rng.choice(sorted(present))
-        present.discard(edge)
+        index = rng.randrange(len(edges))
+        edge = edges[index]
+        last = edges.pop()
+        if index < len(edges):
+            edges[index] = last
+            position[last] = index
+        del position[edge]
         seq.append(GraphUpdate.delete(edge[0], edge[1]))
     return seq
 
@@ -144,7 +196,10 @@ def sliding_window_stream(n: int, num_updates: int, window: int, seed: int | ran
                 break
         edge = _random_absent_edge(rng, n, present)
         if edge is None:
-            break
+            raise ValueError(
+                f"sliding window of {window} edges cannot advance on {n} vertices: "
+                "the graph is complete (shrink the window or add vertices)"
+            )
         present.add(edge)
         order.append(edge)
         seq.append(GraphUpdate.insert(edge[0], edge[1]))
@@ -249,9 +304,12 @@ class AdaptiveStream:
         if update is None:
             edge = _random_absent_edge(self.rng, self.n, self.present)
             if edge is None:
-                # graph is (nearly) complete: fall back to deleting any edge
+                # graph is complete: fall back to deleting any edge
                 if not self.present:
-                    return None
+                    raise ValueError(
+                        f"adaptive stream on {self.n} vertices cannot produce an update: "
+                        "no edge can be inserted or deleted"
+                    )
                 edge = self.rng.choice(sorted(self.present))
                 update = GraphUpdate.delete(edge[0], edge[1])
             else:

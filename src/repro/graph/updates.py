@@ -14,7 +14,7 @@ from typing import Iterable, Iterator
 
 from repro.graph.graph import DynamicGraph, normalize_edge
 
-__all__ = ["GraphUpdate", "UpdateSequence"]
+__all__ = ["GraphUpdate", "UpdateSequence", "batched"]
 
 INSERT = "insert"
 DELETE = "delete"
@@ -58,6 +58,27 @@ class GraphUpdate:
     def dmpc_words(self) -> int:
         """An update is a constant number of words on the wire."""
         return 4
+
+
+def batched(seq: Iterable[GraphUpdate], size: int) -> Iterator[list[GraphUpdate]]:
+    """Chunk an update stream into consecutive batches of at most ``size``.
+
+    Works on any iterable of updates — an :class:`UpdateSequence`, a list,
+    or a lazily produced adaptive stream — and preserves the update order,
+    so feeding the chunks to :meth:`DynamicMPCAlgorithm.apply_batch` is
+    semantically equivalent to applying the stream one update at a time.
+    The final batch may be shorter than ``size``.
+    """
+    if size < 1:
+        raise ValueError("batch size must be positive")
+    chunk: list[GraphUpdate] = []
+    for update in seq:
+        chunk.append(update)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
 
 
 class UpdateSequence:

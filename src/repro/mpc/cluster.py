@@ -157,5 +157,19 @@ class Cluster:
         finally:
             self.ledger.end_update()
 
+    @contextmanager
+    def batch(self) -> Iterator[int]:
+        """Context manager scoping a batch of updates in the ledger.
+
+        Updates opened inside the scope are tagged with the batch id, so
+        :meth:`MetricsLedger.batch_summary` can report the amortised
+        per-batch costs next to the per-update ones.
+        """
+        batch_id = self.ledger.begin_batch()
+        try:
+            yield batch_id
+        finally:
+            self.ledger.end_batch()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Cluster(machines={len(self._machines)}, S={self.config.machine_memory})"

@@ -66,10 +66,17 @@ class RoundRecord:
 
 @dataclass
 class UpdateRecord:
-    """All rounds executed on behalf of one update (or one labelled phase)."""
+    """All rounds executed on behalf of one update (or one labelled phase).
+
+    ``batch_id`` tags records that were produced inside a
+    :meth:`MetricsLedger.begin_batch` / :meth:`MetricsLedger.end_batch`
+    scope; records of the same batch are aggregated into one pseudo-update
+    by :meth:`MetricsLedger.batch_summary`.
+    """
 
     label: str
     rounds: list[RoundRecord] = field(default_factory=list)
+    batch_id: int | None = None
 
     @property
     def num_rounds(self) -> int:
@@ -135,6 +142,8 @@ class MetricsLedger:
         self._updates: list[UpdateRecord] = []
         self._current: UpdateRecord | None = None
         self._round_counter = 0
+        self._batch_counter = 0
+        self._current_batch: int | None = None
 
     # ----------------------------------------------------------------- update
     def begin_update(self, label: str) -> UpdateRecord:
@@ -143,7 +152,7 @@ class MetricsLedger:
             raise ProtocolError(
                 f"begin_update({label!r}) called while update {self._current.label!r} is open"
             )
-        self._current = UpdateRecord(label=label)
+        self._current = UpdateRecord(label=label, batch_id=self._current_batch)
         return self._current
 
     def end_update(self) -> UpdateRecord:
@@ -158,13 +167,76 @@ class MetricsLedger:
     def in_update(self) -> bool:
         return self._current is not None
 
+    # ------------------------------------------------------------------ batch
+    def begin_batch(self) -> int:
+        """Open a batch scope: subsequent updates are tagged with its id.
+
+        Batches group the updates of one :meth:`DynamicMPCAlgorithm.apply_batch`
+        call so that per-batch costs can be reported next to per-update
+        costs.  Batches cannot nest and cannot start mid-update.
+        """
+        if self._current_batch is not None:
+            raise ProtocolError(f"begin_batch() called while batch {self._current_batch} is open")
+        if self._current is not None:
+            raise ProtocolError("begin_batch() called while an update is open")
+        self._batch_counter += 1
+        self._current_batch = self._batch_counter
+        return self._current_batch
+
+    def end_batch(self) -> int:
+        """Close the currently open batch scope and return its id."""
+        if self._current_batch is None:
+            raise ProtocolError("end_batch() called with no open batch")
+        if self._current is not None:
+            raise ProtocolError("end_batch() called while an update is open")
+        batch_id, self._current_batch = self._current_batch, None
+        return batch_id
+
+    @property
+    def in_batch(self) -> bool:
+        return self._current_batch is not None
+
+    def batches(self, prefix: str | None = None) -> dict[int, list[UpdateRecord]]:
+        """Recorded updates grouped by batch id (unbatched records excluded)."""
+        groups: dict[int, list[UpdateRecord]] = {}
+        for record in self._updates:
+            if record.batch_id is None:
+                continue
+            if prefix is not None and not record.label.startswith(prefix):
+                continue
+            groups.setdefault(record.batch_id, []).append(record)
+        return groups
+
+    def batch_summary(self, prefix: str | None = None) -> UpdateSummary:
+        """Aggregate treating each batch as a single pseudo-update.
+
+        Updates recorded outside any batch count individually, so mixing
+        ``apply`` and ``apply_batch`` on the same algorithm still yields one
+        meaningful summary.
+        """
+        merged: list[UpdateRecord] = []
+        by_batch: dict[int, UpdateRecord] = {}
+        for record in self._updates:
+            if prefix is not None and not record.label.startswith(prefix):
+                continue
+            if record.batch_id is None:
+                merged.append(record)
+                continue
+            target = by_batch.get(record.batch_id)
+            if target is None:
+                target = UpdateRecord(label=f"<batch:{record.batch_id}>", batch_id=record.batch_id)
+                by_batch[record.batch_id] = target
+                merged.append(target)
+            target.rounds.extend(record.rounds)
+        return self._summarize(merged)
+
     def record_round(self, messages: Iterable[Message]) -> RoundRecord:
         """Record one synchronous round.  Rounds outside an update are allowed
         (e.g. ad-hoc probes) but are tracked under an anonymous update."""
         self._round_counter += 1
         record = RoundRecord.from_messages(self._round_counter, messages)
         if self._current is None:
-            anonymous = UpdateRecord(label="<unlabelled>")
+            anonymous = UpdateRecord(label="<unlabelled>", batch_id=self._current_batch)
             anonymous.rounds.append(record)
             self._updates.append(anonymous)
         else:
@@ -183,6 +255,15 @@ class MetricsLedger:
     def summary(self, prefix: str | None = None) -> UpdateSummary:
         """Aggregate the recorded updates (optionally filtered by label prefix)."""
         updates = self._updates if prefix is None else self.updates_labelled(prefix)
+        return self._summarize(updates)
+
+    def total_rounds(self, prefix: str | None = None) -> int:
+        """Total number of rounds across the recorded updates."""
+        updates = self._updates if prefix is None else self.updates_labelled(prefix)
+        return sum(u.num_rounds for u in updates)
+
+    @staticmethod
+    def _summarize(updates: list[UpdateRecord]) -> UpdateSummary:
         if not updates:
             return UpdateSummary(0, 0, 0.0, 0, 0.0, 0, 0.0, 0)
         rounds = [u.num_rounds for u in updates]
@@ -203,6 +284,8 @@ class MetricsLedger:
         """Discard all recorded updates (keeps the global round counter)."""
         if self._current is not None:
             raise ProtocolError("cannot reset the ledger while an update is open")
+        if self._current_batch is not None:
+            raise ProtocolError("cannot reset the ledger while a batch is open")
         self._updates.clear()
 
     # --------------------------------------------------------------- entropy

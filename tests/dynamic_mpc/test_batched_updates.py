@@ -1,0 +1,245 @@
+"""Batched update engine: equivalence with sequential application + cost wins.
+
+``apply_batch`` must reach exactly the same solution as per-update ``apply``
+on every stream (the batching only merges communication, never reorders
+conflicting updates), while spending measurably fewer rounds.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import (
+    DMPCApproxMST,
+    DMPCConnectivity,
+    DMPCMaximalMatching,
+    DMPCThreeHalvesMatching,
+    DMPCTwoPlusEpsMatching,
+)
+from repro.dynamic_mpc.state import MatchingFabric, VertexStats
+from repro.exceptions import ProtocolError
+from repro.graph import batched
+from repro.graph.generators import gnm_random_graph, random_forest, random_weighted_graph
+from repro.graph.graph import DynamicGraph
+from repro.graph.streams import mixed_stream, tree_edge_adversary_stream
+from repro.graph.updates import GraphUpdate
+from repro.graph.validation import connected_components, same_partition
+from repro.mpc.cluster import Cluster
+from repro.mpc.metrics import MetricsLedger
+
+
+def canonical(components):
+    return sorted(sorted(c) for c in components)
+
+
+def run_pair(make, graph, stream, batch_size):
+    """Run sequential and batched instances over the same stream."""
+    sequential = make()
+    if graph is not None:
+        sequential.preprocess(graph)
+    for update in stream:
+        sequential.apply(update)
+    batch = make()
+    if graph is not None:
+        batch.preprocess(graph)
+    for chunk in batched(stream, batch_size):
+        batch.apply_batch(chunk)
+    return sequential, batch
+
+
+class TestBatchedChunker:
+    def test_chunks_preserve_order_and_cover_everything(self):
+        stream = mixed_stream(16, 50, seed=1)
+        chunks = list(batched(stream, 8))
+        assert [len(c) for c in chunks] == [8] * 6 + [2]
+        assert [u for c in chunks for u in c] == list(stream)
+
+    def test_rejects_non_positive_size(self):
+        with pytest.raises(ValueError):
+            list(batched([], 0))
+
+
+class TestLedgerBatchScoping:
+    def test_updates_are_tagged_with_the_batch_id(self):
+        ledger = MetricsLedger()
+        first = ledger.begin_batch()
+        ledger.begin_update("a")
+        ledger.record_round([])
+        ledger.end_update()
+        ledger.begin_update("b")
+        ledger.record_round([])
+        ledger.end_update()
+        ledger.end_batch()
+        ledger.begin_update("c")
+        ledger.record_round([])
+        ledger.end_update()
+        groups = ledger.batches()
+        assert set(groups) == {first}
+        assert [r.label for r in groups[first]] == ["a", "b"]
+        # One pseudo-update for the batch plus the unbatched record.
+        assert ledger.batch_summary().num_updates == 2
+        assert ledger.summary().num_updates == 3
+
+    def test_batches_cannot_nest_or_straddle_updates(self):
+        ledger = MetricsLedger()
+        ledger.begin_batch()
+        with pytest.raises(ProtocolError):
+            ledger.begin_batch()
+        ledger.end_batch()
+        ledger.begin_update("a")
+        with pytest.raises(ProtocolError):
+            ledger.begin_batch()
+        ledger.end_update()
+        with pytest.raises(ProtocolError):
+            ledger.end_batch()
+
+    def test_cluster_batch_scope(self):
+        cluster = Cluster(DMPCConfig.for_graph(8, 8))
+        with cluster.batch():
+            assert cluster.ledger.in_batch
+        assert not cluster.ledger.in_batch
+
+
+class TestBatchedConnectivity:
+    def make(self, n, m):
+        return lambda: DMPCConnectivity(DMPCConfig.for_graph(n, m))
+
+    @pytest.mark.parametrize("batch_size", [4, 16, 64])
+    def test_equivalent_on_mixed_stream_over_connected_graph(self, batch_size):
+        n, m = 40, 80
+        graph = gnm_random_graph(n, m, seed=31)
+        stream = mixed_stream(n, 160, seed=32, insert_probability=0.5, initial=graph)
+        sequential, batch = run_pair(self.make(n, 2 * m), graph, stream, batch_size)
+        assert canonical(sequential.components()) == canonical(batch.components())
+        assert sequential.spanning_forest() == batch.spanning_forest()
+        batch.verify_invariants()
+
+    def test_equivalent_on_fragmented_forest(self):
+        n = 48
+        graph = random_forest(n, num_trees=8, seed=33)
+        stream = mixed_stream(n, 160, seed=34, insert_probability=0.5, initial=graph)
+        sequential, batch = run_pair(self.make(n, 2 * n), graph, stream, 16)
+        assert canonical(sequential.components()) == canonical(batch.components())
+        assert sequential.spanning_forest() == batch.spanning_forest()
+        assert same_partition(batch.components(), connected_components(batch.shadow))
+
+    def test_equivalent_from_empty_graph(self):
+        stream = mixed_stream(24, 200, seed=35, insert_probability=0.65)
+        sequential, batch = run_pair(self.make(24, 120), None, stream, 8)
+        assert canonical(sequential.components()) == canonical(batch.components())
+        assert sequential.spanning_forest() == batch.spanning_forest()
+
+    def test_equivalent_on_tree_edge_adversary_stream(self):
+        # Record an adaptive adversarial stream against a sequential run,
+        # then replay the recorded history both ways.
+        n, m = 24, 36
+        graph = gnm_random_graph(n, m, seed=36)
+        recorder = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m))
+        recorder.preprocess(graph)
+        adaptive = tree_edge_adversary_stream(n, 120, recorder.spanning_forest, seed=37, delete_probability=0.6)
+        adaptive.seed_graph(graph)
+        for update in adaptive:
+            recorder.apply(update)
+        stream = list(adaptive.history)
+        assert len(stream) == 120
+        sequential, batch = run_pair(self.make(n, 2 * m), graph, stream, 16)
+        assert canonical(sequential.components()) == canonical(batch.components())
+        assert canonical(batch.components()) == canonical(recorder.components())
+        assert sequential.spanning_forest() == batch.spanning_forest()
+
+    def test_batching_saves_rounds_on_mixed_stream(self):
+        n, m = 40, 80
+        graph = gnm_random_graph(n, m, seed=38)
+        stream = mixed_stream(n, 160, seed=39, insert_probability=0.5, initial=graph)
+        sequential, batch = run_pair(self.make(n, 2 * m), graph, stream, 8)
+        assert batch.update_round_total() < sequential.update_round_total()
+        # Per-batch ledger scoping: every apply_batch call shows up as a batch.
+        assert len(batch.ledger.batches()) == 160 // 8
+
+    def test_apply_sequence_batch_size_argument(self):
+        n = 20
+        stream = mixed_stream(n, 80, seed=40, insert_probability=0.6)
+        alg = DMPCConnectivity(DMPCConfig.for_graph(n, 80))
+        alg.apply_sequence(stream, batch_size=10)
+        assert same_partition(alg.components(), connected_components(alg.shadow))
+        assert len(alg.ledger.batches()) == 8
+        with pytest.raises(ValueError):
+            alg.apply_sequence(stream, batch_size=0)
+
+
+class TestBatchedMatching:
+    @pytest.mark.parametrize("batch_size", [4, 16])
+    def test_maximal_matching_equivalent_and_cheaper(self, batch_size):
+        n, m = 36, 72
+        graph = gnm_random_graph(n, m, seed=41)
+        stream = mixed_stream(n, 150, seed=42, insert_probability=0.5, initial=graph)
+        make = lambda: DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m))
+        sequential, batch = run_pair(make, graph, stream, batch_size)
+        assert sequential.matching() == batch.matching()
+        assert batch.update_round_total() < sequential.update_round_total()
+        batch.verify_invariants()
+
+    def test_three_halves_equivalent_from_empty(self):
+        n = 28
+        stream = mixed_stream(n, 150, seed=43, insert_probability=0.65)
+        make = lambda: DMPCThreeHalvesMatching(DMPCConfig.for_graph(n, 160))
+        sequential, batch = run_pair(make, None, stream, 16)
+        assert sequential.matching() == batch.matching()
+        assert batch.update_round_total() < sequential.update_round_total()
+        batch.verify_invariants()
+
+    def test_two_plus_eps_fallback_equivalent(self):
+        n = 24
+        stream = mixed_stream(n, 120, seed=44, insert_probability=0.6)
+        make = lambda: DMPCTwoPlusEpsMatching(DMPCConfig.for_graph(n, 120), seed=7)
+        sequential, batch = run_pair(make, None, stream, 8)
+        assert sequential.matching() == batch.matching()
+
+
+class TestBatchedApproxMST:
+    def test_sequential_fallback_keeps_the_forest_minimum(self):
+        n, m = 24, 48
+        graph = random_weighted_graph(n, m, seed=45)
+        stream = mixed_stream(n, 100, seed=46, insert_probability=0.5, initial=graph, weighted=True)
+        make = lambda: DMPCApproxMST(DMPCConfig.for_graph(n, 2 * m), epsilon=0.1)
+        sequential, batch = run_pair(make, graph, stream, 8)
+        assert canonical(sequential.components()) == canonical(batch.components())
+        assert sequential.spanning_forest() == batch.spanning_forest()
+        batch.verify_invariants()
+
+
+class TestStatsContract:
+    def make_fabric(self):
+        config = DMPCConfig.for_graph(16, 32)
+        cluster = Cluster(config)
+        return MatchingFabric(cluster, config)
+
+    def test_stats_of_is_read_only_for_unseen_vertices(self):
+        fabric = self.make_fabric()
+        stats = fabric.stats_of(3)
+        stats.degree = 5  # mutation without store_stats: must not persist
+        assert fabric.stats_of(3).degree == 0
+
+    def test_mutate_stats_persists_for_unseen_and_stored_vertices(self):
+        fabric = self.make_fabric()
+        with fabric.mutate_stats(3) as stats:
+            stats.degree = 5
+        assert fabric.stats_of(3).degree == 5
+        with fabric.mutate_stats(3) as stats:
+            stats.mate = 9
+        persisted = fabric.stats_of(3)
+        assert (persisted.degree, persisted.mate) == (5, 9)
+
+    def test_deferred_refresh_flush_is_one_round(self):
+        fabric = self.make_fabric()
+        fabric.load_initial_graph(gnm_random_graph(8, 12, seed=47), set())
+        ledger = fabric.cluster.ledger
+        before = ledger.total_rounds()
+        with fabric.batched():
+            for _ in range(6):
+                fabric.round_robin_refresh()
+            assert ledger.total_rounds() == before  # all deferred
+            refreshed = fabric.flush_deferred_refreshes()
+        assert refreshed >= 1
+        assert ledger.total_rounds() == before + 1  # one merged round
