@@ -20,10 +20,15 @@ from __future__ import annotations
 import argparse
 import os
 import sys
+import time
 
-if __package__ is None and not os.environ.get("PYTHONPATH"):  # script mode
-    sys.path.insert(0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src"))
+if __package__ in (None, ""):  # script mode: make `repro` and `benchmarks` importable
+    _here = os.path.dirname(os.path.abspath(__file__))
+    for _path in (os.path.abspath(os.path.join(_here, "..", "src")), os.path.abspath(os.path.join(_here, ".."))):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
 
+from benchmarks.runner import emit_bench_json
 from repro.config import DMPCConfig
 from repro.dynamic_mpc import DMPCConnectivity, DMPCMaximalMatching
 from repro.graph import batched
@@ -31,10 +36,10 @@ from repro.graph.generators import gnm_random_graph
 from repro.graph.streams import mixed_stream, tree_edge_adversary_stream
 
 
-def record_adversarial_stream(n: int, m: int, num_updates: int, seed: int):
+def record_adversarial_stream(n: int, m: int, num_updates: int, seed: int, backend: str | None = None):
     """Record a tree-edge adversary stream (adaptive, so recorded once)."""
     graph = gnm_random_graph(n, m, seed=seed)
-    recorder = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m))
+    recorder = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m, backend=backend))
     recorder.preprocess(graph)
     adaptive = tree_edge_adversary_stream(
         n, num_updates, recorder.spanning_forest, seed=seed + 1, delete_probability=0.6
@@ -80,29 +85,31 @@ def matching_solution(alg):
     return sorted(alg.matching())
 
 
-def run_comparisons(*, n: int, num_updates: int, batch_size: int, seed: int = 2019) -> dict[str, dict]:
+def run_comparisons(
+    *, n: int, num_updates: int, batch_size: int, seed: int = 2019, backend: str | None = None
+) -> dict[str, dict]:
     m = 2 * n
     graph = gnm_random_graph(n, m, seed=seed)
     stream = mixed_stream(n, num_updates, seed=seed + 1, insert_probability=0.5, initial=graph)
     results = {
         "connectivity/mixed": compare(
-            lambda: DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m)),
+            lambda: DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m, backend=backend)),
             graph,
             stream,
             batch_size,
             solution=connectivity_solution,
         ),
         "maximal-matching/mixed": compare(
-            lambda: DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m)),
+            lambda: DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m, backend=backend)),
             graph,
             stream,
             batch_size,
             solution=matching_solution,
         ),
     }
-    adv_graph, adv_stream = record_adversarial_stream(n, m // 2, num_updates, seed + 2)
+    adv_graph, adv_stream = record_adversarial_stream(n, m // 2, num_updates, seed + 2, backend=backend)
     results["connectivity/tree-adversary"] = compare(
-        lambda: DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m)),
+        lambda: DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m, backend=backend)),
         adv_graph,
         adv_stream,
         batch_size,
@@ -134,15 +141,15 @@ def test_batched_updates_round_savings(benchmark):
     graph = gnm_random_graph(n, m, seed=2019)
     stream = mixed_stream(n, 80, seed=2020, insert_probability=0.5, initial=graph)
     chunks = [list(c) for c in batched(stream, 8)]
+    state = {}
 
     def setup():
-        global _alg
-        _alg = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m))
-        _alg.preprocess(graph)
+        state["alg"] = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m))
+        state["alg"].preprocess(graph)
 
     def process():
         for chunk in chunks:
-            _alg.apply_batch(chunk)
+            state["alg"].apply_batch(chunk)
 
     benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
     for result in results.values():
@@ -156,18 +163,65 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--n", type=int, default=96, help="number of vertices")
     parser.add_argument("--updates", type=int, default=200, help="stream length")
     parser.add_argument("--batch-size", type=int, default=16, help="updates per batch (>= 8 for the Table 1 claim)")
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        default=["reference", "fast"],
+        help="execution backends to run (and compare wall-clock across)",
+    )
+    parser.add_argument("--min-speedup", type=float, default=None, help="fail unless fast reaches this speedup")
     args = parser.parse_args(argv)
     if args.quick:
         args.n, args.updates, args.batch_size = 32, 60, 8
 
-    results = run_comparisons(n=args.n, num_updates=args.updates, batch_size=args.batch_size)
+    wall_clock: dict[str, float] = {}
+    results_by_backend: dict[str, dict[str, dict]] = {}
+    for backend in args.backends:
+        start = time.perf_counter()
+        results_by_backend[backend] = run_comparisons(
+            n=args.n, num_updates=args.updates, batch_size=args.batch_size, backend=backend
+        )
+        wall_clock[backend] = round(time.perf_counter() - start, 6)
+
+    baseline = args.backends[0]
+    results = results_by_backend[baseline]
+    print(f"backend={baseline}")
     print(format_results(results))
+    status = 0
     for name, result in results.items():
         if result["batched_rounds"] >= result["sequential_rounds"]:
             print(f"FAIL: {name} did not save rounds")
-            return 1
-    print("\nOK: batched application saved rounds on every workload (identical solutions).")
-    return 0
+            status = 1
+
+    # Cross-backend: the round/word accounting must be identical; wall-clock may not.
+    for backend in args.backends[1:]:
+        if results_by_backend[backend] != results:
+            print(f"FAIL: backend {backend!r} changed the round/word accounting")
+            status = 1
+
+    report = {
+        "bench": "batched_updates",
+        "n": args.n,
+        "updates": args.updates,
+        "batch_size": args.batch_size,
+        "round_savings": results,
+        "backends": {
+            backend: {"wall_clock_s": wall_clock[backend]} for backend in args.backends
+        },
+    }
+    speedup = None
+    if "reference" in wall_clock and "fast" in wall_clock:
+        speedup = round(wall_clock["reference"] / max(wall_clock["fast"], 1e-9), 2)
+        report["backends"]["fast"]["speedup_vs_reference"] = speedup
+        print(f"\nwall-clock: reference {wall_clock['reference']:.3f}s, fast {wall_clock['fast']:.3f}s "
+              f"-> speedup {speedup:.2f}x")
+        if args.min_speedup is not None and speedup < args.min_speedup:
+            print(f"FAIL: fast backend speedup {speedup:.2f}x below required {args.min_speedup:.2f}x")
+            status = 1
+    emit_bench_json("batched_updates", report)
+    if status == 0:
+        print("\nOK: batched application saved rounds on every workload (identical solutions on every backend).")
+    return status
 
 
 if __name__ == "__main__":

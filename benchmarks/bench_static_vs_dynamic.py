@@ -9,7 +9,7 @@ reports the advantage factors.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SIZES, UPDATES
+from benchmarks.runner import SIZES, UPDATES
 from repro.analysis import compare_connectivity, compare_matching
 from repro.graph.generators import gnm_random_graph
 from repro.graph.streams import mixed_stream

@@ -6,7 +6,7 @@ communication per round, via Euler tours, starting from an arbitrary graph.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SIZES, sized_workload
+from benchmarks.runner import SIZES, record_sweep, run_sweep, sized_workload, time_update_stream
 from repro.analysis import build_table1_row
 from repro.dynamic_mpc import DMPCConnectivity
 
@@ -20,29 +20,12 @@ def run_one_size(n: int):
     return build_table1_row("connectivity", n, graph.num_edges, config.sqrt_N, summary), summary
 
 
-def test_connectivity_table1_row(benchmark, table1_recorder):
-    rows, rounds, machines, words = [], [], [], []
-    for n in SIZES:
-        row, summary = run_one_size(n)
-        rows.append(row)
-        rounds.append(summary.max_rounds)
-        machines.append(summary.max_active_machines)
-        words.append(summary.max_words_per_round)
+def test_connectivity_table1_row(benchmark):
+    sweep = run_sweep(run_one_size)
 
     graph, stream, config = sized_workload(SIZES[-1])
-    updates = list(stream)
-
-    def setup():
-        global _alg
-        _alg = DMPCConnectivity(config)
-        _alg.preprocess(graph)
-
-    def process():
-        for update in updates:
-            _alg.apply(update)
-
-    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
-    table1_recorder(benchmark, "connectivity", rows, list(SIZES), rounds, machines, words)
+    time_update_stream(benchmark, lambda: DMPCConnectivity(config), graph, list(stream))
+    record_sweep(benchmark, "connectivity", sweep)
     assert benchmark.extra_info["rounds_growth"] == "constant"
     # Active machines and communication should scale like sqrt(N), clearly sub-linear.
     assert benchmark.extra_info["machines_growth"] in ("sqrt", "log", "constant")

@@ -6,7 +6,7 @@ communication per round, worst case, via a coordinator.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SIZES, sized_workload
+from benchmarks.runner import SIZES, record_sweep, run_sweep, sized_workload, time_update_stream
 from repro.analysis import build_table1_row
 from repro.dynamic_mpc import DMPCMaximalMatching
 
@@ -20,32 +20,13 @@ def run_one_size(n: int):
     return build_table1_row("maximal-matching", n, graph.num_edges, config.sqrt_N, summary), summary
 
 
-def test_maximal_matching_table1_row(benchmark, table1_recorder):
-    rows, rounds, machines, words = [], [], [], []
-    for n in SIZES:
-        row, summary = run_one_size(n)
-        rows.append(row)
-        rounds.append(summary.max_rounds)
-        machines.append(summary.max_active_machines)
-        words.append(summary.max_words_per_round)
+def test_maximal_matching_table1_row(benchmark):
+    sweep = run_sweep(run_one_size)
 
     # Time the per-update cost at the largest size.
     graph, stream, config = sized_workload(SIZES[-1])
-    algorithm = DMPCMaximalMatching(config)
-    algorithm.preprocess(graph)
-    updates = list(stream)
-
-    def process():
-        for update in updates:
-            algorithm_copy.apply(update)
-
-    def setup():
-        global algorithm_copy
-        algorithm_copy = DMPCMaximalMatching(config)
-        algorithm_copy.preprocess(graph)
-
-    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
-    table1_recorder(benchmark, "maximal-matching", rows, list(SIZES), rounds, machines, words)
+    time_update_stream(benchmark, lambda: DMPCMaximalMatching(config), graph, list(stream))
+    record_sweep(benchmark, "maximal-matching", sweep)
     # Shape assertions: constant rounds/machines, sub-linear communication.
     assert benchmark.extra_info["rounds_growth"] == "constant"
     assert benchmark.extra_info["machines_growth"] in ("constant", "log")

@@ -6,7 +6,7 @@ round; the (1+eps) factor comes from the preprocessing bucketing.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SIZES, sized_workload
+from benchmarks.runner import SIZES, record_sweep, run_sweep, sized_workload, time_update_stream
 from repro.analysis import build_table1_row
 from repro.dynamic_mpc import DMPCApproxMST
 from repro.graph.validation import minimum_spanning_forest_weight
@@ -24,35 +24,16 @@ def run_one_size(n: int):
     return build_table1_row("approx-mst", n, graph.num_edges, config.sqrt_N, summary), summary, quality
 
 
-def test_approx_mst_table1_row(benchmark, table1_recorder):
-    rows, rounds, machines, words = [], [], [], []
-    quality_checks = []
-    for n in SIZES:
-        row, summary, quality = run_one_size(n)
-        rows.append(row)
-        rounds.append(summary.max_rounds)
-        machines.append(summary.max_active_machines)
-        words.append(summary.max_words_per_round)
-        quality_checks.append(quality)
+def test_approx_mst_table1_row(benchmark):
+    sweep = run_sweep(run_one_size)
 
     graph, stream, config = sized_workload(SIZES[-1], weighted=True)
-    updates = list(stream)
-
-    def setup():
-        global _alg
-        _alg = DMPCApproxMST(config, epsilon=EPSILON)
-        _alg.preprocess(graph)
-
-    def process():
-        for update in updates:
-            _alg.apply(update)
-
-    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    time_update_stream(benchmark, lambda: DMPCApproxMST(config, epsilon=EPSILON), graph, list(stream))
     benchmark.extra_info["weight_vs_optimal"] = [
         {"forest": round(ours, 2), "optimal": round(opt, 2), "ratio": round(ours / max(opt, 1e-9), 4)}
-        for (ours, opt) in quality_checks
+        for (ours, opt) in sweep.extras
     ]
-    table1_recorder(benchmark, "approx-mst", rows, list(SIZES), rounds, machines, words)
+    record_sweep(benchmark, "approx-mst", sweep)
     assert benchmark.extra_info["rounds_growth"] == "constant"
-    for (ours, opt) in quality_checks:
+    for (ours, opt) in sweep.extras:
         assert ours <= (1 + EPSILON) * opt + 1e-6

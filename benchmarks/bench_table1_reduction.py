@@ -7,10 +7,9 @@ communication per round.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SIZES, sized_workload
+from benchmarks.runner import SIZES, record_sweep, run_sweep, sized_workload
 from repro.analysis import build_table1_row
 from repro.dynamic_mpc import SequentialSimulationDMPC
-from repro.graph.streams import mixed_stream
 from repro.seq import HDTConnectivity, NeimanSolomonMatching, SequentialDynamicMST
 
 
@@ -30,32 +29,27 @@ def run_payload(kind: str, n: int):
     return build_table1_row(kind, n, graph.num_edges, config.sqrt_N, summary), summary
 
 
-def _bench(benchmark, table1_recorder, kind: str):
-    rows, rounds, machines, words = [], [], [], []
-    for n in SIZES:
-        row, summary = run_payload(kind, n)
-        rows.append(row)
-        rounds.append(summary.mean_rounds)  # the paper's claim is amortized
-        machines.append(summary.max_active_machines)
-        words.append(summary.max_words_per_round)
+def _bench(benchmark, kind: str):
+    # the paper's round claim is amortized, so the growth fit uses mean rounds
+    sweep = run_sweep(lambda n: run_payload(kind, n), rounds_stat="mean")
 
     def process():
         run_payload(kind, SIZES[-1])
 
     benchmark.pedantic(process, rounds=3, iterations=1)
-    table1_recorder(benchmark, kind, rows, list(SIZES), rounds, machines, words)
+    record_sweep(benchmark, kind, sweep)
     # O(1) machines and O(1) words per round always hold for the reduction.
-    assert max(machines) <= 2
-    assert max(words) <= 8
+    assert max(sweep.machines) <= 2
+    assert max(sweep.words) <= 8
 
 
-def test_reduction_connectivity_row(benchmark, table1_recorder):
-    _bench(benchmark, table1_recorder, "seq-simulation-connectivity")
+def test_reduction_connectivity_row(benchmark):
+    _bench(benchmark, "seq-simulation-connectivity")
 
 
-def test_reduction_matching_row(benchmark, table1_recorder):
-    _bench(benchmark, table1_recorder, "seq-simulation-matching")
+def test_reduction_matching_row(benchmark):
+    _bench(benchmark, "seq-simulation-matching")
 
 
-def test_reduction_mst_row(benchmark, table1_recorder):
-    _bench(benchmark, table1_recorder, "seq-simulation-mst")
+def test_reduction_mst_row(benchmark):
+    _bench(benchmark, "seq-simulation-mst")

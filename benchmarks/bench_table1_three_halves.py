@@ -6,7 +6,7 @@ communication per round, via a coordinator, starting from the empty graph.
 
 from __future__ import annotations
 
-from benchmarks.conftest import SIZES, UPDATES
+from benchmarks.runner import SIZES, UPDATES, record_sweep, run_sweep, time_update_stream
 from repro.analysis import build_table1_row
 from repro.config import DMPCConfig
 from repro.dynamic_mpc import DMPCThreeHalvesMatching
@@ -26,37 +26,19 @@ def run_one_size(n: int):
     return build_table1_row("three-halves-matching", n, algorithm.shadow.num_edges, config.sqrt_N, summary), summary, quality
 
 
-def test_three_halves_matching_table1_row(benchmark, table1_recorder):
-    rows, rounds, machines, words = [], [], [], []
-    quality_checks = []
-    for n in SIZES:
-        row, summary, quality = run_one_size(n)
-        rows.append(row)
-        rounds.append(summary.max_rounds)
-        machines.append(summary.max_active_machines)
-        words.append(summary.max_words_per_round)
-        quality_checks.append(quality)
+def test_three_halves_matching_table1_row(benchmark):
+    sweep = run_sweep(run_one_size)
 
     n = SIZES[-1]
     config = DMPCConfig.for_graph(n, 4 * n)
     updates = list(mixed_stream(n, UPDATES, seed=7, insert_probability=0.6))
-
-    def setup():
-        global _alg
-        _alg = DMPCThreeHalvesMatching(config)
-        _alg.preprocess(DynamicGraph(n))
-
-    def process():
-        for update in updates:
-            _alg.apply(update)
-
-    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    time_update_stream(benchmark, lambda: DMPCThreeHalvesMatching(config), DynamicGraph(n), updates)
     benchmark.extra_info["approximation"] = [
         {"matching": size, "maximum": optimum, "ratio": round(optimum / max(1, size), 3)}
-        for (size, optimum) in quality_checks
+        for (size, optimum) in sweep.extras
     ]
-    table1_recorder(benchmark, "three-halves-matching", rows, list(SIZES), rounds, machines, words)
+    record_sweep(benchmark, "three-halves-matching", sweep)
     assert benchmark.extra_info["rounds_growth"] == "constant"
     # 3/2 approximation: maximum <= 1.5 * maintained
-    for (size, optimum) in quality_checks:
+    for (size, optimum) in sweep.extras:
         assert 3 * size >= 2 * optimum

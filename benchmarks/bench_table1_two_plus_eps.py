@@ -6,7 +6,7 @@ round (no coordinator, no sqrt(N)-sized messages).
 
 from __future__ import annotations
 
-from benchmarks.conftest import SIZES, UPDATES
+from benchmarks.runner import SIZES, UPDATES, record_sweep, run_sweep, time_update_stream
 from repro.analysis import build_table1_row
 from repro.config import DMPCConfig
 from repro.dynamic_mpc import DMPCTwoPlusEpsMatching
@@ -27,39 +27,21 @@ def run_one_size(n: int):
     return build_table1_row("two-plus-eps-matching", n, algorithm.shadow.num_edges, config.sqrt_N, summary), summary, quality
 
 
-def test_two_plus_eps_matching_table1_row(benchmark, table1_recorder):
-    rows, rounds, machines, words = [], [], [], []
-    quality_checks = []
-    for n in SIZES:
-        row, summary, quality = run_one_size(n)
-        rows.append(row)
-        rounds.append(summary.max_rounds)
-        machines.append(summary.max_active_machines)
-        words.append(summary.max_words_per_round)
-        quality_checks.append(quality)
+def test_two_plus_eps_matching_table1_row(benchmark):
+    sweep = run_sweep(run_one_size)
 
     n = SIZES[-1]
     config = DMPCConfig.for_graph(n, 4 * n)
     updates = list(mixed_stream(n, UPDATES, seed=9, insert_probability=0.6))
-
-    def setup():
-        global _alg
-        _alg = DMPCTwoPlusEpsMatching(config, seed=1)
-        _alg.preprocess(DynamicGraph(n))
-
-    def process():
-        for update in updates:
-            _alg.apply(update)
-
-    benchmark.pedantic(process, setup=setup, rounds=3, iterations=1)
+    time_update_stream(benchmark, lambda: DMPCTwoPlusEpsMatching(config, seed=1), DynamicGraph(n), updates)
     benchmark.extra_info["approximation"] = [
-        {"matching": size, "maximum": optimum} for (size, optimum) in quality_checks
+        {"matching": size, "maximum": optimum} for (size, optimum) in sweep.extras
     ]
-    table1_recorder(benchmark, "two-plus-eps-matching", rows, list(SIZES), rounds, machines, words)
+    record_sweep(benchmark, "two-plus-eps-matching", sweep)
     assert benchmark.extra_info["rounds_growth"] == "constant"
     # Õ(1) machines and communication: must stay far below sqrt(N) scaling —
     # in particular the absolute counts stay tiny compared with the
     # connectivity/matching rows at the same sizes.
-    assert max(machines) <= 3 * max(1, rows[-1].sqrt_N)
-    for (size, optimum) in quality_checks:
+    assert max(sweep.machines) <= 3 * max(1, sweep.rows[-1].sqrt_N)
+    for (size, optimum) in sweep.extras:
         assert (2 + 0.5) * size >= optimum

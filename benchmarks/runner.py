@@ -1,0 +1,335 @@
+"""Shared harness for the benchmark suite: workloads, sweeps, JSON output.
+
+Every ``bench_table1_*`` module used to duplicate the same scaffolding —
+sweep the input sizes, collect the Table 1 cost columns, time the update
+stream with ``pytest-benchmark``, attach the growth shapes.  That lives
+here now, together with the two pieces the perf trajectory needs:
+
+* :func:`compare_backends` — run the identical workload under the
+  ``reference`` and ``fast`` execution backends (:mod:`repro.runtime`),
+  check the solutions and per-update round counts are identical, and
+  measure the wall-clock speedup;
+* :func:`emit_bench_json` — write machine-readable ``BENCH_<name>.json``
+  files (backend name, wall-clock, round totals, speedup) at the repo root
+  so successive runs leave a comparable perf record.
+
+Run directly for a backend comparison on one workload::
+
+    python benchmarks/runner.py --workload connectivity
+    python benchmarks/runner.py --workload maximal-matching --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+if __package__ in (None, ""):  # script mode: make `repro` importable
+    _here = os.path.dirname(os.path.abspath(__file__))
+    _src = os.path.abspath(os.path.join(_here, "..", "src"))
+    if _src not in sys.path:
+        sys.path.insert(0, _src)
+
+from repro.analysis import classify_growth, format_table
+from repro.config import DMPCConfig
+from repro.graph import DynamicGraph
+from repro.graph.generators import gnm_random_graph, random_weighted_graph
+from repro.graph.streams import mixed_stream
+
+#: input sizes (number of vertices) swept by the Table 1 benchmarks
+SIZES = (32, 64, 128)
+#: number of dynamic updates measured per size
+UPDATES = 80
+
+#: repo root — where the machine-readable BENCH_*.json records land
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+def sized_workload(n: int, *, weighted: bool = False, seed: int = 2019, backend: str | None = None):
+    """A graph with ``2 n`` edges plus a mixed update stream for it."""
+    m = 2 * n
+    if weighted:
+        graph = random_weighted_graph(n, m, seed=seed)
+    else:
+        graph = gnm_random_graph(n, m, seed=seed)
+    stream = mixed_stream(n, UPDATES, seed=seed + 1, insert_probability=0.5, initial=graph, weighted=weighted)
+    config = DMPCConfig.for_graph(n, 2 * m, backend=backend)
+    return graph, stream, config
+
+
+# ------------------------------------------------------------------ sweeping
+@dataclass
+class Sweep:
+    """The Table 1 cost columns collected over the size sweep."""
+
+    sizes: list[int] = field(default_factory=list)
+    rows: list = field(default_factory=list)
+    rounds: list = field(default_factory=list)
+    machines: list = field(default_factory=list)
+    words: list = field(default_factory=list)
+    extras: list = field(default_factory=list)
+
+
+def run_sweep(run_one_size: Callable[[int], tuple], sizes=SIZES, *, rounds_stat: str = "max") -> Sweep:
+    """Run ``run_one_size`` at every size and collect the Table 1 columns.
+
+    ``run_one_size(n)`` returns ``(row, summary)`` or ``(row, summary,
+    extra)``; ``rounds_stat`` selects which per-update round statistic the
+    growth classification uses (``"max"``, or ``"mean"`` for the amortized
+    Section 7 claims).
+    """
+    sweep = Sweep(sizes=list(sizes))
+    for n in sizes:
+        result = run_one_size(n)
+        row, summary = result[0], result[1]
+        sweep.rows.append(row)
+        sweep.rounds.append(summary.max_rounds if rounds_stat == "max" else summary.mean_rounds)
+        sweep.machines.append(summary.max_active_machines)
+        sweep.words.append(summary.max_words_per_round)
+        sweep.extras.append(result[2] if len(result) > 2 else None)
+    return sweep
+
+
+def record_table1(benchmark, kind: str, rows, sizes, rounds, machines, words) -> None:
+    """Attach measured-vs-paper information to the benchmark record."""
+    benchmark.extra_info["table1"] = [row.as_dict() for row in rows]
+    benchmark.extra_info["rounds_growth"] = classify_growth(sizes, rounds)
+    benchmark.extra_info["machines_growth"] = classify_growth(sizes, machines)
+    benchmark.extra_info["words_growth"] = classify_growth(sizes, words)
+    print()
+    print(format_table(rows))
+    print(
+        f"growth over n={list(sizes)}: rounds -> {benchmark.extra_info['rounds_growth']}, "
+        f"active machines -> {benchmark.extra_info['machines_growth']}, "
+        f"words/round -> {benchmark.extra_info['words_growth']}"
+    )
+
+
+def record_sweep(benchmark, kind: str, sweep: Sweep) -> None:
+    """Sweep-object flavour of :func:`record_table1` + JSON emission."""
+    record_table1(benchmark, kind, sweep.rows, sweep.sizes, sweep.rounds, sweep.machines, sweep.words)
+    emit_bench_json(
+        f"table1_{kind}",
+        {
+            "bench": f"table1_{kind}",
+            "backend": active_backend_name(),
+            "sizes": sweep.sizes,
+            "max_rounds": sweep.rounds,
+            "max_active_machines": sweep.machines,
+            "max_words_per_round": sweep.words,
+            "rounds_growth": benchmark.extra_info["rounds_growth"],
+            "machines_growth": benchmark.extra_info["machines_growth"],
+            "words_growth": benchmark.extra_info["words_growth"],
+            "table1": benchmark.extra_info["table1"],
+        },
+    )
+
+
+def time_update_stream(benchmark, make_algorithm, graph, updates, *, rounds: int = 3) -> None:
+    """Time per-update processing: fresh algorithm per timing round.
+
+    This is the ``setup``/``process`` pair every Table 1 module used to
+    spell out with module-global state.
+    """
+    state: dict[str, Any] = {}
+
+    def setup():
+        algorithm = make_algorithm()
+        if graph is not None:
+            algorithm.preprocess(graph)
+        state["algorithm"] = algorithm
+
+    def process():
+        algorithm = state["algorithm"]
+        for update in updates:
+            algorithm.apply(update)
+
+    benchmark.pedantic(process, setup=setup, rounds=rounds, iterations=1)
+
+
+def active_backend_name() -> str:
+    """The backend name the benchmark processes run under (for the JSON record)."""
+    return os.environ.get("REPRO_BACKEND") or "reference"
+
+
+# ----------------------------------------------------------------- JSON output
+def emit_bench_json(name: str, payload: dict, directory: str | None = None) -> str:
+    """Write a machine-readable ``BENCH_<name>.json`` record; return its path."""
+    path = os.path.join(directory or REPO_ROOT, f"BENCH_{name}.json")
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+# ------------------------------------------------------- backend comparisons
+def _connectivity_workload(n: int, updates: int, seed: int):
+    from repro.dynamic_mpc import DMPCConnectivity
+
+    m = 2 * n
+    graph = gnm_random_graph(n, m, seed=seed)
+    stream = list(mixed_stream(n, updates, seed=seed + 1, insert_probability=0.5, initial=graph))
+
+    def factory(backend):
+        return DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m, backend=backend))
+
+    def solution(alg):
+        return (sorted(sorted(c) for c in alg.components()), sorted(alg.spanning_forest()))
+
+    return factory, graph, stream, solution
+
+
+def _matching_workload(n: int, updates: int, seed: int):
+    from repro.dynamic_mpc import DMPCMaximalMatching
+
+    m = 2 * n
+    graph = gnm_random_graph(n, m, seed=seed)
+    stream = list(mixed_stream(n, updates, seed=seed + 1, insert_probability=0.5, initial=graph))
+
+    def factory(backend):
+        return DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m, backend=backend))
+
+    def solution(alg):
+        return sorted(alg.matching())
+
+    return factory, graph, stream, solution
+
+
+def _mst_workload(n: int, updates: int, seed: int):
+    from repro.dynamic_mpc import DMPCApproxMST
+
+    m = 2 * n
+    graph = random_weighted_graph(n, m, seed=seed)
+    stream = list(mixed_stream(n, updates, seed=seed + 1, insert_probability=0.5, initial=graph, weighted=True))
+
+    def factory(backend):
+        return DMPCApproxMST(DMPCConfig.for_graph(n, 2 * m, backend=backend), epsilon=0.2)
+
+    def solution(alg):
+        return (sorted(alg.spanning_forest()), round(alg.forest_weight(), 9))
+
+    return factory, graph, stream, solution
+
+
+def _three_halves_workload(n: int, updates: int, seed: int):
+    from repro.dynamic_mpc import DMPCThreeHalvesMatching
+
+    stream = list(mixed_stream(n, updates, seed=seed, insert_probability=0.6))
+
+    def factory(backend):
+        return DMPCThreeHalvesMatching(DMPCConfig.for_graph(n, 4 * n, backend=backend))
+
+    def solution(alg):
+        return sorted(alg.matching())
+
+    return factory, DynamicGraph(n), stream, solution
+
+
+#: workload name -> builder(n, updates, seed) -> (factory, graph, stream, solution)
+WORKLOADS: dict[str, Callable] = {
+    "connectivity": _connectivity_workload,
+    "maximal-matching": _matching_workload,
+    "mst": _mst_workload,
+    "three-halves": _three_halves_workload,
+}
+
+
+def compare_backends(
+    workload: str,
+    *,
+    n: int = 128,
+    updates: int = 200,
+    seed: int = 2019,
+    backends: tuple[str, ...] = ("reference", "fast"),
+    repeats: int = 3,
+) -> dict:
+    """Run one workload under each backend; verify equivalence, measure speedup.
+
+    The wall-clock figure is the best of ``repeats`` runs of the update
+    stream (preprocessing excluded).  Equivalence — identical solutions and
+    identical per-update round counts — is asserted, not just reported:
+    a fast backend that changes the simulation is a bug, not a trade-off.
+    """
+    factory, graph, stream, solution = WORKLOADS[workload](n, updates, seed)
+    results: dict[str, dict] = {}
+    solutions: dict[str, Any] = {}
+    round_counts: dict[str, list] = {}
+    for backend in backends:
+        best = float("inf")
+        for _ in range(repeats):
+            algorithm = factory(backend)
+            algorithm.preprocess(graph.copy())
+            start = time.perf_counter()
+            for update in stream:
+                algorithm.apply(update)
+            best = min(best, time.perf_counter() - start)
+        solutions[backend] = solution(algorithm)
+        round_counts[backend] = [(u.label, u.num_rounds) for u in algorithm.ledger.updates]
+        results[backend] = {
+            "wall_clock_s": round(best, 6),
+            "rounds_total": algorithm.update_round_total(),
+            "words_total": algorithm.update_summary().total_words,
+        }
+    baseline = backends[0]
+    for backend in backends[1:]:
+        if solutions[backend] != solutions[baseline]:
+            raise AssertionError(f"{workload}: backend {backend!r} diverged from {baseline!r} solution")
+        if round_counts[backend] != round_counts[baseline]:
+            raise AssertionError(f"{workload}: backend {backend!r} changed the per-update round counts")
+        results[backend]["speedup_vs_reference"] = round(
+            results[baseline]["wall_clock_s"] / max(results[backend]["wall_clock_s"], 1e-9), 2
+        )
+    return {
+        "bench": f"table1_{workload}",
+        "workload": workload,
+        "n": n,
+        "updates": updates,
+        "backends": results,
+        "solutions_identical": True,
+        "round_counts_identical": True,
+    }
+
+
+def format_comparison(report: dict) -> str:
+    header = f"{'backend':<12} {'wall-clock':>10} {'rounds':>8} {'words':>10} {'speedup':>8}"
+    lines = [f"workload={report['workload']} n={report['n']} updates={report['updates']}", header, "-" * len(header)]
+    for backend, result in report["backends"].items():
+        speedup = result.get("speedup_vs_reference")
+        lines.append(
+            f"{backend:<12} {result['wall_clock_s']:>9.3f}s {result['rounds_total']:>8} "
+            f"{result['words_total']:>10} {(f'{speedup:.2f}x' if speedup else '-'):>8}"
+        )
+    return "\n".join(lines)
+
+
+# ------------------------------------------------------------------------ CLI
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workload", choices=sorted(WORKLOADS), default="connectivity")
+    parser.add_argument("--n", type=int, default=128, help="number of vertices")
+    parser.add_argument("--updates", type=int, default=200, help="stream length")
+    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    parser.add_argument("--quick", action="store_true", help="small smoke-test sizes (used by CI)")
+    parser.add_argument("--min-speedup", type=float, default=None, help="fail unless fast reaches this speedup")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.n, args.updates, args.repeats = 48, 60, 1
+
+    report = compare_backends(args.workload, n=args.n, updates=args.updates, repeats=args.repeats)
+    print(format_comparison(report))
+    path = emit_bench_json(f"table1_{args.workload}_backends", report)
+    print(f"\nwrote {os.path.relpath(path, REPO_ROOT)}")
+    speedup = report["backends"]["fast"]["speedup_vs_reference"]
+    if args.min_speedup is not None and speedup < args.min_speedup:
+        print(f"FAIL: fast backend speedup {speedup:.2f}x below required {args.min_speedup:.2f}x")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -20,6 +20,12 @@ Package layout
     The DMPC cluster simulator: machines with ``O(sqrt(N))`` memory,
     synchronous message rounds, byte/word accounting, and a metrics ledger
     that records rounds, active machines and communication per update.
+``repro.runtime``
+    Pluggable execution backends separating simulation semantics from
+    execution strategy: the strict ``reference`` backend and the optimised
+    ``fast`` backend (memoised sizing, staged-sender transport, sampled
+    metrics), selected via ``DMPCConfig(backend=...)`` with zero
+    algorithm-layer changes.
 ``repro.graph``
     Dynamic graph containers, workload generators, update-stream generators
     and solution validators.

@@ -40,12 +40,28 @@ class DMPCConfig:
         by), while hard enforcement — which is sensitive to small constant
         factors on the tiny inputs used in tests — is opt-in and exercised
         by the dedicated model-limit tests/benchmarks (experiment E8).
+    backend:
+        Which execution backend (:mod:`repro.runtime`) clusters built from
+        this config use: ``"reference"`` (strict, fully-eager, full metrics
+        detail) or ``"fast"`` (memoised sizing, staged-sender transport,
+        aggregate metrics).  ``None`` (the default) defers to the
+        ``REPRO_BACKEND`` environment variable and finally to
+        ``"reference"``.  Every backend produces identical solutions, round
+        counts and word accounting; only wall-clock cost and retained
+        metrics detail differ.
+    metrics_sampling:
+        Fast-backend knob: retain the full per-(sender, receiver)
+        communication breakdown on every ``k``-th round (``0`` = never), so
+        the Section 8 entropy metric can still be estimated cheaply.  The
+        reference backend always retains full detail and ignores this.
     """
 
     capacity_n: int
     capacity_m: int
     memory_slack: float = 16.0
     strict_memory: bool = False
+    backend: str | None = None
+    metrics_sampling: int = 0
 
     def __post_init__(self) -> None:
         if self.capacity_n < 1:
@@ -54,6 +70,8 @@ class DMPCConfig:
             raise ValueError("capacity_m must be non-negative")
         if self.memory_slack <= 0:
             raise ValueError("memory_slack must be positive")
+        if self.metrics_sampling < 0:
+            raise ValueError("metrics_sampling must be non-negative")
 
     @property
     def capacity_N(self) -> int:
@@ -104,13 +122,23 @@ class DMPCConfig:
         return max(1, math.ceil(self.capacity_n / per_machine))
 
     @staticmethod
-    def for_graph(n: int, m: int, *, memory_slack: float = 16.0, strict_memory: bool = False) -> "DMPCConfig":
+    def for_graph(
+        n: int,
+        m: int,
+        *,
+        memory_slack: float = 16.0,
+        strict_memory: bool = False,
+        backend: str | None = None,
+        metrics_sampling: int = 0,
+    ) -> "DMPCConfig":
         """Convenience constructor sizing a deployment for an ``(n, m)`` graph."""
         return DMPCConfig(
             capacity_n=max(1, n),
             capacity_m=max(0, m),
             memory_slack=memory_slack,
             strict_memory=strict_memory,
+            backend=backend,
+            metrics_sampling=metrics_sampling,
         )
 
 

@@ -31,7 +31,6 @@ from repro.config import DMPCConfig
 from repro.dynamic_mpc.connectivity import DMPCConnectivity
 from repro.exceptions import InvariantViolation
 from repro.graph.graph import DynamicGraph, normalize_edge
-from repro.graph.updates import GraphUpdate
 from repro.graph.validation import is_spanning_forest, minimum_spanning_forest_weight
 
 __all__ = ["DMPCApproxMST"]

@@ -146,10 +146,7 @@ class DynamicMPCAlgorithm(abc.ABC):
         ]
         scratch = MetricsLedger()
         for record in updates:
-            scratch.begin_update(record.label)
-            for round_record in record.rounds:
-                scratch._current.rounds.append(round_record)  # noqa: SLF001 - intra-package use
-            scratch.end_update()
+            scratch.replay_update(record.label, record.rounds)
         return scratch.summary()
 
     def update_round_total(self) -> int:
@@ -163,8 +160,5 @@ class DynamicMPCAlgorithm(abc.ABC):
         """Cost summary of the preprocessing phase alone."""
         scratch = MetricsLedger()
         for record in self.ledger.updates_labelled(f"{self.kind}:preprocess"):
-            scratch.begin_update(record.label)
-            for round_record in record.rounds:
-                scratch._current.rounds.append(round_record)  # noqa: SLF001 - intra-package use
-            scratch.end_update()
+            scratch.replay_update(record.label, record.rounds)
         return scratch.summary()

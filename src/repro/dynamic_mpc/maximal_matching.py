@@ -26,7 +26,7 @@ from repro.config import DMPCConfig
 from repro.dynamic_mpc.base import DynamicMPCAlgorithm
 from repro.dynamic_mpc.state import MatchingFabric, VertexStats
 from repro.exceptions import InvariantViolation
-from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.graph.graph import DynamicGraph
 from repro.graph.updates import GraphUpdate
 from repro.graph.validation import greedy_maximal_matching, is_matching, is_maximal_matching
 
@@ -192,6 +192,20 @@ class DMPCMaximalMatching(DynamicMPCAlgorithm):
             return
         reply = fabric.update_vertex(z, sz, query="free-neighbor")
         free = reply["free"]
+        if free is None and sz.suspended_machines:
+            # Deletions can drain the alive set while neighbours — possibly
+            # the only free ones — still sit on the suspended stack, and the
+            # vertex may meanwhile have dropped below the heavy threshold
+            # (which would skip the heavy fallbacks below entirely).  Refill
+            # the alive set from the stack (the paper's ``fetchSuspended``),
+            # re-query it, and as a last resort scan the remaining suspended
+            # machines directly.
+            fabric.fetch_suspended(z, sz)
+            fabric.push_stats({z: sz})
+            reply = fabric.update_vertex(z, sz, query="free-neighbor")
+            free = reply["free"]
+            if free is None and sz.suspended_machines:
+                free = fabric.scan_suspended_for_free(z, sz)
         if free is not None:
             sfree = fabric.query_stats([free])[free]
             if sfree.mate is None:

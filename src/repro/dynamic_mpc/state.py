@@ -83,6 +83,9 @@ class MatchingFabric:
         pool_size = 2 * config.num_worker_machines + 8
         self.edge_pool = [m.machine_id for m in cluster.add_machines("edge", pool_size, role="edge")]
         self._unallocated = list(reversed(self.edge_pool))
+        # Set mirror of _unallocated: the round-robin maintenance tests pool
+        # membership once per update, which must not scan the whole pool.
+        self._unallocated_set = set(self._unallocated)
         self._light_machines: list[str] = []
         self._machine_seen_seq: dict[str, int] = {mid: 0 for mid in self.edge_pool}
         self._refresh_pointer = 0
@@ -106,6 +109,7 @@ class MatchingFabric:
         if not self._unallocated:
             raise ProtocolError("edge machine pool exhausted — size the DMPCConfig for the workload")
         machine_id = self._unallocated.pop()
+        self._unallocated_set.discard(machine_id)
         if light:
             self._light_machines.append(machine_id)
         return machine_id
@@ -309,7 +313,7 @@ class MatchingFabric:
             if self._deferred_refreshes >= self._max_deferred_refreshes:
                 self.flush_deferred_refreshes()
             return
-        allocated = [mid for mid in self.edge_pool if mid not in self._unallocated]
+        allocated = [mid for mid in self.edge_pool if mid not in self._unallocated_set]
         if not allocated:
             return
         machine_id = allocated[self._refresh_pointer % len(allocated)]
@@ -345,7 +349,7 @@ class MatchingFabric:
         count, self._deferred_refreshes = self._deferred_refreshes, 0
         if count == 0:
             return 0
-        allocated = [mid for mid in self.edge_pool if mid not in self._unallocated]
+        allocated = [mid for mid in self.edge_pool if mid not in self._unallocated_set]
         if not allocated:
             return 0
         targets: dict[str, None] = {}
@@ -670,6 +674,7 @@ class MatchingFabric:
             top.delete(("adj", v))
             stats.suspended_machines.pop()
             self._unallocated.append(top_id)
+            self._unallocated_set.add(top_id)
         alive.store(("adj", v), alive_adj)
 
     # -------------------------------------------------------------- preprocessing

@@ -9,7 +9,6 @@ live in :mod:`repro.graph.streams`.
 from __future__ import annotations
 
 import random
-from typing import Iterable
 
 from repro.graph.graph import DynamicGraph, normalize_edge
 

@@ -18,6 +18,13 @@ written as drivers that stage messages on machines via
 every round of every update, how many machines were active and how many
 words were communicated, which is exactly the cost model the paper's Table 1
 is expressed in.
+
+The mechanics of a round — how machine stores are sized and charged, how
+staged mailboxes are collected and delivered, how much per-round detail the
+ledger retains — are delegated to a pluggable execution backend
+(:mod:`repro.runtime`), selected via ``DMPCConfig(backend=...)``.  Backends
+never change the simulation itself, only how fast it runs and how much
+metrics detail survives.
 """
 
 from __future__ import annotations

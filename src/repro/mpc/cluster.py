@@ -3,13 +3,16 @@
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Callable, Iterable, Iterator
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from repro.config import DMPCConfig
-from repro.exceptions import MessageSizeExceeded, ProtocolError, UnknownMachineError
+from repro.exceptions import ProtocolError, UnknownMachineError
 from repro.mpc.machine import Machine
 from repro.mpc.message import Message
 from repro.mpc.metrics import MetricsLedger, RoundRecord
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import ExecutionBackend
 
 __all__ = ["Cluster"]
 
@@ -30,6 +33,14 @@ class Cluster:
     Every delivered round is recorded in the :class:`MetricsLedger`.  The
     per-round I/O cap of the model (each machine sends and receives at most
     ``S`` words per round) is enforced when ``enforce_io_cap`` is true.
+
+    *How* rounds are executed — storage sizing, mailbox collection, metrics
+    retention — is delegated to an :class:`~repro.runtime.base.ExecutionBackend`
+    (see :mod:`repro.runtime`).  The backend is resolved from the ``backend``
+    argument, else ``config.backend``, else the ``REPRO_BACKEND`` environment
+    variable, defaulting to the strict reference backend.  All backends
+    produce identical simulations (solutions, round counts, word accounting);
+    they differ in wall-clock cost and retained metrics detail.
     """
 
     def __init__(
@@ -38,23 +49,34 @@ class Cluster:
         *,
         enforce_io_cap: bool = False,
         ledger: MetricsLedger | None = None,
+        backend: "str | ExecutionBackend | None" = None,
     ) -> None:
+        from repro.runtime import resolve_backend
+
         self.config = config
         self.enforce_io_cap = enforce_io_cap
+        self.backend = resolve_backend(backend, config)
         self.ledger = ledger if ledger is not None else MetricsLedger()
+        self.ledger.round_record_factory = self.backend.round_record_factory()
         self._machines: dict[str, Machine] = {}
+        self._transport = self.backend.create_transport(self)
 
     # --------------------------------------------------------------- machines
     def add_machine(self, machine_id: str, *, role: str = "worker", capacity: int | None = None) -> Machine:
         """Create and register a machine.  Capacity defaults to ``S`` from config."""
         if machine_id in self._machines:
             raise ProtocolError(f"machine {machine_id!r} already exists")
+        capacity = capacity if capacity is not None else self.config.machine_memory
+        strict = self.config.strict_memory
         machine = Machine(
             machine_id,
-            capacity if capacity is not None else self.config.machine_memory,
-            strict=self.config.strict_memory,
+            capacity,
+            strict=strict,
             role=role,
+            storage=self.backend.create_storage(machine_id, capacity, strict=strict),
+            index=len(self._machines),
         )
+        machine.transport = self._transport
         self._machines[machine_id] = machine
         return machine
 
@@ -68,6 +90,15 @@ class Cluster:
             return self._machines[machine_id]
         except KeyError:
             raise UnknownMachineError(f"no machine named {machine_id!r}") from None
+
+    @property
+    def machines_by_id(self) -> dict[str, Machine]:
+        """The registered machines keyed by id (registration order preserved).
+
+        Transports iterate this directly; treat it as read-only — register
+        machines through :meth:`add_machine`.
+        """
+        return self._machines
 
     def machines(self, role: str | None = None) -> list[Machine]:
         """All machines, optionally filtered by role."""
@@ -95,38 +126,11 @@ class Cluster:
 
         Raises :class:`MessageSizeExceeded` if any machine would send or
         receive more than ``S`` words in this round (when enforcement is on)
-        and :class:`UnknownMachineError` for misaddressed messages.
+        and :class:`UnknownMachineError` for misaddressed messages.  The
+        collection/delivery mechanics live in the backend's
+        :class:`~repro.runtime.base.Transport`.
         """
-        outgoing: list[Message] = []
-        sent_words: dict[str, int] = {}
-        for machine in self._machines.values():
-            if machine.outbox:
-                for msg in machine.outbox:
-                    if msg.receiver not in self._machines:
-                        raise UnknownMachineError(
-                            f"message from {msg.sender!r} addressed to unknown machine {msg.receiver!r}"
-                        )
-                    outgoing.append(msg)
-                    sent_words[msg.sender] = sent_words.get(msg.sender, 0) + msg.words
-                machine.outbox = []
-
-        received_words: dict[str, int] = {}
-        for msg in outgoing:
-            received_words[msg.receiver] = received_words.get(msg.receiver, 0) + msg.words
-
-        if self.enforce_io_cap:
-            cap = self.config.machine_memory
-            for machine_id, words in sent_words.items():
-                if words > cap:
-                    raise MessageSizeExceeded(machine_id, "send", words, cap)
-            for machine_id, words in received_words.items():
-                if words > cap:
-                    raise MessageSizeExceeded(machine_id, "receive", words, cap)
-
-        for msg in outgoing:
-            self._machines[msg.receiver].inbox.append(msg)
-
-        return self.ledger.record_round(outgoing)
+        return self._transport.exchange()
 
     def superstep(self, handler: Callable[[Machine, list[Message]], None], *, machines: Iterable[str] | None = None) -> RoundRecord:
         """Run ``handler`` on each (selected) machine, then exchange one round.
@@ -143,9 +147,7 @@ class Cluster:
 
     def discard_undelivered(self) -> None:
         """Drop any staged (outbox) and pending (inbox) messages on all machines."""
-        for machine in self._machines.values():
-            machine.outbox.clear()
-            machine.inbox.clear()
+        self._transport.discard_undelivered()
 
     # ---------------------------------------------------------------- updates
     @contextmanager
@@ -172,4 +174,7 @@ class Cluster:
             self.ledger.end_batch()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Cluster(machines={len(self._machines)}, S={self.config.machine_memory})"
+        return (
+            f"Cluster(machines={len(self._machines)}, S={self.config.machine_memory}, "
+            f"backend={self.backend.name!r})"
+        )

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Iterable
+from typing import Iterable
 
 from repro.mpc.cluster import Cluster
 from repro.mpc.machine import Machine
@@ -68,12 +68,17 @@ class UpdateHistory:
         self.capacity = capacity
         self._entries: deque[HistoryEntry] = deque(maxlen=capacity)
         self._seq = 0
+        self._words = 0
 
     def append(self, kind: str, u: int, v: int, weight: float | None = None) -> HistoryEntry:
         """Record a new change and return its entry."""
         self._seq += 1
         entry = HistoryEntry(seq=self._seq, kind=kind, u=u, v=v, weight=weight)
+        if len(self._entries) == self.capacity:
+            # The deque evicts its oldest entry on append; release its words.
+            self._words -= self._entries[0].dmpc_words()
         self._entries.append(entry)
+        self._words += entry.dmpc_words()
         return entry
 
     def entries(self) -> list[HistoryEntry]:
@@ -96,8 +101,14 @@ class UpdateHistory:
         return len(self._entries)
 
     def dmpc_words(self) -> int:
-        """Charged size when the history is shipped in a message."""
-        return max(1, sum(e.dmpc_words() for e in self._entries))
+        """Charged size when the history is shipped in a message.
+
+        Maintained incrementally on append/evict, so the coordinator's
+        per-update ``send_history`` does not re-walk the ``O(sqrt N)``
+        buffer to size it — an accounting-policy refactor that keeps the
+        charged value identical to summing the entries.
+        """
+        return max(1, self._words)
 
 
 @dataclass

@@ -14,15 +14,22 @@ communication.  (The *drivers* implementing algorithms are allowed to read a
 machine's local store directly — they model the code running *on* that
 machine — but any information that must flow to code running on a different
 machine has to be sent.)
+
+How the local store sizes and charges its contents is an execution-backend
+policy (:mod:`repro.runtime`): the machine delegates to the
+:class:`~repro.runtime.base.MachineStorage` it was constructed with.  A
+machine created standalone (outside a cluster) uses the reference storage,
+which preserves the historical eager-sizing behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterator
+from typing import TYPE_CHECKING, Any, Iterator
 
-from repro.exceptions import MachineMemoryExceeded
 from repro.mpc.message import Message
-from repro.mpc.sizing import word_size
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.base import MachineStorage, Transport
 
 __all__ = ["Machine"]
 
@@ -30,68 +37,74 @@ __all__ = ["Machine"]
 class Machine:
     """A memory-bounded machine participating in a :class:`Cluster`."""
 
-    __slots__ = ("machine_id", "capacity", "strict", "_store", "_stored_words", "inbox", "outbox", "role")
+    __slots__ = ("machine_id", "capacity", "strict", "role", "index", "storage", "transport", "inbox", "outbox")
 
-    def __init__(self, machine_id: str, capacity: int, *, strict: bool = True, role: str = "worker") -> None:
+    def __init__(
+        self,
+        machine_id: str,
+        capacity: int,
+        *,
+        strict: bool = True,
+        role: str = "worker",
+        storage: "MachineStorage | None" = None,
+        index: int = 0,
+    ) -> None:
         if capacity < 1:
             raise ValueError("machine capacity must be at least one word")
         self.machine_id = machine_id
         self.capacity = capacity
         self.strict = strict
         self.role = role
-        self._store: dict[Any, Any] = {}
-        self._stored_words = 0
+        #: registration order within the owning cluster; transports use it to
+        #: reproduce the reference message-delivery order.
+        self.index = index
+        if storage is None:
+            from repro.runtime.reference import ReferenceStorage
+
+            storage = ReferenceStorage(machine_id, capacity, strict=strict)
+        self.storage = storage
+        #: transport notified when a message is staged (set by the cluster).
+        self.transport: "Transport | None" = None
         self.inbox: list[Message] = []
         self.outbox: list[Message] = []
 
     # ------------------------------------------------------------------ store
     def store(self, key: Any, value: Any) -> None:
         """Store ``value`` under ``key``, charging its word size to local memory."""
-        new_words = word_size(key) + word_size(value)
-        old_words = 0
-        if key in self._store:
-            old_words = word_size(key) + word_size(self._store[key])
-        projected = self._stored_words - old_words + new_words
-        if self.strict and projected > self.capacity:
-            raise MachineMemoryExceeded(self.machine_id, self._stored_words - old_words, self.capacity, new_words)
-        self._store[key] = value
-        self._stored_words = projected
+        self.storage.store(key, value)
 
     def load(self, key: Any, default: Any = None) -> Any:
         """Return the value stored under ``key`` (or ``default``)."""
-        return self._store.get(key, default)
+        return self.storage.load(key, default)
 
     def __contains__(self, key: Any) -> bool:
-        return key in self._store
+        return key in self.storage
 
     def delete(self, key: Any) -> None:
         """Remove ``key`` from the local store (no-op if absent)."""
-        if key in self._store:
-            self._stored_words -= word_size(key) + word_size(self._store[key])
-            del self._store[key]
+        self.storage.delete(key)
 
     def keys(self) -> Iterator[Any]:
         """Iterate over the keys currently stored on this machine."""
-        return iter(list(self._store.keys()))
+        return self.storage.keys()
 
     def items(self) -> Iterator[tuple[Any, Any]]:
         """Iterate over ``(key, value)`` pairs currently stored on this machine."""
-        return iter(list(self._store.items()))
+        return self.storage.items()
 
     @property
     def used_words(self) -> int:
         """Number of words currently charged against this machine's memory."""
-        return self._stored_words
+        return self.storage.used_words
 
     @property
     def free_words(self) -> int:
         """Remaining memory in words."""
-        return max(0, self.capacity - self._stored_words)
+        return max(0, self.capacity - self.storage.used_words)
 
     def clear(self) -> None:
         """Empty the local store and both mailboxes."""
-        self._store.clear()
-        self._stored_words = 0
+        self.storage.clear()
         self.inbox.clear()
         self.outbox.clear()
 
@@ -106,6 +119,8 @@ class Machine:
             words=-1 if words is None else words,
         )
         self.outbox.append(message)
+        if self.transport is not None:
+            self.transport.note_staged(self)
         return message
 
     def receive(self, tag: str | None = None) -> list[Message]:
@@ -126,5 +141,5 @@ class Machine:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Machine({self.machine_id!r}, role={self.role!r}, "
-            f"used={self._stored_words}/{self.capacity})"
+            f"used={self.storage.used_words}/{self.capacity})"
         )

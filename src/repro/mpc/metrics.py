@@ -136,14 +136,26 @@ class UpdateSummary:
 
 
 class MetricsLedger:
-    """Collects :class:`RoundRecord` objects grouped into labelled updates."""
+    """Collects :class:`RoundRecord` objects grouped into labelled updates.
 
-    def __init__(self) -> None:
+    How a delivered round is condensed into a :class:`RoundRecord` is an
+    execution-backend accounting policy: :attr:`round_record_factory` is a
+    ``(round_index, messages) -> RoundRecord`` callable, defaulting to the
+    reference policy (:meth:`RoundRecord.from_messages`, which retains the
+    full per-(sender, receiver) breakdown).  Clusters overwrite it with
+    their backend's policy at construction time.
+    """
+
+    def __init__(self, *, round_record_factory=None) -> None:
         self._updates: list[UpdateRecord] = []
         self._current: UpdateRecord | None = None
         self._round_counter = 0
         self._batch_counter = 0
         self._current_batch: int | None = None
+        #: accounting policy building the per-round record (backend-supplied)
+        self.round_record_factory = (
+            round_record_factory if round_record_factory is not None else RoundRecord.from_messages
+        )
 
     # ----------------------------------------------------------------- update
     def begin_update(self, label: str) -> UpdateRecord:
@@ -234,13 +246,27 @@ class MetricsLedger:
         """Record one synchronous round.  Rounds outside an update are allowed
         (e.g. ad-hoc probes) but are tracked under an anonymous update."""
         self._round_counter += 1
-        record = RoundRecord.from_messages(self._round_counter, messages)
+        record = self.round_record_factory(self._round_counter, messages)
         if self._current is None:
             anonymous = UpdateRecord(label="<unlabelled>", batch_id=self._current_batch)
             anonymous.rounds.append(record)
             self._updates.append(anonymous)
         else:
             self._current.rounds.append(record)
+        return record
+
+    def replay_update(self, label: str, rounds: Iterable[RoundRecord]) -> UpdateRecord:
+        """Append an already-recorded update (label + round records) verbatim.
+
+        This is the public API for re-aggregating recorded history into a
+        scratch ledger — e.g. building a summary over a filtered subset of
+        another ledger's updates — without poking the ledger's internals.
+        The global round counter is untouched: the rounds being replayed
+        were already counted when they originally happened.
+        """
+        record = self.begin_update(label)
+        record.rounds.extend(rounds)
+        self.end_update()
         return record
 
     # -------------------------------------------------------------- summaries

@@ -13,7 +13,6 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from repro.mpc.cluster import Cluster
-from repro.mpc.machine import Machine
 
 __all__ = ["broadcast", "gather", "aggregate_sum", "sample_sort"]
 

@@ -25,7 +25,7 @@ from __future__ import annotations
 import math
 from typing import Any
 
-__all__ = ["word_size"]
+__all__ = ["word_size", "fast_word_size"]
 
 
 def word_size(payload: Any) -> int:
@@ -54,3 +54,38 @@ def word_size(payload: Any) -> int:
     # Fall back to the object's repr length; this path is not used by the
     # algorithms in the package but keeps accounting total.
     return max(1, math.ceil(len(repr(payload)) / 8))
+
+
+def fast_word_size(payload: Any) -> int:
+    """:func:`word_size` with identical output, optimised for hot paths.
+
+    An iterative re-implementation used by the fast execution backend's
+    storage accounting: exact-type dispatch and an explicit stack replace
+    the ``isinstance`` chains, generator expressions and recursion of the
+    readable reference implementation.  Exotic payloads — subclasses of the
+    builtin containers, objects exposing ``dmpc_words()``, repr fallbacks —
+    are handed to :func:`word_size` itself, so the two functions agree on
+    *every* input (property-tested in ``tests/runtime``).
+    """
+    total = 0
+    stack = [payload]
+    pop = stack.pop
+    extend = stack.extend
+    while stack:
+        item = pop()
+        kind = type(item)
+        if kind is int or kind is float or kind is bool or item is None:
+            total += 1
+        elif kind is str or kind is bytes:
+            total += (len(item) + 7) // 8 or 1
+        elif kind is dict:
+            total += 1
+            for key, value in item.items():
+                stack.append(key)
+                stack.append(value)
+        elif kind is tuple or kind is list or kind is set or kind is frozenset:
+            total += 1
+            extend(item)
+        else:
+            total += word_size(item)
+    return total

@@ -1,0 +1,50 @@
+"""Pluggable execution backends for the DMPC simulator.
+
+The runtime layer separates *simulation semantics* (messages, rounds,
+costs, solutions — fixed by the algorithms) from *execution strategy* (how
+storage is sized, how mailboxes are delivered, how much metrics detail is
+retained — chosen per deployment).  See :mod:`repro.runtime.base` for the
+protocol and the contract, :mod:`repro.runtime.reference` for the strict
+baseline and :mod:`repro.runtime.fast` for the optimised strategy.
+
+Select a backend through the config::
+
+    config = DMPCConfig.for_graph(n, m, backend="fast")
+    algorithm = DMPCConnectivity(config)   # no other change needed
+
+or per cluster (``Cluster(config, backend="fast")``), or fleet-wide via the
+``REPRO_BACKEND`` environment variable (used by the CI matrix).  Future
+backends (process-pool, sharded) plug in by registering a new
+:class:`~repro.runtime.base.ExecutionBackend` subclass — algorithm code
+never changes.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.base import (
+    BACKEND_ENV_VAR,
+    BACKENDS,
+    ExecutionBackend,
+    MachineStorage,
+    Transport,
+    register_backend,
+    resolve_backend,
+)
+from repro.runtime.fast import CachedStorage, FastBackend, FastTransport
+from repro.runtime.reference import ReferenceBackend, ReferenceStorage, ReferenceTransport
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "BACKENDS",
+    "ExecutionBackend",
+    "MachineStorage",
+    "Transport",
+    "register_backend",
+    "resolve_backend",
+    "ReferenceBackend",
+    "ReferenceStorage",
+    "ReferenceTransport",
+    "FastBackend",
+    "FastTransport",
+    "CachedStorage",
+]

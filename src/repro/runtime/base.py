@@ -1,0 +1,266 @@
+"""Execution-backend protocol: *what* a round means vs *how* it runs.
+
+The DMPC simulator separates two concerns that used to be welded together
+in :mod:`repro.mpc.cluster` / :mod:`repro.mpc.machine`:
+
+* **simulation semantics** — which messages exist, what they cost in words,
+  which rounds happen, what the maintained solution is.  These are fixed by
+  the algorithms and must be identical under every backend.
+* **execution strategy** — how machine-local storage is sized and charged,
+  how staged messages are collected and delivered, and how much per-round
+  detail the metrics ledger retains.  These are pluggable.
+
+An :class:`ExecutionBackend` bundles one choice of execution strategy as
+three cooperating policies:
+
+``MachineStorage``
+    the key/value store backing one :class:`~repro.mpc.machine.Machine`,
+    including the word-size accounting and (when ``strict``) the
+    ``MachineMemoryExceeded`` enforcement;
+``Transport``
+    the mailbox fabric: collecting staged outboxes, validating receivers,
+    enforcing the per-round I/O cap, and delivering one synchronous round;
+``round_record_factory``
+    the accounting policy: how a delivered round is condensed into the
+    :class:`~repro.mpc.metrics.RoundRecord` the ledger retains.
+
+Backends are selected per :class:`~repro.mpc.cluster.Cluster`, normally via
+``DMPCConfig(backend="reference" | "fast")`` so algorithm code never needs
+to know which backend it runs on.  The contract every backend must honour:
+**identical decisions** — ``used_words`` / ``free_words`` reads, message
+delivery order and round counts must be bit-for-bit equal to the reference
+backend, because algorithms branch on them.  What a backend may trade away
+is eagerness (when sizes are computed) and metrics detail (what the ledger
+keeps), never the observable simulation.
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.exceptions import MessageSizeExceeded, UnknownMachineError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.config import DMPCConfig
+    from repro.mpc.cluster import Cluster
+    from repro.mpc.machine import Machine
+    from repro.mpc.message import Message
+    from repro.mpc.metrics import RoundRecord
+
+__all__ = [
+    "MachineStorage",
+    "Transport",
+    "ExecutionBackend",
+    "BACKENDS",
+    "register_backend",
+    "resolve_backend",
+    "BACKEND_ENV_VAR",
+]
+
+#: environment variable consulted when neither the cluster nor the config
+#: names a backend — lets CI run the whole suite under an alternate backend.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+
+
+class MachineStorage(abc.ABC):
+    """Storage policy backing one machine's local key/value store.
+
+    Implementations own the word-size accounting.  ``used_words`` must
+    always equal ``sum(word_size(k) + word_size(v))`` over the current
+    contents — backends may compute that sum lazily or from caches, but the
+    value returned at any read point is part of the simulation semantics
+    (allocation decisions branch on it) and must match the reference.
+    """
+
+    __slots__ = ("machine_id", "capacity", "strict")
+
+    def __init__(self, machine_id: str, capacity: int, *, strict: bool) -> None:
+        self.machine_id = machine_id
+        self.capacity = capacity
+        self.strict = strict
+
+    @abc.abstractmethod
+    def store(self, key: Any, value: Any) -> None:
+        """Store ``value`` under ``key``; raise ``MachineMemoryExceeded`` when strict."""
+
+    @abc.abstractmethod
+    def load(self, key: Any, default: Any = None) -> Any:
+        """Return the value stored under ``key`` (or ``default``)."""
+
+    @abc.abstractmethod
+    def __contains__(self, key: Any) -> bool: ...
+
+    @abc.abstractmethod
+    def delete(self, key: Any) -> None:
+        """Remove ``key`` (no-op if absent)."""
+
+    @abc.abstractmethod
+    def keys(self) -> Iterator[Any]:
+        """Snapshot iterator over the stored keys."""
+
+    @abc.abstractmethod
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        """Snapshot iterator over the stored ``(key, value)`` pairs."""
+
+    @property
+    @abc.abstractmethod
+    def used_words(self) -> int:
+        """Words currently charged against the machine's memory."""
+
+    @abc.abstractmethod
+    def clear(self) -> None:
+        """Empty the store and reset the accounting."""
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+
+class Transport(abc.ABC):
+    """Mailbox fabric delivering one synchronous round for a cluster."""
+
+    __slots__ = ("cluster",)
+
+    def __init__(self, cluster: "Cluster") -> None:
+        self.cluster = cluster
+
+    def note_staged(self, machine: "Machine") -> None:
+        """Hook called by :meth:`Machine.send` after staging a message.
+
+        The reference transport ignores it (it rescans every machine each
+        round); faster transports use it to visit only machines that
+        actually staged messages.
+        """
+
+    @abc.abstractmethod
+    def exchange(self) -> "RoundRecord":
+        """Deliver all staged messages as one synchronous round.
+
+        Must validate receivers (``UnknownMachineError``), enforce the
+        per-round I/O cap when ``cluster.enforce_io_cap`` is set
+        (``MessageSizeExceeded``), append to the receivers' inboxes in the
+        reference delivery order (senders by machine registration order,
+        messages within a sender in staging order) and record the round in
+        the cluster's ledger.  Concrete transports normally implement this
+        by choosing a sender iteration and calling :meth:`deliver`.
+        """
+
+    def deliver(self, senders: Iterable["Machine"]) -> "RoundRecord":
+        """Collect, validate, cap-check and deliver one round from ``senders``.
+
+        The shared round-delivery core: transports differ only in *which*
+        machines they iterate (all registered machines vs the staged
+        subset), never in what a delivered round means.  ``senders`` must
+        be in machine registration order — that is the delivery order the
+        simulation semantics fix.
+        """
+        cluster = self.cluster
+        machines = cluster.machines_by_id
+        outgoing: list["Message"] = []
+        enforce = cluster.enforce_io_cap
+        sent_words: dict[str, int] = {}
+        for machine in senders:
+            if not machine.outbox:
+                continue
+            for msg in machine.outbox:
+                if msg.receiver not in machines:
+                    raise UnknownMachineError(
+                        f"message from {msg.sender!r} addressed to unknown machine {msg.receiver!r}"
+                    )
+                outgoing.append(msg)
+                if enforce:
+                    sent_words[msg.sender] = sent_words.get(msg.sender, 0) + msg.words
+            machine.outbox = []
+
+        if enforce:
+            cap = cluster.config.machine_memory
+            received_words: dict[str, int] = {}
+            for msg in outgoing:
+                received_words[msg.receiver] = received_words.get(msg.receiver, 0) + msg.words
+            for machine_id, words in sent_words.items():
+                if words > cap:
+                    raise MessageSizeExceeded(machine_id, "send", words, cap)
+            for machine_id, words in received_words.items():
+                if words > cap:
+                    raise MessageSizeExceeded(machine_id, "receive", words, cap)
+
+        for msg in outgoing:
+            machines[msg.receiver].inbox.append(msg)
+
+        return cluster.ledger.record_round(outgoing)
+
+    def discard_undelivered(self) -> None:
+        """Drop all staged (outbox) and pending (inbox) messages."""
+        for machine in self.cluster.machines():
+            machine.outbox.clear()
+            machine.inbox.clear()
+
+
+class ExecutionBackend(abc.ABC):
+    """One bundled choice of storage, transport and accounting policy."""
+
+    #: registry key and the value accepted by ``DMPCConfig.backend``
+    name: str = "abstract"
+
+    def __init__(self, config: "DMPCConfig") -> None:
+        self.config = config
+
+    @abc.abstractmethod
+    def create_storage(self, machine_id: str, capacity: int, *, strict: bool) -> MachineStorage:
+        """Storage for a newly registered machine."""
+
+    @abc.abstractmethod
+    def create_transport(self, cluster: "Cluster") -> Transport:
+        """Transport for a newly constructed cluster."""
+
+    @abc.abstractmethod
+    def round_record_factory(self) -> Callable[[int, Iterable["Message"]], "RoundRecord"]:
+        """Accounting policy: ``(round_index, messages) -> RoundRecord``."""
+
+    @property
+    @abc.abstractmethod
+    def guarantees(self) -> dict[str, bool]:
+        """Which model guarantees this backend enforces / retains.
+
+        Keys: ``strict_memory`` (raises ``MachineMemoryExceeded`` when the
+        config asks for it), ``io_cap`` (raises ``MessageSizeExceeded`` when
+        the cluster asks for it), ``exact_accounting`` (``used_words`` and
+        message words match the reference), ``full_metrics`` (per-pair
+        communication detail retained on every round, so
+        ``communication_entropy`` is exact rather than sampled).
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+#: name -> backend class registry; populated by the concrete modules.
+BACKENDS: dict[str, type[ExecutionBackend]] = {}
+
+
+def register_backend(cls: type[ExecutionBackend]) -> type[ExecutionBackend]:
+    """Class decorator adding a backend to the :data:`BACKENDS` registry."""
+    BACKENDS[cls.name] = cls
+    return cls
+
+
+def resolve_backend(
+    spec: "str | ExecutionBackend | None",
+    config: "DMPCConfig",
+) -> ExecutionBackend:
+    """Resolve a backend choice into a backend instance for ``config``.
+
+    Precedence: an explicit ``spec`` (instance or registry name) wins, then
+    ``config.backend``, then the ``REPRO_BACKEND`` environment variable,
+    then ``"reference"``.
+    """
+    if isinstance(spec, ExecutionBackend):
+        return spec
+    name = spec or getattr(config, "backend", None) or os.environ.get(BACKEND_ENV_VAR) or "reference"
+    try:
+        backend_cls = BACKENDS[name]
+    except KeyError:
+        known = ", ".join(sorted(BACKENDS))
+        raise ValueError(f"unknown execution backend {name!r} (known backends: {known})") from None
+    return backend_cls(config)

@@ -1,0 +1,223 @@
+"""The fast execution backend — same semantics, far less bookkeeping.
+
+The reference backend spends most of its wall-clock recursively sizing
+Python payloads: every ``Machine.store`` sizes the *old* value (to release
+its words) and the *new* value (to charge it), so rewriting an adjacency
+dict costs two full traversals, and most of those sizes are never read.
+The fast backend removes that waste without changing a single observable
+decision:
+
+* **memoised sizing** (:class:`CachedStorage`) — each stored object is
+  sized exactly once, at its charging store, and the charge is cached:
+  overwrites and deletes release the cached charge instead of re-walking
+  the old payload, and re-storing the *same* object (the read-modify-write
+  pattern used throughout the algorithms) skips sizing entirely — which is
+  also precisely what the reference's accounting observes for that
+  pattern, so ``used_words`` at any read point is identical.  Strict
+  memory enforcement still happens at the exact offending store.
+* **staged-sender transport** (:class:`FastTransport`) — machines register
+  themselves when they stage a message, so a round visits only the actual
+  senders instead of rescanning the whole (mostly idle) machine pool.
+  Senders are replayed in machine registration order, which reproduces the
+  reference delivery order exactly.
+* **aggregate accounting** — each delivered round is condensed into the
+  scalar aggregates (active machines, words, message count) without the
+  per-(sender, receiver) breakdown the reference retains.
+  ``DMPCConfig.metrics_sampling = k`` opt-in keeps the full breakdown on
+  every ``k``-th round so communication entropy can still be estimated.
+
+Guarantees: memory and I/O caps are still *enforced* whenever they are
+explicitly enabled (``strict_memory=True`` / ``enforce_io_cap=True``) and
+all word accounting is exact; only the retained per-pair metrics detail is
+reduced (sampled).  Solutions and per-update round counts are equal to the
+reference backend by construction, and the cross-backend equivalence tests
+pin that.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
+
+from repro.exceptions import MachineMemoryExceeded
+from repro.mpc.sizing import fast_word_size
+from repro.runtime.base import ExecutionBackend, MachineStorage, Transport, register_backend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpc.cluster import Cluster
+    from repro.mpc.machine import Machine
+    from repro.mpc.message import Message
+    from repro.mpc.metrics import RoundRecord
+
+__all__ = ["CachedStorage", "FastTransport", "FastBackend"]
+
+
+#: sentinel distinguishing "key absent" from "key stores None"
+_MISSING = object()
+
+
+class CachedStorage(MachineStorage):
+    """Memoised word-size accounting, charge-for-charge equal to the reference.
+
+    The reference sizes the old value *and* the new value on every store.
+    This storage sizes each stored object exactly once — at its charging
+    store — and caches the charge, exploiting two facts about the
+    reference's accounting:
+
+    * **same-object re-store is a no-op there**: the reference re-sizes
+      old and new live, but they are the same object, so the charge never
+      moves.  (This is also why the reference never charges in-place
+      mutation of a stored value — the ``mutate_stats`` / ``push_stats``
+      read-modify-write pattern all drivers use.)  We skip the sizing
+      entirely.
+    * **for a different object, the charge is replaced wholesale** with
+      ``word_size(key) + word_size(value)`` at store time, so releasing the
+      cached charge and adding the fresh size reproduces the reference
+      total.
+
+    Contract for drivers (already honoured throughout the package): a
+    stored value may be mutated in place only if it is re-stored as the
+    same object; replacing or deleting a key must use the copy-on-write
+    pattern (mutate a copy, store the copy).  A driver that mutated a
+    stored object and then overwrote the key with a *different* object
+    would drift from the reference by the unsized mutation — the
+    cross-backend equivalence tests compare per-machine ``used_words``
+    over every algorithm to pin that this never happens.
+    """
+
+    __slots__ = ("_store", "_sizes", "_total")
+
+    def __init__(self, machine_id: str, capacity: int, *, strict: bool) -> None:
+        super().__init__(machine_id, capacity, strict=strict)
+        self._store: dict[Any, Any] = {}
+        self._sizes: dict[Any, int] = {}
+        self._total = 0
+
+    def store(self, key: Any, value: Any) -> None:
+        if self._store.get(key, _MISSING) is value:
+            return
+        new_words = fast_word_size(key) + fast_word_size(value)
+        old_words = self._sizes.get(key, 0)
+        projected = self._total - old_words + new_words
+        if self.strict and projected > self.capacity:
+            raise MachineMemoryExceeded(
+                self.machine_id, self._total - old_words, self.capacity, new_words
+            )
+        self._store[key] = value
+        self._sizes[key] = new_words
+        self._total = projected
+
+    def load(self, key: Any, default: Any = None) -> Any:
+        return self._store.get(key, default)
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self._store
+
+    def delete(self, key: Any) -> None:
+        if key in self._store:
+            del self._store[key]
+            self._total -= self._sizes.pop(key, 0)
+
+    def keys(self) -> Iterator[Any]:
+        return iter(list(self._store.keys()))
+
+    def items(self) -> Iterator[tuple[Any, Any]]:
+        return iter(list(self._store.items()))
+
+    @property
+    def used_words(self) -> int:
+        return self._total
+
+    def clear(self) -> None:
+        self._store.clear()
+        self._sizes.clear()
+        self._total = 0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+
+class FastTransport(Transport):
+    """Visit only the machines that staged messages this round.
+
+    :meth:`Machine.send` notifies the transport, so the exchange walks the
+    staged senders (sorted by registration index — the reference delivery
+    order) instead of the whole machine pool.  I/O-cap bookkeeping is only
+    materialised when enforcement is actually on.
+    """
+
+    __slots__ = ("_staged",)
+
+    def __init__(self, cluster: "Cluster") -> None:
+        super().__init__(cluster)
+        self._staged: set["Machine"] = set()
+
+    def note_staged(self, machine: "Machine") -> None:
+        self._staged.add(machine)
+
+    def exchange(self) -> "RoundRecord":
+        senders = sorted(self._staged, key=lambda machine: machine.index)
+        self._staged.clear()
+        return self.deliver(senders)
+
+    def discard_undelivered(self) -> None:
+        super().discard_undelivered()
+        self._staged.clear()
+
+
+def _aggregate_round_record(sample_every: int) -> Callable[[int, Iterable["Message"]], "RoundRecord"]:
+    """Accounting policy keeping scalar aggregates; pair detail every ``k``-th round."""
+    from repro.mpc.metrics import RoundRecord
+
+    def build(round_index: int, messages: Iterable["Message"]) -> RoundRecord:
+        sampled = sample_every > 0 and round_index % sample_every == 0
+        active: set[str] = set()
+        total = 0
+        count = 0
+        largest = 0
+        pair_words: dict[tuple[str, str], int] = {}
+        for msg in messages:
+            active.add(msg.sender)
+            active.add(msg.receiver)
+            words = msg.words
+            total += words
+            count += 1
+            if words > largest:
+                largest = words
+            if sampled:
+                key = (msg.sender, msg.receiver)
+                pair_words[key] = pair_words.get(key, 0) + words
+        return RoundRecord(
+            round_index=round_index,
+            active_machines=len(active),
+            total_words=total,
+            message_count=count,
+            max_message_words=largest,
+            pair_words=pair_words,
+        )
+
+    return build
+
+
+@register_backend
+class FastBackend(ExecutionBackend):
+    """Cached sizing + staged-sender transport + aggregate accounting."""
+
+    name = "fast"
+
+    def create_storage(self, machine_id: str, capacity: int, *, strict: bool) -> CachedStorage:
+        return CachedStorage(machine_id, capacity, strict=strict)
+
+    def create_transport(self, cluster: "Cluster") -> FastTransport:
+        return FastTransport(cluster)
+
+    def round_record_factory(self) -> Callable[[int, Iterable["Message"]], "RoundRecord"]:
+        return _aggregate_round_record(getattr(self.config, "metrics_sampling", 0))
+
+    @property
+    def guarantees(self) -> dict[str, bool]:
+        return {
+            "strict_memory": True,
+            "io_cap": True,
+            "exact_accounting": True,
+            "full_metrics": False,
+        }

@@ -17,13 +17,11 @@ from repro.dynamic_mpc import (
     DMPCThreeHalvesMatching,
     DMPCTwoPlusEpsMatching,
 )
-from repro.dynamic_mpc.state import MatchingFabric, VertexStats
+from repro.dynamic_mpc.state import MatchingFabric
 from repro.exceptions import ProtocolError
 from repro.graph import batched
 from repro.graph.generators import gnm_random_graph, random_forest, random_weighted_graph
-from repro.graph.graph import DynamicGraph
 from repro.graph.streams import mixed_stream, tree_edge_adversary_stream
-from repro.graph.updates import GraphUpdate
 from repro.graph.validation import connected_components, same_partition
 from repro.mpc.cluster import Cluster
 from repro.mpc.metrics import MetricsLedger

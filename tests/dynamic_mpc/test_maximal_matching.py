@@ -2,8 +2,6 @@
 
 from __future__ import annotations
 
-import random
-
 import pytest
 from hypothesis import given, settings, strategies as st
 
@@ -95,6 +93,47 @@ class TestInvariantsUnderRandomStreams:
             alg.apply(GraphUpdate.delete(0, centre_mate))
             mates = [edge for edge in alg.matching() if 0 in edge]
             centre_mate = (mates[0][1] if mates[0][0] == 0 else mates[0][0]) if mates else None
+
+    def test_heavy_vertex_rematches_from_suspended_stack(self):
+        """Regression (seed bug, ROADMAP): star K_{1,30} on n=64, delete (0,1)..(0,22).
+
+        Deleting the heavy centre's matched edge repeatedly drains its alive
+        set until the only remaining free neighbours live on its suspended
+        machines — and by then the centre's degree has dropped below the
+        heavy threshold, so the old ``_settle`` returned without looking at
+        the suspended stack and the matching silently lost maximality.
+        """
+        n = 64
+        graph = DynamicGraph(n)
+        for i in range(1, 31):
+            graph.insert_edge(0, i)
+        alg = DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * graph.num_edges), check_invariants=True)
+        alg.preprocess(graph)
+        for i in range(1, 23):
+            alg.apply(GraphUpdate.delete(0, i))  # check_invariants verifies each step
+        assert alg.is_matched(0)
+        assert is_maximal_matching(alg.shadow, alg.matching())
+
+    def test_heavy_vertex_rematches_from_suspended_stack_batched(self):
+        """The same heavy-workload stream through apply_batch reaches the same matching."""
+        n = 64
+        deletes = [GraphUpdate.delete(0, i) for i in range(1, 23)]
+
+        def build():
+            graph = DynamicGraph(n)
+            for i in range(1, 31):
+                graph.insert_edge(0, i)
+            alg = DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * graph.num_edges))
+            alg.preprocess(graph)
+            return alg
+
+        sequential = build()
+        for update in deletes:
+            sequential.apply(update)
+        batched_alg = build()
+        batched_alg.apply_batch(deletes)
+        assert sequential.matching() == batched_alg.matching()
+        assert is_maximal_matching(batched_alg.shadow, batched_alg.matching())
 
     def test_adversary_targeting_matched_edges(self):
         alg = make_algorithm(n=20, m=120, check_invariants=True)

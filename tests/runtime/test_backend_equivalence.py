@@ -1,0 +1,162 @@
+"""Cross-backend equivalence: the fast backend must change nothing observable.
+
+The execution-backend contract (:mod:`repro.runtime.base`) is that backends
+may change *how* a simulation executes but never *what* it computes: the
+maintained solutions, the per-update round counts and the word accounting
+must be identical under every backend.  These tests drive the same graphs
+and update streams through the reference and fast backends and compare
+everything the algorithms expose.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import (
+    DMPCApproxMST,
+    DMPCConnectivity,
+    DMPCMaximalMatching,
+    DMPCThreeHalvesMatching,
+    DMPCTwoPlusEpsMatching,
+)
+from repro.graph import DynamicGraph, GraphUpdate, batched
+from repro.graph.generators import gnm_random_graph, random_weighted_graph
+from repro.graph.streams import mixed_stream
+
+BACKENDS = ("reference", "fast")
+
+
+def per_update_rounds(algorithm) -> list[tuple[str, int]]:
+    """(label, round count) of every recorded ledger update, in order."""
+    return [(u.label, u.num_rounds) for u in algorithm.ledger.updates]
+
+
+def run_stream(cls, config: DMPCConfig, graph, stream, *, batch_size: int | None = None, **kwargs):
+    algorithm = cls(config, **kwargs)
+    algorithm.preprocess(graph.copy() if graph is not None else DynamicGraph())
+    if batch_size is None:
+        for update in stream:
+            algorithm.apply(update)
+    else:
+        for chunk in batched(stream, batch_size):
+            algorithm.apply_batch(chunk)
+    return algorithm
+
+
+def run_both(cls, make_config, graph, stream, *, batch_size: int | None = None, **kwargs):
+    return {
+        backend: run_stream(cls, make_config(backend), graph, stream, batch_size=batch_size, **kwargs)
+        for backend in BACKENDS
+    }
+
+
+class TestAlgorithmEquivalence:
+    @pytest.mark.parametrize("batch_size", [None, 8])
+    def test_connectivity_same_solution_and_rounds(self, batch_size):
+        n, m = 48, 96
+        graph = gnm_random_graph(n, m, seed=21)
+        stream = list(mixed_stream(n, 120, seed=22, insert_probability=0.5, initial=graph))
+        runs = run_both(
+            DMPCConnectivity, lambda b: DMPCConfig.for_graph(n, 2 * m, backend=b), graph, stream, batch_size=batch_size
+        )
+        ref, fast = runs["reference"], runs["fast"]
+        assert sorted(map(sorted, ref.components())) == sorted(map(sorted, fast.components()))
+        assert ref.spanning_forest() == fast.spanning_forest()
+        assert per_update_rounds(ref) == per_update_rounds(fast)
+        assert ref.update_summary().as_dict() == fast.update_summary().as_dict()
+
+    @pytest.mark.parametrize("batch_size", [None, 8])
+    def test_maximal_matching_same_solution_and_rounds(self, batch_size):
+        n, m = 40, 80
+        graph = gnm_random_graph(n, m, seed=31)
+        stream = list(mixed_stream(n, 120, seed=32, insert_probability=0.5, initial=graph))
+        runs = run_both(
+            DMPCMaximalMatching, lambda b: DMPCConfig.for_graph(n, 2 * m, backend=b), graph, stream, batch_size=batch_size
+        )
+        ref, fast = runs["reference"], runs["fast"]
+        assert ref.matching() == fast.matching()
+        assert per_update_rounds(ref) == per_update_rounds(fast)
+        assert ref.update_summary().as_dict() == fast.update_summary().as_dict()
+
+    def test_approx_mst_same_forest_and_rounds(self):
+        n, m = 32, 64
+        graph = random_weighted_graph(n, m, seed=41)
+        stream = list(mixed_stream(n, 80, seed=42, insert_probability=0.5, initial=graph, weighted=True))
+        runs = run_both(
+            DMPCApproxMST, lambda b: DMPCConfig.for_graph(n, 2 * m, backend=b), graph, stream, epsilon=0.2
+        )
+        ref, fast = runs["reference"], runs["fast"]
+        assert ref.spanning_forest() == fast.spanning_forest()
+        assert ref.forest_weight() == pytest.approx(fast.forest_weight())
+        assert per_update_rounds(ref) == per_update_rounds(fast)
+
+    def test_heavy_star_workload_equivalent(self):
+        """The heavy-vertex suspended-stack path decides identically on both backends."""
+        n = 64
+        graph = DynamicGraph(n)
+        for i in range(1, 31):
+            graph.insert_edge(0, i)
+        stream = [GraphUpdate.delete(0, i) for i in range(1, 23)]
+        runs = run_both(
+            DMPCMaximalMatching, lambda b: DMPCConfig.for_graph(n, 2 * graph.num_edges, backend=b), graph, stream
+        )
+        assert runs["reference"].matching() == runs["fast"].matching()
+        assert per_update_rounds(runs["reference"]) == per_update_rounds(runs["fast"])
+
+    @pytest.mark.parametrize(
+        "algorithm_cls,kwargs",
+        [
+            (DMPCConnectivity, {}),
+            (DMPCMaximalMatching, {}),
+            (DMPCThreeHalvesMatching, {}),
+            (DMPCTwoPlusEpsMatching, {"seed": 3}),
+        ],
+        ids=lambda value: getattr(value, "__name__", ""),
+    )
+    def test_memory_accounting_identical(self, algorithm_cls, kwargs):
+        """Cached sizing must report the exact same memory usage as eager sizing.
+
+        This covers every in-place-mutation pattern the algorithms use
+        (``mutate_stats`` / ``push_stats`` same-object re-stores, the
+        two-plus-eps per-vertex state dicts, copy-on-write adjacency) —
+        the reference never charges in-place drift and the cached storage
+        must not either.
+        """
+        n = 40
+        stream = list(mixed_stream(n, 100, seed=52, insert_probability=0.55))
+        runs = run_both(
+            algorithm_cls, lambda b: DMPCConfig.for_graph(n, 4 * n, backend=b), DynamicGraph(n), stream, **kwargs
+        )
+        ref, fast = runs["reference"], runs["fast"]
+        assert ref.cluster.total_stored_words == fast.cluster.total_stored_words
+        for ref_machine, fast_machine in zip(ref.cluster.machines(), fast.cluster.machines()):
+            assert ref_machine.machine_id == fast_machine.machine_id
+            assert ref_machine.used_words == fast_machine.used_words
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 9), st.integers(0, 9)), min_size=1, max_size=25))
+def test_property_equivalence_under_arbitrary_toggles(pairs):
+    """Property: any toggle sequence yields identical matchings and round counts."""
+    algorithms = {}
+    for backend in BACKENDS:
+        alg = DMPCMaximalMatching(DMPCConfig.for_graph(10, 64, backend=backend))
+        alg.preprocess(DynamicGraph(10))
+        present: set[tuple[int, int]] = set()
+        for (u, v) in pairs:
+            if u == v:
+                continue
+            edge = (min(u, v), max(u, v))
+            if edge in present:
+                alg.apply(GraphUpdate.delete(*edge))
+                present.discard(edge)
+            else:
+                alg.apply(GraphUpdate.insert(*edge))
+                present.add(edge)
+        algorithms[backend] = alg
+    ref, fast = algorithms["reference"], algorithms["fast"]
+    assert ref.matching() == fast.matching()
+    assert per_update_rounds(ref) == per_update_rounds(fast)
+    assert ref.cluster.total_stored_words == fast.cluster.total_stored_words

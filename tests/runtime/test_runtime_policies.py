@@ -1,0 +1,313 @@
+"""Unit tests for the runtime layer's individual policies.
+
+Storage accounting, cap enforcement, transport delivery order, metrics
+sampling and backend resolution — each policy tested in isolation, plus the
+pinned guarantee that the fast backend still *enforces* the model caps when
+they are explicitly enabled (it only relaxes metrics retention, never
+enforcement).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DMPCConfig
+from repro.exceptions import MachineMemoryExceeded, MessageSizeExceeded, UnknownMachineError
+from repro.mpc import Cluster, Machine, MetricsLedger
+from repro.runtime import (
+    BACKENDS,
+    CachedStorage,
+    FastBackend,
+    ReferenceBackend,
+    ReferenceStorage,
+    resolve_backend,
+)
+
+
+def make_cluster(backend: str, **kwargs) -> Cluster:
+    config = kwargs.pop("config", None) or DMPCConfig(capacity_n=32, capacity_m=64, backend=backend)
+    return Cluster(config, **kwargs)
+
+
+# ---------------------------------------------------------------------- sizing
+class TestFastWordSize:
+    """fast_word_size must agree with word_size on every input."""
+
+    payloads = st.recursive(
+        st.one_of(
+            st.none(),
+            st.booleans(),
+            st.integers(),
+            st.floats(allow_nan=False),
+            st.text(max_size=30),
+            st.binary(max_size=30),
+        ),
+        lambda children: st.one_of(
+            st.lists(children, max_size=6),
+            st.lists(children, max_size=6).map(tuple),
+            st.dictionaries(st.one_of(st.integers(), st.text(max_size=8)), children, max_size=6),
+            st.lists(st.integers(), max_size=6).map(frozenset),
+        ),
+        max_leaves=25,
+    )
+
+    @settings(max_examples=200, deadline=None)
+    @given(payload=payloads)
+    def test_matches_reference_on_arbitrary_payloads(self, payload):
+        from repro.mpc.sizing import fast_word_size, word_size
+
+        assert fast_word_size(payload) == word_size(payload)
+
+    def test_matches_reference_on_package_objects(self):
+        from repro.dynamic_mpc.state import VertexStats
+        from repro.mpc.coordinator import HistoryEntry
+        from repro.mpc.sizing import fast_word_size, word_size
+
+        class IntSubclass(int):
+            pass
+
+        class DictWithWords(dict):
+            def dmpc_words(self) -> int:
+                return 42
+
+        for payload in (
+            VertexStats(degree=3, mate=1, suspended_machines=["edge1", "edge2"]),
+            HistoryEntry(seq=1, kind="insert", u=0, v=1),
+            [VertexStats(), {"k": (HistoryEntry(seq=2, kind="delete", u=2, v=3), None)}],
+            IntSubclass(7),
+            DictWithWords(a=1),
+            "",
+            b"",
+        ):
+            assert fast_word_size(payload) == word_size(payload)
+
+
+# --------------------------------------------------------------------- storage
+class TestStorageEquivalence:
+    ops = st.lists(
+        st.one_of(
+            st.tuples(st.just("store"), st.integers(0, 7), st.integers(0, 5)),
+            st.tuples(st.just("delete"), st.integers(0, 7), st.just(0)),
+            st.tuples(st.just("read"), st.just(0), st.just(0)),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+
+    @settings(max_examples=60, deadline=None)
+    @given(ops=ops)
+    def test_cached_matches_reference_accounting(self, ops):
+        """used_words agrees at every read point, for interleaved store/delete/read."""
+        reference = ReferenceStorage("m", 10**9, strict=False)
+        cached = CachedStorage("m", 10**9, strict=False)
+        for op, key, size in ops:
+            if op == "store":
+                value = {("k", i): [i, i + 1] for i in range(size)}
+                reference.store(("slot", key), value)
+                cached.store(("slot", key), value)
+            elif op == "delete":
+                reference.delete(("slot", key))
+                cached.delete(("slot", key))
+            else:
+                assert cached.used_words == reference.used_words
+        assert cached.used_words == reference.used_words
+        assert sorted(map(repr, cached.keys())) == sorted(map(repr, reference.keys()))
+
+    def test_cached_strict_raises_at_same_store(self):
+        reference = ReferenceStorage("m", 16, strict=True)
+        cached = CachedStorage("m", 16, strict=True)
+        for storage in (reference, cached):
+            storage.store("a", [1, 2, 3])
+        with pytest.raises(MachineMemoryExceeded) as ref_err:
+            reference.store("b", list(range(16)))
+        with pytest.raises(MachineMemoryExceeded) as fast_err:
+            cached.store("b", list(range(16)))
+        assert ref_err.value.used == fast_err.value.used
+        assert ref_err.value.requested == fast_err.value.requested
+        # the failed store must not corrupt the accounting
+        assert reference.used_words == cached.used_words
+
+    def test_cached_overwrite_and_delete_release_words(self):
+        cached = CachedStorage("m", 10**9, strict=False)
+        cached.store("k", list(range(50)))
+        assert cached.used_words > 50
+        cached.store("k", 1)
+        reference = ReferenceStorage("m", 10**9, strict=False)
+        reference.store("k", 1)
+        assert cached.used_words == reference.used_words
+        cached.delete("k")
+        assert cached.used_words == 0
+
+    def test_machine_standalone_defaults_to_reference_storage(self):
+        machine = Machine("solo", 64)
+        assert isinstance(machine.storage, ReferenceStorage)
+        machine.store("x", [1, 2, 3])
+        assert machine.used_words == machine.storage.used_words
+
+
+# ------------------------------------------------------------- cap enforcement
+class TestFastBackendEnforcesCaps:
+    """Pinned guarantee: `fast` relaxes metrics retention, never enforcement."""
+
+    def test_fast_backend_raises_machine_memory_exceeded(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64, strict_memory=True, backend="fast")
+        cluster = Cluster(config)
+        machine = cluster.add_machine("a", capacity=16)
+        with pytest.raises(MachineMemoryExceeded):
+            machine.store("big", list(range(64)))
+
+    def test_fast_backend_raises_message_size_exceeded(self):
+        cluster = make_cluster("fast", enforce_io_cap=True)
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        a.send("b", "big", None, words=cluster.config.machine_memory + 1)
+        with pytest.raises(MessageSizeExceeded):
+            cluster.exchange()
+
+    def test_fast_backend_receive_cap_enforced(self):
+        cluster = make_cluster("fast", enforce_io_cap=True)
+        cluster.add_machines("s", 3)
+        cluster.add_machine("sink")
+        over = cluster.config.machine_memory // 2 + 1
+        for sender in cluster.machines(role="worker"):
+            if sender.machine_id != "sink":
+                sender.send("sink", "blob", None, words=over)
+        with pytest.raises(MessageSizeExceeded) as err:
+            cluster.exchange()
+        assert err.value.direction == "receive"
+
+    def test_fast_backend_unknown_receiver_raises(self):
+        cluster = make_cluster("fast")
+        a = cluster.add_machine("a")
+        a.send("ghost", "ping", 1)
+        with pytest.raises(UnknownMachineError):
+            cluster.exchange()
+
+    def test_fast_backend_caps_off_by_default(self):
+        cluster = make_cluster("fast")
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        a.send("b", "big", None, words=cluster.config.machine_memory + 1)
+        record = cluster.exchange()
+        assert record.total_words > cluster.config.machine_memory
+
+
+# ------------------------------------------------------------------- transport
+class TestTransportParity:
+    def test_delivery_order_matches_reference(self):
+        """Staging order must not leak into delivery order: registration order rules."""
+        inboxes = {}
+        for backend in ("reference", "fast"):
+            cluster = make_cluster(backend)
+            machines = cluster.add_machines("m", 4)
+            cluster.add_machine("sink")
+            # Stage in an order different from registration order.
+            for machine in reversed(machines):
+                machine.send("sink", "probe", machine.machine_id)
+            cluster.exchange()
+            inboxes[backend] = [msg.payload for msg in cluster.machine("sink").inbox]
+        assert inboxes["fast"] == inboxes["reference"] == ["m0", "m1", "m2", "m3"]
+
+    def test_discard_undelivered_clears_staged_state(self):
+        cluster = make_cluster("fast")
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        a.send("b", "x", 1)
+        cluster.discard_undelivered()
+        record = cluster.exchange()
+        assert record.message_count == 0
+        assert cluster.machine("b").inbox == []
+
+
+# ------------------------------------------------------------------ accounting
+class TestAccountingPolicies:
+    def run_rounds(self, backend: str, *, metrics_sampling: int = 0):
+        config = DMPCConfig(capacity_n=32, capacity_m=64, backend=backend, metrics_sampling=metrics_sampling)
+        cluster = Cluster(config)
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        records = []
+        for i in range(4):
+            a.send("b", "t", [i, i + 1])
+            records.append(cluster.exchange())
+            cluster.machine("b").drain()
+        return cluster, records
+
+    def test_fast_scalar_aggregates_match_reference(self):
+        _, ref_records = self.run_rounds("reference")
+        _, fast_records = self.run_rounds("fast")
+        for ref, fast in zip(ref_records, fast_records):
+            assert (ref.round_index, ref.active_machines, ref.total_words, ref.message_count, ref.max_message_words) == (
+                fast.round_index,
+                fast.active_machines,
+                fast.total_words,
+                fast.message_count,
+                fast.max_message_words,
+            )
+
+    def test_fast_drops_pair_detail_by_default(self):
+        cluster, records = self.run_rounds("fast")
+        assert all(record.pair_words == {} for record in records)
+        assert cluster.ledger.communication_entropy() == 0.0
+
+    def test_fast_metrics_sampling_retains_pair_detail(self):
+        cluster, records = self.run_rounds("fast", metrics_sampling=2)
+        sampled = [record for record in records if record.pair_words]
+        assert sampled and len(sampled) < len(records)
+        assert all(record.pair_words == {("a", "b"): record.total_words} for record in sampled)
+
+    def test_reference_always_retains_pair_detail(self):
+        _, records = self.run_rounds("reference")
+        assert all(record.pair_words for record in records)
+
+    def test_replay_update_public_api(self):
+        _, records = self.run_rounds("reference")
+        scratch = MetricsLedger()
+        scratch.replay_update("copy", records)
+        assert scratch.updates[0].label == "copy"
+        assert scratch.updates[0].num_rounds == len(records)
+        assert scratch.summary().total_words == sum(record.total_words for record in records)
+
+
+# ------------------------------------------------------------------ resolution
+class TestBackendResolution:
+    def test_registry_names(self):
+        assert {"reference", "fast"} <= set(BACKENDS)
+
+    def test_config_selects_backend(self):
+        assert make_cluster("fast").backend.name == "fast"
+        assert make_cluster("reference").backend.name == "reference"
+
+    def test_explicit_argument_beats_config(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64, backend="reference")
+        assert Cluster(config, backend="fast").backend.name == "fast"
+
+    def test_backend_instance_passthrough(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64)
+        backend = FastBackend(config)
+        assert Cluster(config, backend=backend).backend is backend
+
+    def test_env_var_fallback(self, monkeypatch):
+        config = DMPCConfig(capacity_n=32, capacity_m=64)
+        monkeypatch.setenv("REPRO_BACKEND", "fast")
+        assert resolve_backend(None, config).name == "fast"
+        monkeypatch.delenv("REPRO_BACKEND")
+        assert resolve_backend(None, config).name == "reference"
+
+    def test_config_beats_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "fast")
+        config = DMPCConfig(capacity_n=32, capacity_m=64, backend="reference")
+        assert resolve_backend(None, config).name == "reference"
+
+    def test_unknown_backend_rejected(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64, backend="warp")
+        with pytest.raises(ValueError, match="unknown execution backend"):
+            Cluster(config)
+
+    def test_guarantees_surface(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64)
+        assert ReferenceBackend(config).guarantees["full_metrics"]
+        fast = FastBackend(config).guarantees
+        assert fast["strict_memory"] and fast["io_cap"] and fast["exact_accounting"]
+        assert not fast["full_metrics"]

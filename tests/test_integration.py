@@ -3,7 +3,6 @@ plus the model-limit (E8) check with enforcement switched on."""
 
 from __future__ import annotations
 
-import pytest
 
 from repro.config import DMPCConfig
 from repro.dynamic_mpc import (
@@ -25,7 +24,6 @@ from repro.graph.validation import (
     minimum_spanning_forest_weight,
     same_partition,
 )
-from repro.mpc.cluster import Cluster
 from repro.seq import HDTConnectivity
 
 
