@@ -168,74 +168,151 @@ def emit_bench_json(name: str, payload: dict, directory: str | None = None) -> s
 
 
 # ------------------------------------------------------- backend comparisons
+@dataclass
+class RunResult:
+    """One timed execution of a workload under one backend."""
+
+    solution: Any
+    round_counts: list
+    rounds_total: int
+    words_total: int
+    elapsed: float
+
+
+def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
+    """Build a ``run(backend, shard_count, max_workers)`` closure for a dynamic workload."""
+    n = max(1, graph.num_vertices)
+    m = max(1, graph.num_edges, 2 * n)
+
+    def run(backend, shard_count, max_workers) -> RunResult:
+        config = DMPCConfig.for_graph(
+            n, 2 * m, backend=backend, shard_count=shard_count, max_workers=max_workers
+        )
+        algorithm = algorithm_cls(config, **algorithm_kwargs)
+        algorithm.preprocess(graph.copy())
+        start = time.perf_counter()
+        for update in stream:
+            algorithm.apply(update)
+        elapsed = time.perf_counter() - start
+        return RunResult(
+            solution=solution(algorithm),
+            round_counts=[(u.label, u.num_rounds) for u in algorithm.ledger.updates],
+            rounds_total=algorithm.update_round_total(),
+            words_total=algorithm.update_summary().total_words,
+            elapsed=elapsed,
+        )
+
+    return run
+
+
 def _connectivity_workload(n: int, updates: int, seed: int):
     from repro.dynamic_mpc import DMPCConnectivity
 
-    m = 2 * n
-    graph = gnm_random_graph(n, m, seed=seed)
+    graph = gnm_random_graph(n, 2 * n, seed=seed)
     stream = list(mixed_stream(n, updates, seed=seed + 1, insert_probability=0.5, initial=graph))
-
-    def factory(backend):
-        return DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m, backend=backend))
-
-    def solution(alg):
-        return (sorted(sorted(c) for c in alg.components()), sorted(alg.spanning_forest()))
-
-    return factory, graph, stream, solution
+    return _dynamic_runner(
+        DMPCConnectivity, graph, stream,
+        lambda alg: (sorted(sorted(c) for c in alg.components()), sorted(alg.spanning_forest())),
+    )
 
 
 def _matching_workload(n: int, updates: int, seed: int):
     from repro.dynamic_mpc import DMPCMaximalMatching
 
-    m = 2 * n
-    graph = gnm_random_graph(n, m, seed=seed)
+    graph = gnm_random_graph(n, 2 * n, seed=seed)
     stream = list(mixed_stream(n, updates, seed=seed + 1, insert_probability=0.5, initial=graph))
-
-    def factory(backend):
-        return DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m, backend=backend))
-
-    def solution(alg):
-        return sorted(alg.matching())
-
-    return factory, graph, stream, solution
+    return _dynamic_runner(DMPCMaximalMatching, graph, stream, lambda alg: sorted(alg.matching()))
 
 
 def _mst_workload(n: int, updates: int, seed: int):
     from repro.dynamic_mpc import DMPCApproxMST
 
-    m = 2 * n
-    graph = random_weighted_graph(n, m, seed=seed)
-    stream = list(mixed_stream(n, updates, seed=seed + 1, insert_probability=0.5, initial=graph, weighted=True))
-
-    def factory(backend):
-        return DMPCApproxMST(DMPCConfig.for_graph(n, 2 * m, backend=backend), epsilon=0.2)
-
-    def solution(alg):
-        return (sorted(alg.spanning_forest()), round(alg.forest_weight(), 9))
-
-    return factory, graph, stream, solution
+    graph = random_weighted_graph(n, 2 * n, seed=seed)
+    stream = list(
+        mixed_stream(n, updates, seed=seed + 1, insert_probability=0.5, initial=graph, weighted=True)
+    )
+    return _dynamic_runner(
+        DMPCApproxMST, graph, stream,
+        lambda alg: (sorted(alg.spanning_forest()), round(alg.forest_weight(), 9)),
+        epsilon=0.2,
+    )
 
 
 def _three_halves_workload(n: int, updates: int, seed: int):
     from repro.dynamic_mpc import DMPCThreeHalvesMatching
 
     stream = list(mixed_stream(n, updates, seed=seed, insert_probability=0.6))
-
-    def factory(backend):
-        return DMPCThreeHalvesMatching(DMPCConfig.for_graph(n, 4 * n, backend=backend))
-
-    def solution(alg):
-        return sorted(alg.matching())
-
-    return factory, DynamicGraph(n), stream, solution
+    return _dynamic_runner(
+        DMPCThreeHalvesMatching, DynamicGraph(n), stream, lambda alg: sorted(alg.matching())
+    )
 
 
-#: workload name -> builder(n, updates, seed) -> (factory, graph, stream, solution)
+def _static_runner(make_algorithm, solution, label: str):
+    """Build a ``run(...)`` closure timing one full static recomputation.
+
+    Static baselines are superstep-style, so this is where the ``parallel``
+    backend's pooled execution shows up; the ``updates`` knob is unused.
+    """
+
+    def run(backend, shard_count, max_workers) -> RunResult:
+        algorithm = make_algorithm(backend=backend, shard_count=shard_count, max_workers=max_workers)
+        start = time.perf_counter()
+        algorithm.run(label)
+        elapsed = time.perf_counter() - start
+        ledger = algorithm.cluster.ledger
+        return RunResult(
+            solution=solution(algorithm),
+            round_counts=[(u.label, u.num_rounds) for u in ledger.updates],
+            rounds_total=ledger.total_rounds(),
+            words_total=ledger.summary().total_words,
+            elapsed=elapsed,
+        )
+
+    return run
+
+
+def _static_connectivity_workload(n: int, updates: int, seed: int):
+    from repro.static_mpc import StaticConnectedComponents
+
+    graph = gnm_random_graph(n, 2 * n, seed=seed)
+    return _static_runner(
+        lambda **kw: StaticConnectedComponents(graph, **kw),
+        lambda alg: (sorted(sorted(c) for c in alg.components()), sorted(alg.spanning_forest())),
+        "static-cc",
+    )
+
+
+def _static_matching_workload(n: int, updates: int, seed: int):
+    from repro.static_mpc import StaticMaximalMatching
+
+    graph = gnm_random_graph(n, 3 * n, seed=seed)
+    return _static_runner(
+        lambda **kw: StaticMaximalMatching(graph, seed=seed, **kw),
+        lambda alg: sorted(alg.matching),
+        "static-matching",
+    )
+
+
+def _static_mst_workload(n: int, updates: int, seed: int):
+    from repro.static_mpc import StaticBoruvkaMST
+
+    graph = random_weighted_graph(n, 3 * n, seed=seed)
+    return _static_runner(
+        lambda **kw: StaticBoruvkaMST(graph, **kw),
+        lambda alg: (sorted(alg.forest), round(alg.forest_weight(), 9)),
+        "static-mst",
+    )
+
+
+#: workload name -> builder(n, updates, seed) -> run(backend, shard_count, max_workers)
 WORKLOADS: dict[str, Callable] = {
     "connectivity": _connectivity_workload,
     "maximal-matching": _matching_workload,
     "mst": _mst_workload,
     "three-halves": _three_halves_workload,
+    "static-connectivity": _static_connectivity_workload,
+    "static-matching": _static_matching_workload,
+    "static-mst": _static_mst_workload,
 }
 
 
@@ -247,33 +324,35 @@ def compare_backends(
     seed: int = 2019,
     backends: tuple[str, ...] = ("reference", "fast"),
     repeats: int = 3,
+    shard_count: int | None = None,
+    max_workers: int | None = None,
 ) -> dict:
     """Run one workload under each backend; verify equivalence, measure speedup.
 
-    The wall-clock figure is the best of ``repeats`` runs of the update
-    stream (preprocessing excluded).  Equivalence — identical solutions and
-    identical per-update round counts — is asserted, not just reported:
-    a fast backend that changes the simulation is a bug, not a trade-off.
+    The wall-clock figure is the best of ``repeats`` runs (dynamic
+    workloads time the update stream, preprocessing excluded; static
+    workloads time one full recomputation).  Equivalence — identical
+    solutions and identical per-update round counts — is asserted, not just
+    reported: a backend that changes the simulation is a bug, not a
+    trade-off.  ``shard_count`` / ``max_workers`` configure the sharded and
+    parallel backends (other backends ignore them).
     """
-    factory, graph, stream, solution = WORKLOADS[workload](n, updates, seed)
+    run = WORKLOADS[workload](n, updates, seed)
     results: dict[str, dict] = {}
     solutions: dict[str, Any] = {}
     round_counts: dict[str, list] = {}
     for backend in backends:
-        best = float("inf")
+        best: RunResult | None = None
         for _ in range(repeats):
-            algorithm = factory(backend)
-            algorithm.preprocess(graph.copy())
-            start = time.perf_counter()
-            for update in stream:
-                algorithm.apply(update)
-            best = min(best, time.perf_counter() - start)
-        solutions[backend] = solution(algorithm)
-        round_counts[backend] = [(u.label, u.num_rounds) for u in algorithm.ledger.updates]
+            result = run(backend, shard_count, max_workers)
+            if best is None or result.elapsed < best.elapsed:
+                best = result
+        solutions[backend] = best.solution
+        round_counts[backend] = best.round_counts
         results[backend] = {
-            "wall_clock_s": round(best, 6),
-            "rounds_total": algorithm.update_round_total(),
-            "words_total": algorithm.update_summary().total_words,
+            "wall_clock_s": round(best.elapsed, 6),
+            "rounds_total": best.rounds_total,
+            "words_total": best.words_total,
         }
     baseline = backends[0]
     for backend in backends[1:]:
@@ -281,14 +360,20 @@ def compare_backends(
             raise AssertionError(f"{workload}: backend {backend!r} diverged from {baseline!r} solution")
         if round_counts[backend] != round_counts[baseline]:
             raise AssertionError(f"{workload}: backend {backend!r} changed the per-update round counts")
-        results[backend]["speedup_vs_reference"] = round(
+        results[backend][f"speedup_vs_{baseline}"] = round(
             results[baseline]["wall_clock_s"] / max(results[backend]["wall_clock_s"], 1e-9), 2
+        )
+    if "fast" in results and "parallel" in results:
+        results["parallel"]["speedup_vs_fast"] = round(
+            results["fast"]["wall_clock_s"] / max(results["parallel"]["wall_clock_s"], 1e-9), 2
         )
     return {
         "bench": f"table1_{workload}",
         "workload": workload,
         "n": n,
         "updates": updates,
+        "shard_count": shard_count,
+        "max_workers": max_workers,
         "backends": results,
         "solutions_identical": True,
         "round_counts_identical": True,
@@ -296,10 +381,11 @@ def compare_backends(
 
 
 def format_comparison(report: dict) -> str:
+    baseline = next(iter(report["backends"]))
     header = f"{'backend':<12} {'wall-clock':>10} {'rounds':>8} {'words':>10} {'speedup':>8}"
     lines = [f"workload={report['workload']} n={report['n']} updates={report['updates']}", header, "-" * len(header)]
     for backend, result in report["backends"].items():
-        speedup = result.get("speedup_vs_reference")
+        speedup = result.get(f"speedup_vs_{baseline}")
         lines.append(
             f"{backend:<12} {result['wall_clock_s']:>9.3f}s {result['rounds_total']:>8} "
             f"{result['words_total']:>10} {(f'{speedup:.2f}x' if speedup else '-'):>8}"
@@ -309,25 +395,56 @@ def format_comparison(report: dict) -> str:
 
 # ------------------------------------------------------------------------ CLI
 def main(argv: list[str] | None = None) -> int:
+    from repro.runtime import BACKENDS
+
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--workload", choices=sorted(WORKLOADS), default="connectivity")
     parser.add_argument("--n", type=int, default=128, help="number of vertices")
-    parser.add_argument("--updates", type=int, default=200, help="stream length")
+    parser.add_argument("--updates", type=int, default=200, help="stream length (dynamic workloads)")
     parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    parser.add_argument(
+        "--backends",
+        nargs="+",
+        choices=sorted(BACKENDS),
+        default=["reference", "fast"],
+        help="backends to compare; the first is the baseline speedups are relative to",
+    )
+    parser.add_argument("--shards", type=int, default=None, help="shard_count for sharded/parallel backends")
+    parser.add_argument("--workers", type=int, default=None, help="max_workers for the parallel backend")
     parser.add_argument("--quick", action="store_true", help="small smoke-test sizes (used by CI)")
-    parser.add_argument("--min-speedup", type=float, default=None, help="fail unless fast reaches this speedup")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=None,
+        help="fail unless the last listed backend reaches this speedup over the baseline (first listed)",
+    )
     args = parser.parse_args(argv)
+    if args.min_speedup is not None and len(args.backends) < 2:
+        parser.error("--min-speedup needs at least two --backends (a baseline and a contender)")
     if args.quick:
         args.n, args.updates, args.repeats = 48, 60, 1
 
-    report = compare_backends(args.workload, n=args.n, updates=args.updates, repeats=args.repeats)
+    report = compare_backends(
+        args.workload,
+        n=args.n,
+        updates=args.updates,
+        repeats=args.repeats,
+        backends=tuple(args.backends),
+        shard_count=args.shards,
+        max_workers=args.workers,
+    )
     print(format_comparison(report))
     path = emit_bench_json(f"table1_{args.workload}_backends", report)
     print(f"\nwrote {os.path.relpath(path, REPO_ROOT)}")
-    speedup = report["backends"]["fast"]["speedup_vs_reference"]
-    if args.min_speedup is not None and speedup < args.min_speedup:
-        print(f"FAIL: fast backend speedup {speedup:.2f}x below required {args.min_speedup:.2f}x")
-        return 1
+    if args.min_speedup is not None:
+        baseline, contender = args.backends[0], args.backends[-1]
+        speedup = report["backends"][contender][f"speedup_vs_{baseline}"]
+        if speedup < args.min_speedup:
+            print(
+                f"FAIL: {contender} backend speedup {speedup:.2f}x over {baseline} "
+                f"below required {args.min_speedup:.2f}x"
+            )
+            return 1
     return 0
 
 

@@ -54,6 +54,23 @@ class DMPCConfig:
         communication breakdown on every ``k``-th round (``0`` = never), so
         the Section 8 entropy metric can still be estimated cheaply.  The
         reference backend always retains full detail and ignores this.
+    shard_count:
+        Sharded/parallel-backend knob: how many shards the machine map is
+        partitioned into (see :mod:`repro.runtime.sharding`).  ``None``
+        defers to the backend's default.  The shard count never changes the
+        simulation — delivery is merged back into global registration order
+        — only how execution work is grouped.
+    shard_strategy:
+        How machines are assigned to shards: ``"index"`` (round-robin by
+        registration index, the default) or ``"rendezvous"`` (highest-
+        random-weight hash of the machine id — stable under machine-set
+        growth, for id-keyed workloads).  Like ``shard_count``, never
+        observable in the simulation.
+    max_workers:
+        Parallel-backend knob: size of the worker pool that
+        :meth:`Cluster.superstep` fans shard-local execution across.
+        ``None`` defers to ``min(shard_count, os.cpu_count())``; a value
+        below 2 falls back to sequential superstep execution.
     """
 
     capacity_n: int
@@ -62,6 +79,9 @@ class DMPCConfig:
     strict_memory: bool = False
     backend: str | None = None
     metrics_sampling: int = 0
+    shard_count: int | None = None
+    shard_strategy: str = "index"
+    max_workers: int | None = None
 
     def __post_init__(self) -> None:
         if self.capacity_n < 1:
@@ -72,6 +92,12 @@ class DMPCConfig:
             raise ValueError("memory_slack must be positive")
         if self.metrics_sampling < 0:
             raise ValueError("metrics_sampling must be non-negative")
+        if self.shard_count is not None and self.shard_count < 1:
+            raise ValueError("shard_count must be positive when given")
+        if self.shard_strategy not in ("index", "rendezvous"):
+            raise ValueError(f"unknown shard_strategy {self.shard_strategy!r}")
+        if self.max_workers is not None and self.max_workers < 1:
+            raise ValueError("max_workers must be positive when given")
 
     @property
     def capacity_N(self) -> int:
@@ -130,6 +156,9 @@ class DMPCConfig:
         strict_memory: bool = False,
         backend: str | None = None,
         metrics_sampling: int = 0,
+        shard_count: int | None = None,
+        shard_strategy: str = "index",
+        max_workers: int | None = None,
     ) -> "DMPCConfig":
         """Convenience constructor sizing a deployment for an ``(n, m)`` graph."""
         return DMPCConfig(
@@ -139,6 +168,9 @@ class DMPCConfig:
             strict_memory=strict_memory,
             backend=backend,
             metrics_sampling=metrics_sampling,
+            shard_count=shard_count,
+            shard_strategy=shard_strategy,
+            max_workers=max_workers,
         )
 
 

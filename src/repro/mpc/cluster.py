@@ -57,7 +57,12 @@ class Cluster:
         self.enforce_io_cap = enforce_io_cap
         self.backend = resolve_backend(backend, config)
         self.ledger = ledger if ledger is not None else MetricsLedger()
-        self.ledger.round_record_factory = self.backend.round_record_factory()
+        # Adopt (never clobber) the backend's accounting policy: a ledger
+        # shared across clusters keeps its first policy, and conflicting
+        # policies raise instead of silently mixing record schemes.
+        self.ledger.install_round_record_factory(
+            self.backend.round_record_factory(), policy=self.backend.accounting_policy_name
+        )
         self._machines: dict[str, Machine] = {}
         self._transport = self.backend.create_transport(self)
 
@@ -135,15 +140,21 @@ class Cluster:
     def superstep(self, handler: Callable[[Machine, list[Message]], None], *, machines: Iterable[str] | None = None) -> RoundRecord:
         """Run ``handler`` on each (selected) machine, then exchange one round.
 
-        The handler receives the machine and its drained inbox.  This is the
-        BSP-style entry point used by the static MPC algorithms, where every
-        machine executes the same local code each round.
+        The handler receives the machine and its *fully drained* inbox (all
+        tags) and is expected to read it, update machine-owned state and
+        stage outgoing messages.  This is the BSP-style entry point used by
+        the static MPC algorithms, where every machine executes the same
+        local code each round.
+
+        *How* the handlers execute is an execution-backend strategy
+        (:meth:`~repro.runtime.base.ExecutionBackend.run_superstep`):
+        sequentially in registration order by default, or fanned across a
+        worker pool by the ``parallel`` backend.  Handlers must therefore be
+        order-independent — mutate only state owned by the machine they run
+        on; move everything else through messages.
         """
         targets = self.machines() if machines is None else [self.machine(mid) for mid in machines]
-        for machine in targets:
-            inbox = machine.drain()
-            handler(machine, inbox)
-        return self.exchange()
+        return self.backend.run_superstep(self, handler, targets)
 
     def discard_undelivered(self) -> None:
         """Drop any staged (outbox) and pending (inbox) messages on all machines."""

@@ -150,11 +150,20 @@ class Coordinator:
         This is the ``O(sqrt(N))``-word message the maximal-matching
         algorithm sends to the machines holding the endpoints of an updated
         edge; the caller is responsible for calling ``cluster.exchange()``.
+
+        Receivers are deduplicated and staged in machine registration order
+        regardless of the iteration order of ``receivers`` — callers often
+        pass sets, and staging order is part of the delivery order the
+        backend-equivalence contract fixes, so it must not depend on
+        ``PYTHONHASHSEED``.
         """
+        targets = {r for r in receivers if r != self.machine_id}
+        if not targets:
+            return
         payload = self.history.entries()
-        for receiver in receivers:
-            if receiver != self.machine_id:
-                self.machine.send(receiver, tag, payload, words=self.history.dmpc_words())
+        words = self.history.dmpc_words()
+        for receiver in sorted(targets, key=lambda r: self.cluster.machine(r).index):
+            self.machine.send(receiver, tag, payload, words=words)
 
     def note_free_words(self, machine_id: str, free_words: int) -> None:
         """Update the coordinator's record of a machine's available memory."""

@@ -110,17 +110,28 @@ class Machine:
 
     # -------------------------------------------------------------- messaging
     def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> Message:
-        """Stage a message for delivery in the next round and return it."""
+        """Stage a message for delivery in the next round and return it.
+
+        The charged size in words is, in precedence order: the explicit
+        ``words`` argument, the owning transport's ``message_sizer`` (an
+        execution-backend policy charging the exact same number of words as
+        the reference sizer, only cheaper to compute), or the message sizing
+        itself eagerly at construction.
+        """
+        transport = self.transport
+        if words is None:
+            sizer = None if transport is None else transport.message_sizer
+            words = -1 if sizer is None else sizer(tag) + sizer(payload)
         message = Message(
             sender=self.machine_id,
             receiver=receiver,
             tag=tag,
             payload=payload,
-            words=-1 if words is None else words,
+            words=words,
         )
         self.outbox.append(message)
-        if self.transport is not None:
-            self.transport.note_staged(self)
+        if transport is not None:
+            transport.note_staged(self)
         return message
 
     def receive(self, tag: str | None = None) -> list[Message]:

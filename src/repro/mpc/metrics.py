@@ -156,6 +156,56 @@ class MetricsLedger:
         self.round_record_factory = (
             round_record_factory if round_record_factory is not None else RoundRecord.from_messages
         )
+        #: name of the backend accounting policy installed via
+        #: :meth:`install_round_record_factory` (``None`` until a cluster
+        #: adopts this ledger, or forever for hand-customised factories),
+        #: plus the factory object that policy installed — so a factory
+        #: re-assigned by hand *after* adoption is detectable.
+        self._record_policy: str | None = None
+        self._policy_factory = None
+
+    def install_round_record_factory(self, factory, *, policy: str) -> None:
+        """Adopt a backend accounting policy without clobbering an existing one.
+
+        Clusters call this at construction.  On a fresh ledger (stock
+        factory, no policy recorded) the factory is installed and the policy
+        name remembered.  A ledger shared by several clusters keeps its
+        first policy: re-installing the *same* policy is a no-op, while a
+        *conflicting* policy raises :class:`ProtocolError` — two clusters
+        must not silently mix accounting schemes in one record stream.  A
+        factory customised by hand (passed to ``__init__``) is always left
+        untouched.
+        """
+        if self._record_policy is not None:
+            if self._record_policy != policy:
+                raise ProtocolError(
+                    f"ledger already records rounds under accounting policy "
+                    f"{self._record_policy!r}; refusing to switch to {policy!r} — "
+                    f"use separate ledgers for clusters with different backends"
+                )
+            return
+        if self.round_record_factory is not RoundRecord.from_messages:
+            # Externally customised factory: the user's choice wins.
+            return
+        self.round_record_factory = factory
+        self._record_policy = policy
+        self._policy_factory = factory
+
+    @property
+    def record_policy(self) -> str | None:
+        """The accounting-policy name currently governing this ledger.
+
+        ``None`` means no backend policy governs it — no cluster adopted it
+        yet, a hand-customised factory was installed at construction, or
+        :attr:`round_record_factory` was re-assigned by hand after adoption
+        (the historical customisation pattern).  Transports with a fused
+        (factory-bypassing) delivery path check this and fall back to the
+        factory path when it is ``None``, so customised factories are
+        honoured under every backend.
+        """
+        if self._record_policy is not None and self.round_record_factory is not self._policy_factory:
+            return None
+        return self._record_policy
 
     # ----------------------------------------------------------------- update
     def begin_update(self, label: str) -> UpdateRecord:
@@ -247,6 +297,36 @@ class MetricsLedger:
         (e.g. ad-hoc probes) but are tracked under an anonymous update."""
         self._round_counter += 1
         record = self.round_record_factory(self._round_counter, messages)
+        return self._file_round(record)
+
+    @property
+    def next_round_index(self) -> int:
+        """Index the next recorded round will carry.
+
+        Transports that condense a round *while* delivering it (the fused
+        per-shard aggregation of :mod:`repro.runtime.sharding`) need the
+        index up front — e.g. to decide metrics sampling — before handing
+        the finished record to :meth:`append_round`.
+        """
+        return self._round_counter + 1
+
+    def append_round(self, record: RoundRecord) -> RoundRecord:
+        """Record an already-condensed round built for :attr:`next_round_index`.
+
+        The fused-delivery counterpart of :meth:`record_round`: the caller
+        iterated the messages once during delivery and built the record
+        itself.  The record must continue the global round counter so that
+        sampling policies and round totals stay exact.
+        """
+        if record.round_index != self._round_counter + 1:
+            raise ProtocolError(
+                f"append_round() expects round_index {self._round_counter + 1}, "
+                f"got {record.round_index}"
+            )
+        self._round_counter += 1
+        return self._file_round(record)
+
+    def _file_round(self, record: RoundRecord) -> RoundRecord:
         if self._current is None:
             anonymous = UpdateRecord(label="<unlabelled>", batch_id=self._current_batch)
             anonymous.rounds.append(record)

@@ -13,10 +13,25 @@ Select a backend through the config::
     algorithm = DMPCConnectivity(config)   # no other change needed
 
 or per cluster (``Cluster(config, backend="fast")``), or fleet-wide via the
-``REPRO_BACKEND`` environment variable (used by the CI matrix).  Future
-backends (process-pool, sharded) plug in by registering a new
-:class:`~repro.runtime.base.ExecutionBackend` subclass — algorithm code
-never changes.
+``REPRO_BACKEND`` environment variable (used by the CI matrix).  Four
+backends are registered:
+
+``reference``
+    strict, fully-eager, full per-pair metrics — the correctness baseline;
+``fast``
+    memoised sizing, staged-sender transport, sampled aggregate metrics;
+``sharded``
+    :mod:`repro.runtime.sharding` — the machine map partitioned into shards
+    (:class:`ShardPlan`), per-shard staging and word aggregates, fused
+    single-pass delivery, merged back into reference order each round;
+``parallel``
+    :mod:`repro.runtime.parallel` — the sharded transport plus superstep
+    execution fanned across a worker pool with a deterministic merge
+    barrier at the exchange.
+
+Further backends (process pools, distributed shards) plug in by registering
+a new :class:`~repro.runtime.base.ExecutionBackend` subclass — algorithm
+code never changes.
 """
 
 from __future__ import annotations
@@ -31,7 +46,9 @@ from repro.runtime.base import (
     resolve_backend,
 )
 from repro.runtime.fast import CachedStorage, FastBackend, FastTransport
+from repro.runtime.parallel import ParallelBackend
 from repro.runtime.reference import ReferenceBackend, ReferenceStorage, ReferenceTransport
+from repro.runtime.sharding import DEFAULT_SHARD_COUNT, ShardedBackend, ShardedTransport, ShardPlan
 
 __all__ = [
     "BACKEND_ENV_VAR",
@@ -47,4 +64,9 @@ __all__ = [
     "FastBackend",
     "FastTransport",
     "CachedStorage",
+    "ShardPlan",
+    "ShardedBackend",
+    "ShardedTransport",
+    "DEFAULT_SHARD_COUNT",
+    "ParallelBackend",
 ]

@@ -122,6 +122,16 @@ class Transport(abc.ABC):
 
     __slots__ = ("cluster",)
 
+    #: optional ``payload -> words`` sizer :meth:`Machine.send` uses to charge
+    #: messages staged through this transport.  ``None`` keeps the historical
+    #: behaviour (the message sizes itself eagerly with ``word_size`` at
+    #: construction).  A transport installing a sizer must charge the *exact
+    #: same* number of words for every payload — message sizes are simulation
+    #: semantics (the I/O cap and every Table 1 column read them), so the
+    #: sharded transport uses ``fast_word_size``, which is property-tested
+    #: equal to ``word_size`` on every input.
+    message_sizer: "Callable[[Any], int] | None" = None
+
     def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
 
@@ -217,6 +227,46 @@ class ExecutionBackend(abc.ABC):
     @abc.abstractmethod
     def round_record_factory(self) -> Callable[[int, Iterable["Message"]], "RoundRecord"]:
         """Accounting policy: ``(round_index, messages) -> RoundRecord``."""
+
+    @property
+    def accounting_policy_name(self) -> str:
+        """Stable name of the accounting policy :meth:`round_record_factory` builds.
+
+        Clusters hand this to
+        :meth:`~repro.mpc.metrics.MetricsLedger.install_round_record_factory`
+        so a ledger shared by several clusters can tell *compatible*
+        policies (same name — e.g. two aggregate backends with the same
+        sampling stride) from *conflicting* ones, which raise instead of
+        silently mixing accounting schemes in one record stream.
+        """
+        return self.name
+
+    def run_superstep(
+        self,
+        cluster: "Cluster",
+        handler: "Callable[[Machine, list[Message]], None]",
+        targets: "list[Machine]",
+    ) -> "RoundRecord":
+        """Execute one BSP superstep: per-machine handlers, then one exchange.
+
+        This is the execution-strategy hook behind
+        :meth:`~repro.mpc.cluster.Cluster.superstep`.  The default runs the
+        handlers sequentially in the given (registration) order — the
+        reference strategy.  The parallel backend overrides it to fan
+        shard-local handler execution across a worker pool with a
+        deterministic merge barrier at the exchange.
+
+        Handler contract (what makes overriding legal): a handler may read
+        shared driver state freely but must only *mutate* state owned by the
+        machine it runs on (its local store, its owned vertices' driver-side
+        entries); any information flowing to another machine's code must be
+        sent as a message.  Handlers honouring this are order-independent,
+        so every strategy yields the bit-for-bit identical round.
+        """
+        for machine in targets:
+            inbox = machine.drain()
+            handler(machine, inbox)
+        return cluster.exchange()
 
     @property
     @abc.abstractmethod

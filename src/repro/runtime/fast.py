@@ -214,6 +214,12 @@ class FastBackend(ExecutionBackend):
         return _aggregate_round_record(getattr(self.config, "metrics_sampling", 0))
 
     @property
+    def accounting_policy_name(self) -> str:
+        # Same policy as the sharded/parallel backends at the same sampling
+        # stride, so clusters on any aggregate backend may share a ledger.
+        return f"scalar-aggregate/k={getattr(self.config, 'metrics_sampling', 0)}"
+
+    @property
     def guarantees(self) -> dict[str, bool]:
         return {
             "strict_memory": True,

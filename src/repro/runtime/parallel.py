@@ -1,0 +1,115 @@
+"""The parallel execution backend — pooled superstep execution over shards.
+
+Builds directly on :mod:`repro.runtime.sharding`: same cached storage, same
+shard-partitioned fused transport, plus an overridden
+:meth:`~repro.runtime.base.ExecutionBackend.run_superstep` that fans the
+shard-local halves of a BSP superstep — inbox draining, handler execution,
+message staging and sizing — across a shared :class:`ThreadPoolExecutor`.
+
+Why this is legal: the superstep handler contract (see
+:meth:`ExecutionBackend.run_superstep`) requires handlers to mutate only
+state owned by the machine they run on, and the sharded transport keeps
+per-shard staging state, so concurrent shard jobs never write to shared
+structures.  The round boundary is a **deterministic merge barrier**: the
+pool is joined before the exchange, and the exchange merges the per-shard
+staged-sender sets back into global registration order, so the delivered
+round — order, content, accounting — is bit-for-bit identical to the
+reference backend no matter how the OS schedules the workers.
+
+When it helps: superstep-style algorithms (the static MPC baselines, and
+anything routed through :meth:`Cluster.superstep`) whose per-round handler
+work dominates.  Driver-style dynamic updates at tiny sizes gain nothing —
+they never call ``run_superstep`` — but still benefit from the sharded
+transport's fused delivery.  With fewer than two effective workers (or a
+single non-empty shard) the implementation falls back to the sequential
+strategy, so ``parallel`` is always safe to select.
+
+Error semantics: if handlers raise in several shards, the exception from
+the lowest shard index is re-raised (a deterministic choice).  Machines in
+other shards may already have staged messages; callers that want a clean
+slate after a failed superstep should call ``cluster.discard_undelivered()``
+— the same advice that applies to a failed sequential superstep.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Callable
+
+from repro.runtime.base import register_backend
+from repro.runtime.sharding import ShardedBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpc.cluster import Cluster
+    from repro.mpc.machine import Machine
+    from repro.mpc.message import Message
+    from repro.mpc.metrics import RoundRecord
+
+__all__ = ["ParallelBackend"]
+
+
+#: process-wide worker pools keyed by size.  Supersteps are synchronous
+#: (submit + join within one call), so clusters can share pools freely; a
+#: shared pool also keeps the thread count bounded when tests construct
+#: hundreds of short-lived clusters.
+_POOLS: dict[int, ThreadPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(max_workers: int) -> ThreadPoolExecutor:
+    pool = _POOLS.get(max_workers)
+    if pool is None:
+        with _POOLS_LOCK:
+            pool = _POOLS.get(max_workers)
+            if pool is None:
+                pool = ThreadPoolExecutor(
+                    max_workers=max_workers, thread_name_prefix=f"repro-superstep-{max_workers}"
+                )
+                _POOLS[max_workers] = pool
+    return pool
+
+
+@register_backend
+class ParallelBackend(ShardedBackend):
+    """Sharded transport + worker-pool superstep execution."""
+
+    name = "parallel"
+
+    @property
+    def max_workers(self) -> int:
+        """Effective worker-pool size: ``config.max_workers`` or CPU-bounded."""
+        configured = getattr(self.config, "max_workers", None)
+        if configured is not None:
+            return configured
+        return max(1, min(self.plan.shard_count, os.cpu_count() or 1))
+
+    def run_superstep(
+        self,
+        cluster: "Cluster",
+        handler: "Callable[[Machine, list[Message]], None]",
+        targets: "list[Machine]",
+    ) -> "RoundRecord":
+        buckets = [bucket for bucket in self.plan.partition(targets) if bucket]
+        if len(buckets) < 2 or self.max_workers < 2:
+            return super().run_superstep(cluster, handler, targets)
+
+        def run_shard(bucket: "list[Machine]") -> None:
+            for machine in bucket:
+                inbox = machine.drain()
+                handler(machine, inbox)
+
+        pool = _shared_pool(self.max_workers)
+        futures = [pool.submit(run_shard, bucket) for bucket in buckets]
+        # Merge barrier: join every shard before the exchange.  Collect the
+        # first (lowest-shard) error but always wait for all futures, so no
+        # shard job is still mutating machines when the caller resumes.
+        error: BaseException | None = None
+        for future in futures:
+            exc = future.exception()
+            if exc is not None and error is None:
+                error = exc
+        if error is not None:
+            raise error
+        return cluster.exchange()

@@ -113,6 +113,10 @@ class ReferenceBackend(ExecutionBackend):
         return RoundRecord.from_messages
 
     @property
+    def accounting_policy_name(self) -> str:
+        return "full-pair-detail"
+
+    @property
     def guarantees(self) -> dict[str, bool]:
         return {
             "strict_memory": True,

@@ -5,11 +5,18 @@ machine owns a set of vertices and stores, for each owned vertex, its
 current algorithm state and its adjacency list.  The partition is the
 stateless hash partition so drivers and machines agree on ownership without
 any directory traffic.
+
+The baselines are *superstep-style* algorithms: each round every machine
+runs the same local code over its owned vertices, so they are routed
+through :meth:`Cluster.superstep` and pick up whatever execution strategy
+the cluster's backend provides — including the pooled shard execution of
+the ``parallel`` backend (``backend=``/``shard_count=``/``max_workers=``
+below).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.config import DMPCConfig
 from repro.graph.graph import DynamicGraph
@@ -26,6 +33,9 @@ class StaticMPCSetup:
     cluster: Cluster
     worker_ids: list[str]
     graph: DynamicGraph
+    #: machine id -> owned vertices, precomputed once so the per-round
+    #: superstep handlers don't rescan the whole vertex set per machine.
+    owned: dict[str, list[int]] = field(default_factory=dict)
 
     def owner(self, vertex: int) -> str:
         """The machine owning ``vertex``'s state and adjacency list."""
@@ -33,10 +43,19 @@ class StaticMPCSetup:
 
     def owned_vertices(self, machine_id: str) -> list[int]:
         """All vertices owned by ``machine_id``."""
+        if machine_id in self.owned:
+            return self.owned[machine_id]
         return [v for v in self.graph.vertices if self.owner(v) == machine_id]
 
 
-def build_static_cluster(graph: DynamicGraph, *, num_workers: int | None = None) -> StaticMPCSetup:
+def build_static_cluster(
+    graph: DynamicGraph,
+    *,
+    num_workers: int | None = None,
+    backend: str | None = None,
+    shard_count: int | None = None,
+    max_workers: int | None = None,
+) -> StaticMPCSetup:
     """Create a cluster for a static baseline and load ``graph`` onto it.
 
     Static MPC algorithms in the literature assume per-machine memory that is
@@ -44,18 +63,34 @@ def build_static_cluster(graph: DynamicGraph, *, num_workers: int | None = None)
     model grants dynamic algorithms — so the baseline cluster relaxes the
     strict memory and per-round I/O enforcement.  The communication is still
     fully *accounted*, which is what the benchmarks compare.
+
+    ``backend`` / ``shard_count`` / ``max_workers`` select the execution
+    backend (:mod:`repro.runtime`) the baseline runs on; ``None`` defers to
+    the usual resolution chain (``REPRO_BACKEND``, then ``reference``).
     """
     n = max(1, graph.num_vertices)
     m = graph.num_edges
-    config = DMPCConfig(capacity_n=n, capacity_m=max(1, m), strict_memory=False)
+    config = DMPCConfig(
+        capacity_n=n,
+        capacity_m=max(1, m),
+        strict_memory=False,
+        backend=backend,
+        shard_count=shard_count,
+        max_workers=max_workers,
+    )
     cluster = Cluster(config, enforce_io_cap=False)
     workers = num_workers if num_workers is not None else config.num_worker_machines
     worker_machines = cluster.add_machines("w", max(2, workers), role="worker")
     worker_ids = [m_.machine_id for m_ in worker_machines]
 
     setup = StaticMPCSetup(cluster=cluster, worker_ids=worker_ids, graph=graph)
+    owned: dict[str, list[int]] = {mid: [] for mid in worker_ids}
     for v in graph.vertices:
-        machine = cluster.machine(setup.owner(v))
-        machine.store(("adj", v), sorted(graph.neighbors(v)))
-        machine.store(("weights", v), {w: graph.weight(v, w) for w in graph.neighbors(v)})
+        owned[setup.owner(v)].append(v)
+    setup.owned = owned
+    for machine_id, vertices in owned.items():
+        machine = cluster.machine(machine_id)
+        for v in vertices:
+            machine.store(("adj", v), sorted(graph.neighbors(v)))
+            machine.store(("weights", v), {w: graph.weight(v, w) for w in graph.neighbors(v)})
     return setup

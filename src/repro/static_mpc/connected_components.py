@@ -13,6 +13,15 @@ decreases, the neighbour the smaller label arrived from.  These "via"
 pointers form a spanning forest of the graph (each strict decrease points to
 a vertex that held the smaller label strictly earlier, so no cycles can
 form), which is what the Section 5 preprocessing needs.
+
+Each iteration is two supersteps routed through :meth:`Cluster.superstep`
+(propose, then apply-and-agree-on-termination), so the per-machine work runs
+under whatever execution strategy the cluster's backend provides.  The
+handlers follow the shard-safe idiom: shared driver state (``labels``,
+``via``) is only *written* for vertices owned by the machine the handler
+runs on, and the write phase is separated from every read phase by a round
+barrier — which is exactly what lets the ``parallel`` backend fan the
+handlers across a worker pool without changing a single delivered message.
 """
 
 from __future__ import annotations
@@ -26,9 +35,24 @@ __all__ = ["StaticConnectedComponents"]
 class StaticConnectedComponents:
     """Min-label propagation over vertex-partitioned adjacency lists."""
 
-    def __init__(self, graph: DynamicGraph, *, num_workers: int | None = None, max_rounds: int | None = None) -> None:
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        *,
+        num_workers: int | None = None,
+        max_rounds: int | None = None,
+        backend: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
         self.graph = graph
-        self.setup: StaticMPCSetup = build_static_cluster(graph, num_workers=num_workers)
+        self.setup: StaticMPCSetup = build_static_cluster(
+            graph,
+            num_workers=num_workers,
+            backend=backend,
+            shard_count=shard_count,
+            max_workers=max_workers,
+        )
         self.cluster = self.setup.cluster
         self.max_rounds = max_rounds if max_rounds is not None else 4 * max(4, graph.num_vertices)
         self.labels: dict[int, int] = {}
@@ -40,41 +64,52 @@ class StaticConnectedComponents:
         """Execute the algorithm; returns the vertex → component-label map."""
         cluster = self.cluster
         setup = self.setup
+        worker_ids = setup.worker_ids
+        leader_id = worker_ids[0]
+        owner = setup.owner
         labels = {v: v for v in self.graph.vertices}
         via: dict[int, tuple[int, int]] = {}
+        # machine id -> "did any owned label change this iteration"; written
+        # by the apply handler (one machine each), read by the driver.
+        changed_flags: dict[str, bool] = {}
+
+        def propose(machine, inbox):
+            # inbox: only stale termination flags (on the leader) — ignored.
+            proposals: dict[str, list[tuple[int, int, int]]] = {}
+            for v in setup.owned_vertices(machine.machine_id):
+                adj = machine.load(("adj", v), [])
+                label_v = labels[v]
+                for w in adj:
+                    proposals.setdefault(owner(w), []).append((w, label_v, v))
+            for target, items in proposals.items():
+                machine.send(target, "label-proposal", items)
+
+        def apply_min(machine, inbox):
+            local_changed = False
+            for msg in inbox:
+                if msg.tag != "label-proposal":
+                    continue
+                for (w, proposed, sender_vertex) in msg.payload:
+                    if proposed < labels[w]:
+                        labels[w] = proposed
+                        via[w] = (sender_vertex, w)
+                        local_changed = True
+            changed_flags[machine.machine_id] = local_changed
+            # One more round of constant-size messages to agree on termination.
+            if machine.machine_id != leader_id:
+                machine.send(leader_id, "changed", local_changed)
 
         with cluster.update(label):
             changed = True
             rounds = 0
             while changed and rounds < self.max_rounds:
-                changed = False
                 rounds += 1
                 # Every owner ships its owned labels along every incident edge.
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    proposals: dict[str, list[tuple[int, int, int]]] = {}
-                    for v in setup.owned_vertices(machine_id):
-                        adj = machine.load(("adj", v), [])
-                        for w in adj:
-                            target = setup.owner(w)
-                            proposals.setdefault(target, []).append((w, labels[v], v))
-                    for target, items in proposals.items():
-                        machine.send(target, "label-proposal", items)
-                cluster.exchange()
+                cluster.superstep(propose, machines=worker_ids)
                 # Owners lower labels to the minimum proposal.
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    for msg in machine.drain("label-proposal"):
-                        for (w, proposed, sender_vertex) in msg.payload:
-                            if proposed < labels[w]:
-                                labels[w] = proposed
-                                via[w] = (sender_vertex, w)
-                                changed = True
-                # One more round of constant-size messages to agree on termination.
-                for machine_id in setup.worker_ids[1:]:
-                    cluster.machine(machine_id).send(setup.worker_ids[0], "changed", changed)
-                cluster.exchange()
-                cluster.machine(setup.worker_ids[0]).drain("changed")
+                cluster.superstep(apply_min, machines=worker_ids)
+                changed = any(changed_flags.values())
+            cluster.machine(leader_id).drain("changed")
             self.rounds_used = rounds
 
         self.labels = labels

@@ -5,11 +5,10 @@ algorithm the paper invokes for the preprocessing of its Section 3 dynamic
 matching ("compute a maximal matching in O(log n) rounds with the
 randomized CONGEST algorithm").  Each round:
 
-1. every still-free vertex picks one free neighbour uniformly at random and
+1. every still-free vertex picks one free neighbour pseudo-randomly and
    *proposes* to it (one message along the chosen edge);
 2. every free vertex that received proposals *accepts* exactly one
-   (preferring a proposer it itself proposed to, then lowest id), and the
-   accepted pairs join the matching;
+   (lowest-id free proposer), and the accepted pairs join the matching;
 3. matched vertices announce their new status to their neighbours' owners
    so dead edges are pruned.
 
@@ -18,26 +17,66 @@ vertices disappears each round, so the process finishes in ``O(log n)``
 rounds with high probability — with **all** machines active and ``Theta(m)``
 words shuffled per round, which is the baseline cost the dynamic algorithm
 of Section 3 avoids.
+
+The proposal choice is drawn from a stable per-``(seed, round, vertex)``
+mixer rather than one shared RNG stream: a shared stream's consumption
+order would depend on machine execution order, while the mixer makes every
+machine's choices a pure function of driver state — the property the
+superstep handler contract needs so the ``parallel`` backend can run the
+per-machine phases concurrently and still produce the identical matching.
+The proposal and announcement phases run through :meth:`Cluster.superstep`;
+the acceptance phase is a global driver decision (it resolves cross-shard
+proposal conflicts), exactly as a coordinator round would.
 """
 
 from __future__ import annotations
-
-import random
 
 from repro.graph.graph import DynamicGraph, normalize_edge
 from repro.static_mpc.common import StaticMPCSetup, build_static_cluster
 
 __all__ = ["StaticMaximalMatching"]
 
+_MASK = (1 << 64) - 1
+
+
+def _mix(seed: int, round_index: int, vertex: int) -> int:
+    """SplitMix64-style stable mixer: pseudo-random, independent of any order."""
+    x = (
+        seed * 0x9E3779B97F4A7C15
+        + round_index * 0xBF58476D1CE4E5B9
+        + vertex * 0x94D049BB133111EB
+    ) & _MASK
+    x ^= x >> 30
+    x = (x * 0xBF58476D1CE4E5B9) & _MASK
+    x ^= x >> 27
+    x = (x * 0x94D049BB133111EB) & _MASK
+    return x ^ (x >> 31)
+
 
 class StaticMaximalMatching:
     """Randomized proposal-round maximal matching on the simulator."""
 
-    def __init__(self, graph: DynamicGraph, *, num_workers: int | None = None, seed: int = 2019, max_rounds: int | None = None) -> None:
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        *,
+        num_workers: int | None = None,
+        seed: int = 2019,
+        max_rounds: int | None = None,
+        backend: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
         self.graph = graph
-        self.setup: StaticMPCSetup = build_static_cluster(graph, num_workers=num_workers)
+        self.setup: StaticMPCSetup = build_static_cluster(
+            graph,
+            num_workers=num_workers,
+            backend=backend,
+            shard_count=shard_count,
+            max_workers=max_workers,
+        )
         self.cluster = self.setup.cluster
-        self.rng = random.Random(seed)
+        self.seed = seed
         self.max_rounds = max_rounds if max_rounds is not None else 8 * max(4, graph.num_vertices.bit_length() + 1) + 32
         self.matching: set[tuple[int, int]] = set()
         self.rounds_used = 0
@@ -46,34 +85,64 @@ class StaticMaximalMatching:
         """Execute the algorithm; returns the computed maximal matching."""
         cluster = self.cluster
         setup = self.setup
+        worker_ids = setup.worker_ids
+        owner = setup.owner
+        seed = self.seed
         free_adj: dict[int, set[int]] = {v: set(self.graph.neighbors(v)) for v in self.graph.vertices}
         matched: set[int] = set()
         matching: set[tuple[int, int]] = set()
+        round_no = [0]
+
+        def prune_and_propose(machine, inbox):
+            # Apply last round's status announcements, then propose.  Both
+            # touch ``free_adj`` only for vertices this machine owns.
+            owned = setup.owned_vertices(machine.machine_id)
+            announced = [v for msg in inbox if msg.tag == "matched-status" for v in msg.payload]
+            if announced:
+                for w in owned:
+                    free_adj[w].difference_update(announced)
+            outgoing: dict[str, list[tuple[int, int]]] = {}
+            for v in owned:
+                if v in matched or not free_adj[v]:
+                    continue
+                candidates = sorted(free_adj[v])
+                choice = candidates[_mix(seed, round_no[0], v) % len(candidates)]
+                outgoing.setdefault(owner(choice), []).append((v, choice))
+            for target, pairs in outgoing.items():
+                machine.send(target, "propose", pairs)
+
+        def announce(machine, inbox):
+            announcements: dict[str, list[int]] = {}
+            for v in setup.owned_vertices(machine.machine_id):
+                if v in matched and free_adj[v]:
+                    for w in free_adj[v]:
+                        announcements.setdefault(owner(w), []).append(v)
+            for target, vertices in announcements.items():
+                machine.send(target, "matched-status", vertices)
+
+        def has_free_edge() -> bool:
+            # A free vertex with a *free* neighbour (pruning of last round's
+            # matches happens lazily in the next prune_and_propose handler,
+            # so consult ``matched`` here to avoid a no-op trailing round).
+            return any(
+                v not in matched and any(w not in matched for w in free_adj[v]) for v in free_adj
+            )
 
         with cluster.update(label):
             rounds = 0
-            while rounds < self.max_rounds and any(free_adj[v] for v in free_adj if v not in matched):
+            while rounds < self.max_rounds and has_free_edge():
                 rounds += 1
-                # Phase 1: proposals along randomly chosen incident edges.
+                round_no[0] = rounds
+                # Phase 1: prune dead edges, then propose along chosen edges.
+                cluster.superstep(prune_and_propose, machines=worker_ids)
                 proposals_by_target: dict[int, list[int]] = {}
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    outgoing: dict[str, list[tuple[int, int]]] = {}
-                    for v in setup.owned_vertices(machine_id):
-                        if v in matched or not free_adj[v]:
-                            continue
-                        choice = self.rng.choice(sorted(free_adj[v]))
-                        outgoing.setdefault(setup.owner(choice), []).append((v, choice))
-                    for target, pairs in outgoing.items():
-                        machine.send(target, "propose", pairs)
-                cluster.exchange()
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    for msg in machine.drain("propose"):
+                for machine_id in worker_ids:
+                    for msg in cluster.machine(machine_id).drain("propose"):
                         for (proposer, target) in msg.payload:
                             proposals_by_target.setdefault(target, []).append(proposer)
 
-                # Phase 2: acceptances (local decision at the owner of the target).
+                # Phase 2: acceptances — a global decision resolving proposal
+                # conflicts (a target may itself have proposed elsewhere).
                 newly_matched: list[tuple[int, int]] = []
                 for target, proposers in sorted(proposals_by_target.items()):
                     if target in matched:
@@ -89,23 +158,9 @@ class StaticMaximalMatching:
                     newly_matched.append(normalize_edge(target, chosen))
                 matching.update(newly_matched)
 
-                # Phase 3: announce new statuses so machines prune dead edges.
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    announcements: dict[str, list[int]] = {}
-                    for v in setup.owned_vertices(machine_id):
-                        if v in matched and free_adj[v]:
-                            for w in free_adj[v]:
-                                announcements.setdefault(setup.owner(w), []).append(v)
-                    for target, vertices in announcements.items():
-                        machine.send(target, "matched-status", vertices)
-                cluster.exchange()
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    for msg in machine.drain("matched-status"):
-                        for v in msg.payload:
-                            for w in setup.owned_vertices(machine_id):
-                                free_adj[w].discard(v)
+                # Phase 3: announce new statuses so machines prune dead edges
+                # at the start of the next round.
+                cluster.superstep(announce, machines=worker_ids)
                 for v in list(free_adj):
                     if v in matched:
                         free_adj[v] = set()

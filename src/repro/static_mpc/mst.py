@@ -11,6 +11,15 @@ Component labels are maintained exactly as in
 :class:`~repro.static_mpc.connected_components.StaticConnectedComponents`;
 candidate edges are aggregated at the owner machine of each component's
 label vertex.
+
+The per-machine candidate scan runs through :meth:`Cluster.superstep`.  The
+handler reads the shared union-find ``component`` map through ``find`` with
+path compression; compression writes are benign under concurrent shard
+execution because no merges happen during the scan — every compressed
+pointer is a valid ancestor and every ``find`` returns the phase's unique
+root either way.  Merging (choosing global minima and uniting components)
+is a driver-level decision between supersteps, mirroring the label-vertex
+owners' role.
 """
 
 from __future__ import annotations
@@ -24,9 +33,24 @@ __all__ = ["StaticBoruvkaMST"]
 class StaticBoruvkaMST:
     """Borůvka's algorithm on the simulator (exact minimum spanning forest)."""
 
-    def __init__(self, graph: DynamicGraph, *, num_workers: int | None = None, max_phases: int | None = None) -> None:
+    def __init__(
+        self,
+        graph: DynamicGraph,
+        *,
+        num_workers: int | None = None,
+        max_phases: int | None = None,
+        backend: str | None = None,
+        shard_count: int | None = None,
+        max_workers: int | None = None,
+    ) -> None:
         self.graph = graph
-        self.setup: StaticMPCSetup = build_static_cluster(graph, num_workers=num_workers)
+        self.setup: StaticMPCSetup = build_static_cluster(
+            graph,
+            num_workers=num_workers,
+            backend=backend,
+            shard_count=shard_count,
+            max_workers=max_workers,
+        )
         self.cluster = self.setup.cluster
         self.max_phases = max_phases if max_phases is not None else 2 * max(2, graph.num_vertices.bit_length() + 1)
         self.forest: set[tuple[int, int]] = set()
@@ -36,8 +60,12 @@ class StaticBoruvkaMST:
         """Execute Borůvka; returns the minimum spanning forest edge set."""
         cluster = self.cluster
         setup = self.setup
+        worker_ids = setup.worker_ids
+        owner = setup.owner
         component: dict[int, int] = {v: v for v in self.graph.vertices}
         forest: set[tuple[int, int]] = set()
+        # machine id -> number of candidate edges it reported this phase.
+        candidate_counts: dict[str, int] = {}
 
         def find(v: int) -> int:
             while component[v] != v:
@@ -45,37 +73,42 @@ class StaticBoruvkaMST:
                 v = component[v]
             return v
 
+        def report_candidates(machine, inbox):
+            # inbox: the previous phase's merge broadcast — the shared
+            # ``component`` map models each machine's local view, so the
+            # payload itself needs no further processing here.
+            best_local: dict[int, tuple[float, int, int]] = {}
+            for v in setup.owned_vertices(machine.machine_id):
+                comp_v = find(v)
+                weights = machine.load(("weights", v), {})
+                for w, weight in weights.items():
+                    if find(w) == comp_v:
+                        continue
+                    entry = (float(weight), v, w)
+                    if comp_v not in best_local or entry < best_local[comp_v]:
+                        best_local[comp_v] = entry
+            for comp_label, (weight, v, w) in best_local.items():
+                machine.send(owner(comp_label), "mst-candidate", (comp_label, weight, v, w))
+            candidate_counts[machine.machine_id] = len(best_local)
+
         with cluster.update(label):
             for phase in range(self.max_phases):
                 # Phase part 1: each owner reports, per owned component label,
                 # the cheapest outgoing edge among its owned vertices.
-                candidate_messages = 0
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    best_local: dict[int, tuple[float, int, int]] = {}
-                    for v in setup.owned_vertices(machine_id):
-                        comp_v = find(v)
-                        weights = machine.load(("weights", v), {})
-                        for w, weight in weights.items():
-                            if find(w) == comp_v:
-                                continue
-                            entry = (float(weight), v, w)
-                            if comp_v not in best_local or entry < best_local[comp_v]:
-                                best_local[comp_v] = entry
-                    for comp_label, (weight, v, w) in best_local.items():
-                        target = setup.owner(comp_label)
-                        machine.send(target, "mst-candidate", (comp_label, weight, v, w))
-                        candidate_messages += 1
-                if candidate_messages == 0:
+                cluster.superstep(report_candidates, machines=worker_ids)
+                if sum(candidate_counts.values()) == 0:
+                    # The terminal phase's empty scan still cost one (empty)
+                    # exchange — the price of detecting termination inside the
+                    # superstep rather than re-scanning all edges sequentially
+                    # at the driver, which would serialise exactly the work
+                    # the pooled backends parallelise.
                     break
-                cluster.exchange()
 
                 # Phase part 2: component-label owners pick the global minimum
                 # per component and broadcast the merges.
                 chosen: dict[int, tuple[float, int, int]] = {}
-                for machine_id in setup.worker_ids:
-                    machine = cluster.machine(machine_id)
-                    for msg in machine.drain("mst-candidate"):
+                for machine_id in worker_ids:
+                    for msg in cluster.machine(machine_id).drain("mst-candidate"):
                         comp_label, weight, v, w = msg.payload
                         entry = (weight, v, w)
                         if comp_label not in chosen or entry < chosen[comp_label]:
@@ -88,13 +121,13 @@ class StaticBoruvkaMST:
                         component[find(v)] = find(w)
                 # Broadcast the merge decisions (constant words per merge) so
                 # every machine can update its local component view.
-                leader = cluster.machine(setup.worker_ids[0])
-                for machine_id in setup.worker_ids[1:]:
+                leader = cluster.machine(worker_ids[0])
+                for machine_id in worker_ids[1:]:
                     leader.send(machine_id, "mst-merges", merges)
                 cluster.exchange()
-                for machine_id in setup.worker_ids[1:]:
-                    cluster.machine(machine_id).drain("mst-merges")
                 self.phases_used = phase + 1
+            for machine_id in worker_ids[1:]:
+                cluster.machine(machine_id).drain("mst-merges")
 
         self.forest = forest
         return forest

@@ -113,3 +113,14 @@ class TestCoordinator:
         assert len(received) == 1
         assert received[0].words >= 2
         assert coordinator.stats_machine_for(0) == "stats0"
+
+    def test_coordinator_send_history_order_is_registration_order(self):
+        """Receivers passed as an unordered set must stage deterministically."""
+        cluster = Cluster(DMPCConfig(capacity_n=16, capacity_m=32))
+        stats = cluster.add_machines("stats", 4, role="stats")
+        partition = RangePartition(16, [m.machine_id for m in stats])
+        coordinator = Coordinator.create(cluster, partition)
+        coordinator.record("insert", 1, 2)
+        coordinator.send_history({"stats3", "stats1", "stats0", coordinator.machine_id})
+        staged = [msg.receiver for msg in coordinator.machine.outbox]
+        assert staged == ["stats0", "stats1", "stats3"]  # self excluded, index order

@@ -1,11 +1,16 @@
-"""Cross-backend equivalence: the fast backend must change nothing observable.
+"""Cross-backend equivalence: optimised backends must change nothing observable.
 
 The execution-backend contract (:mod:`repro.runtime.base`) is that backends
 may change *how* a simulation executes but never *what* it computes: the
 maintained solutions, the per-update round counts and the word accounting
 must be identical under every backend.  These tests drive the same graphs
-and update streams through the reference and fast backends and compare
-everything the algorithms expose.
+and update streams through the reference, fast, sharded and parallel
+backends and compare everything the algorithms expose.
+
+The sharded/parallel configurations deliberately use a ``shard_count`` that
+does **not** divide the machine counts these workloads produce, so the
+uneven last shard and the K-way merge barrier are always exercised; the
+parallel backend runs with a real two-worker pool.
 """
 
 from __future__ import annotations
@@ -24,8 +29,27 @@ from repro.dynamic_mpc import (
 from repro.graph import DynamicGraph, GraphUpdate, batched
 from repro.graph.generators import gnm_random_graph, random_weighted_graph
 from repro.graph.streams import mixed_stream
+from repro.static_mpc import StaticBoruvkaMST, StaticConnectedComponents, StaticMaximalMatching
 
-BACKENDS = ("reference", "fast")
+BACKENDS = ("reference", "fast", "sharded", "parallel")
+
+#: deliberately odd so it does not divide typical machine counts
+SHARD_COUNT = 3
+MAX_WORKERS = 2
+
+
+def backend_overrides(backend: str) -> dict:
+    """Per-backend config extras: odd shard count, real worker pool."""
+    extra: dict = {}
+    if backend in ("sharded", "parallel"):
+        extra["shard_count"] = SHARD_COUNT
+    if backend == "parallel":
+        extra["max_workers"] = MAX_WORKERS
+    return extra
+
+
+def make_config(n: int, m: int, backend: str) -> DMPCConfig:
+    return DMPCConfig.for_graph(n, m, backend=backend, **backend_overrides(backend))
 
 
 def per_update_rounds(algorithm) -> list[tuple[str, int]]:
@@ -45,11 +69,17 @@ def run_stream(cls, config: DMPCConfig, graph, stream, *, batch_size: int | None
     return algorithm
 
 
-def run_both(cls, make_config, graph, stream, *, batch_size: int | None = None, **kwargs):
+def run_all(cls, make_config, graph, stream, *, batch_size: int | None = None, **kwargs):
     return {
         backend: run_stream(cls, make_config(backend), graph, stream, batch_size=batch_size, **kwargs)
         for backend in BACKENDS
     }
+
+
+def assert_all_equal(by_backend: dict, extract, what: str) -> None:
+    reference = extract(by_backend["reference"])
+    for backend in BACKENDS[1:]:
+        assert extract(by_backend[backend]) == reference, f"{backend} diverged from reference: {what}"
 
 
 class TestAlgorithmEquivalence:
@@ -58,52 +88,47 @@ class TestAlgorithmEquivalence:
         n, m = 48, 96
         graph = gnm_random_graph(n, m, seed=21)
         stream = list(mixed_stream(n, 120, seed=22, insert_probability=0.5, initial=graph))
-        runs = run_both(
-            DMPCConnectivity, lambda b: DMPCConfig.for_graph(n, 2 * m, backend=b), graph, stream, batch_size=batch_size
+        runs = run_all(
+            DMPCConnectivity, lambda b: make_config(n, 2 * m, b), graph, stream, batch_size=batch_size
         )
-        ref, fast = runs["reference"], runs["fast"]
-        assert sorted(map(sorted, ref.components())) == sorted(map(sorted, fast.components()))
-        assert ref.spanning_forest() == fast.spanning_forest()
-        assert per_update_rounds(ref) == per_update_rounds(fast)
-        assert ref.update_summary().as_dict() == fast.update_summary().as_dict()
+        assert_all_equal(runs, lambda a: sorted(map(sorted, a.components())), "components")
+        assert_all_equal(runs, lambda a: a.spanning_forest(), "spanning forest")
+        assert_all_equal(runs, per_update_rounds, "per-update rounds")
+        assert_all_equal(runs, lambda a: a.update_summary().as_dict(), "update summary")
 
     @pytest.mark.parametrize("batch_size", [None, 8])
     def test_maximal_matching_same_solution_and_rounds(self, batch_size):
         n, m = 40, 80
         graph = gnm_random_graph(n, m, seed=31)
         stream = list(mixed_stream(n, 120, seed=32, insert_probability=0.5, initial=graph))
-        runs = run_both(
-            DMPCMaximalMatching, lambda b: DMPCConfig.for_graph(n, 2 * m, backend=b), graph, stream, batch_size=batch_size
+        runs = run_all(
+            DMPCMaximalMatching, lambda b: make_config(n, 2 * m, b), graph, stream, batch_size=batch_size
         )
-        ref, fast = runs["reference"], runs["fast"]
-        assert ref.matching() == fast.matching()
-        assert per_update_rounds(ref) == per_update_rounds(fast)
-        assert ref.update_summary().as_dict() == fast.update_summary().as_dict()
+        assert_all_equal(runs, lambda a: a.matching(), "matching")
+        assert_all_equal(runs, per_update_rounds, "per-update rounds")
+        assert_all_equal(runs, lambda a: a.update_summary().as_dict(), "update summary")
 
     def test_approx_mst_same_forest_and_rounds(self):
         n, m = 32, 64
         graph = random_weighted_graph(n, m, seed=41)
         stream = list(mixed_stream(n, 80, seed=42, insert_probability=0.5, initial=graph, weighted=True))
-        runs = run_both(
-            DMPCApproxMST, lambda b: DMPCConfig.for_graph(n, 2 * m, backend=b), graph, stream, epsilon=0.2
-        )
-        ref, fast = runs["reference"], runs["fast"]
-        assert ref.spanning_forest() == fast.spanning_forest()
-        assert ref.forest_weight() == pytest.approx(fast.forest_weight())
-        assert per_update_rounds(ref) == per_update_rounds(fast)
+        runs = run_all(DMPCApproxMST, lambda b: make_config(n, 2 * m, b), graph, stream, epsilon=0.2)
+        assert_all_equal(runs, lambda a: a.spanning_forest(), "spanning forest")
+        assert_all_equal(runs, per_update_rounds, "per-update rounds")
+        reference = runs["reference"].forest_weight()
+        for backend in BACKENDS[1:]:
+            assert runs[backend].forest_weight() == pytest.approx(reference)
 
     def test_heavy_star_workload_equivalent(self):
-        """The heavy-vertex suspended-stack path decides identically on both backends."""
+        """The heavy-vertex suspended-stack path decides identically on all backends."""
         n = 64
         graph = DynamicGraph(n)
         for i in range(1, 31):
             graph.insert_edge(0, i)
         stream = [GraphUpdate.delete(0, i) for i in range(1, 23)]
-        runs = run_both(
-            DMPCMaximalMatching, lambda b: DMPCConfig.for_graph(n, 2 * graph.num_edges, backend=b), graph, stream
-        )
-        assert runs["reference"].matching() == runs["fast"].matching()
-        assert per_update_rounds(runs["reference"]) == per_update_rounds(runs["fast"])
+        runs = run_all(DMPCMaximalMatching, lambda b: make_config(n, 2 * graph.num_edges, b), graph, stream)
+        assert_all_equal(runs, lambda a: a.matching(), "matching")
+        assert_all_equal(runs, per_update_rounds, "per-update rounds")
 
     @pytest.mark.parametrize(
         "algorithm_cls,kwargs",
@@ -116,7 +141,7 @@ class TestAlgorithmEquivalence:
         ids=lambda value: getattr(value, "__name__", ""),
     )
     def test_memory_accounting_identical(self, algorithm_cls, kwargs):
-        """Cached sizing must report the exact same memory usage as eager sizing.
+        """Every backend must report the exact same memory usage as eager sizing.
 
         This covers every in-place-mutation pattern the algorithms use
         (``mutate_stats`` / ``push_stats`` same-object re-stores, the
@@ -126,14 +151,68 @@ class TestAlgorithmEquivalence:
         """
         n = 40
         stream = list(mixed_stream(n, 100, seed=52, insert_probability=0.55))
-        runs = run_both(
-            algorithm_cls, lambda b: DMPCConfig.for_graph(n, 4 * n, backend=b), DynamicGraph(n), stream, **kwargs
-        )
-        ref, fast = runs["reference"], runs["fast"]
-        assert ref.cluster.total_stored_words == fast.cluster.total_stored_words
-        for ref_machine, fast_machine in zip(ref.cluster.machines(), fast.cluster.machines()):
-            assert ref_machine.machine_id == fast_machine.machine_id
-            assert ref_machine.used_words == fast_machine.used_words
+        runs = run_all(algorithm_cls, lambda b: make_config(n, 4 * n, b), DynamicGraph(n), stream, **kwargs)
+        reference = runs["reference"]
+        for backend in BACKENDS[1:]:
+            other = runs[backend]
+            assert other.cluster.total_stored_words == reference.cluster.total_stored_words
+            for ref_machine, other_machine in zip(reference.cluster.machines(), other.cluster.machines()):
+                assert ref_machine.machine_id == other_machine.machine_id
+                assert ref_machine.used_words == other_machine.used_words
+
+
+class TestStaticAlgorithmEquivalence:
+    """The superstep-routed static baselines under every execution strategy.
+
+    These are the workloads where the parallel backend actually fans
+    handler execution across the worker pool, so they pin the deterministic
+    merge barrier: solutions, per-round ledger records, word totals and
+    per-machine ``used_words`` must be identical to the reference.
+    """
+
+    def run_static(self, cls, graph, **kwargs):
+        runs = {}
+        for backend in BACKENDS:
+            algorithm = cls(graph, backend=backend, **backend_overrides(backend), **kwargs)
+            algorithm.run()
+            runs[backend] = algorithm
+        return runs
+
+    def assert_cluster_parity(self, runs):
+        reference = runs["reference"]
+        ref_rounds = [(u.label, u.num_rounds, u.total_words) for u in reference.cluster.ledger.updates]
+        ref_words = [(m.machine_id, m.used_words) for m in reference.cluster.machines()]
+        for backend in BACKENDS[1:]:
+            other = runs[backend]
+            assert [(u.label, u.num_rounds, u.total_words) for u in other.cluster.ledger.updates] == ref_rounds
+            assert [(m.machine_id, m.used_words) for m in other.cluster.machines()] == ref_words
+            summary = other.cluster.ledger.summary().as_dict()
+            assert summary == reference.cluster.ledger.summary().as_dict()
+
+    def test_connected_components_equivalent(self):
+        graph = gnm_random_graph(60, 140, seed=13)
+        runs = self.run_static(StaticConnectedComponents, graph)
+        assert_all_equal(runs, lambda a: a.labels, "labels")
+        assert_all_equal(runs, lambda a: sorted(a.spanning_forest()), "spanning forest")
+        assert_all_equal(runs, lambda a: a.rounds_used, "rounds used")
+        self.assert_cluster_parity(runs)
+
+    def test_maximal_matching_equivalent(self):
+        graph = gnm_random_graph(50, 130, seed=17)
+        runs = self.run_static(StaticMaximalMatching, graph, seed=17)
+        assert_all_equal(runs, lambda a: sorted(a.matching), "matching")
+        assert_all_equal(runs, lambda a: a.rounds_used, "rounds used")
+        self.assert_cluster_parity(runs)
+
+    def test_boruvka_mst_equivalent(self):
+        graph = random_weighted_graph(45, 110, seed=19)
+        runs = self.run_static(StaticBoruvkaMST, graph)
+        assert_all_equal(runs, lambda a: sorted(a.forest), "forest")
+        assert_all_equal(runs, lambda a: a.phases_used, "phases used")
+        reference = runs["reference"].forest_weight()
+        for backend in BACKENDS[1:]:
+            assert runs[backend].forest_weight() == pytest.approx(reference)
+        self.assert_cluster_parity(runs)
 
 
 @settings(max_examples=15, deadline=None)
@@ -142,7 +221,7 @@ def test_property_equivalence_under_arbitrary_toggles(pairs):
     """Property: any toggle sequence yields identical matchings and round counts."""
     algorithms = {}
     for backend in BACKENDS:
-        alg = DMPCMaximalMatching(DMPCConfig.for_graph(10, 64, backend=backend))
+        alg = DMPCMaximalMatching(make_config(10, 64, backend))
         alg.preprocess(DynamicGraph(10))
         present: set[tuple[int, int]] = set()
         for (u, v) in pairs:
@@ -156,7 +235,6 @@ def test_property_equivalence_under_arbitrary_toggles(pairs):
                 alg.apply(GraphUpdate.insert(*edge))
                 present.add(edge)
         algorithms[backend] = alg
-    ref, fast = algorithms["reference"], algorithms["fast"]
-    assert ref.matching() == fast.matching()
-    assert per_update_rounds(ref) == per_update_rounds(fast)
-    assert ref.cluster.total_stored_words == fast.cluster.total_stored_words
+    assert_all_equal(algorithms, lambda a: a.matching(), "matching")
+    assert_all_equal(algorithms, per_update_rounds, "per-update rounds")
+    assert_all_equal(algorithms, lambda a: a.cluster.total_stored_words, "stored words")

@@ -13,14 +13,17 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DMPCConfig
-from repro.exceptions import MachineMemoryExceeded, MessageSizeExceeded, UnknownMachineError
-from repro.mpc import Cluster, Machine, MetricsLedger
+from repro.exceptions import MachineMemoryExceeded, MessageSizeExceeded, ProtocolError, UnknownMachineError
+from repro.mpc import Cluster, Machine, MetricsLedger, RoundRecord, rendezvous_shard
 from repro.runtime import (
     BACKENDS,
     CachedStorage,
     FastBackend,
+    ParallelBackend,
     ReferenceBackend,
     ReferenceStorage,
+    ShardedBackend,
+    ShardPlan,
     resolve_backend,
 )
 
@@ -195,22 +198,25 @@ class TestFastBackendEnforcesCaps:
 
 # ------------------------------------------------------------------- transport
 class TestTransportParity:
-    def test_delivery_order_matches_reference(self):
+    @pytest.mark.parametrize("backend", ["fast", "sharded", "parallel"])
+    def test_delivery_order_matches_reference(self, backend):
         """Staging order must not leak into delivery order: registration order rules."""
         inboxes = {}
-        for backend in ("reference", "fast"):
-            cluster = make_cluster(backend)
-            machines = cluster.add_machines("m", 4)
+        for name in ("reference", backend):
+            config = DMPCConfig(capacity_n=32, capacity_m=64, backend=name, shard_count=3)
+            cluster = Cluster(config)
+            machines = cluster.add_machines("m", 7)
             cluster.add_machine("sink")
             # Stage in an order different from registration order.
             for machine in reversed(machines):
                 machine.send("sink", "probe", machine.machine_id)
             cluster.exchange()
-            inboxes[backend] = [msg.payload for msg in cluster.machine("sink").inbox]
-        assert inboxes["fast"] == inboxes["reference"] == ["m0", "m1", "m2", "m3"]
+            inboxes[name] = [msg.payload for msg in cluster.machine("sink").inbox]
+        assert inboxes[backend] == inboxes["reference"] == [f"m{i}" for i in range(7)]
 
-    def test_discard_undelivered_clears_staged_state(self):
-        cluster = make_cluster("fast")
+    @pytest.mark.parametrize("backend", ["fast", "sharded", "parallel"])
+    def test_discard_undelivered_clears_staged_state(self, backend):
+        cluster = make_cluster(backend)
         a = cluster.add_machine("a")
         cluster.add_machine("b")
         a.send("b", "x", 1)
@@ -218,6 +224,34 @@ class TestTransportParity:
         record = cluster.exchange()
         assert record.message_count == 0
         assert cluster.machine("b").inbox == []
+
+    @pytest.mark.parametrize("backend", ["sharded", "parallel"])
+    def test_message_words_match_reference_sizer(self, backend):
+        """The transport message sizer must charge exactly the reference words."""
+        payloads = [None, 7, "tagged-payload", [1, 2, (3, 4)], {"k": [5, 6]}, {("a", 1): {2, 3}}]
+        words = {}
+        for name in ("reference", backend):
+            cluster = make_cluster(name)
+            a = cluster.add_machine("a")
+            cluster.add_machine("b")
+            staged = [a.send("b", "t", payload) for payload in payloads]
+            words[name] = [msg.words for msg in staged]
+        assert words[backend] == words["reference"]
+
+    def test_sharded_io_caps_still_enforced(self):
+        cluster = make_cluster("sharded", enforce_io_cap=True)
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        a.send("b", "big", None, words=cluster.config.machine_memory + 1)
+        with pytest.raises(MessageSizeExceeded):
+            cluster.exchange()
+
+    def test_sharded_unknown_receiver_raises(self):
+        cluster = make_cluster("sharded")
+        a = cluster.add_machine("a")
+        a.send("ghost", "ping", 1)
+        with pytest.raises(UnknownMachineError):
+            cluster.exchange()
 
 
 # ------------------------------------------------------------------ accounting
@@ -270,10 +304,280 @@ class TestAccountingPolicies:
         assert scratch.summary().total_words == sum(record.total_words for record in records)
 
 
+# -------------------------------------------------------------------- sharding
+class TestShardPlan:
+    def test_index_strategy_round_robins_registration_order(self):
+        cluster = make_cluster("reference")
+        machines = cluster.add_machines("m", 7)
+        plan = ShardPlan(3)
+        assert [plan.shard_of(m) for m in machines] == [0, 1, 2, 0, 1, 2, 0]
+        buckets = plan.partition(machines)
+        assert [len(b) for b in buckets] == [3, 2, 2]
+        # relative (registration) order preserved inside every bucket
+        for bucket in buckets:
+            assert [m.index for m in bucket] == sorted(m.index for m in bucket)
+
+    def test_rendezvous_strategy_uses_machine_ids(self):
+        cluster = make_cluster("reference")
+        machines = cluster.add_machines("m", 16)
+        plan = ShardPlan(4, strategy="rendezvous")
+        shards = [plan.shard_of(m) for m in machines]
+        assert shards == [rendezvous_shard(m.machine_id, 4) for m in machines]
+        assert len(set(shards)) > 1
+
+    def test_rendezvous_shard_is_stable_and_minimally_disruptive(self):
+        keys = [f"m{i}" for i in range(200)]
+        before = {k: rendezvous_shard(k, 4) for k in keys}
+        assert before == {k: rendezvous_shard(k, 4) for k in keys}  # deterministic
+        assert set(before.values()) == {0, 1, 2, 3}
+        after = {k: rendezvous_shard(k, 5) for k in keys}
+        moved = sum(1 for k in keys if before[k] != after[k])
+        # HRW property: growing K by one moves only ~1/(K+1) of the keys.
+        assert moved < len(keys) // 2
+
+    def test_invalid_plans_rejected(self):
+        with pytest.raises(ValueError):
+            ShardPlan(0)
+        with pytest.raises(ValueError):
+            ShardPlan(2, strategy="mystery")
+        with pytest.raises(ValueError):
+            rendezvous_shard("m0", 0)
+
+    def test_config_shard_count_and_strategy_reach_the_plan(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64, backend="sharded", shard_count=5)
+        cluster = Cluster(config)
+        assert cluster.backend.plan.shard_count == 5
+        assert cluster.backend.plan.strategy == "index"
+        hrw = DMPCConfig(
+            capacity_n=32, capacity_m=64, backend="parallel", shard_count=4, shard_strategy="rendezvous"
+        )
+        assert Cluster(hrw).backend.plan.strategy == "rendezvous"
+        with pytest.raises(ValueError, match="shard_strategy"):
+            DMPCConfig(capacity_n=32, capacity_m=64, shard_strategy="mystery")
+
+    def test_shard_load_diagnostic_sums_round_words(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64, backend="sharded", shard_count=2)
+        cluster = Cluster(config)
+        machines = cluster.add_machines("m", 4)
+        cluster.add_machine("sink")
+        for machine in machines:
+            machine.send("sink", "t", [1, 2, 3])
+        record = cluster.exchange()
+        load = cluster._transport.shard_load()
+        assert len(load) == 2
+        assert sum(load) == record.total_words
+        assert all(words > 0 for words in load)  # m0/m2 -> shard 0, m1/m3 -> shard 1
+
+
+class TestFusedAccountingParity:
+    """The sharded fused-delivery records must equal the factory-built ones."""
+
+    def run_rounds(self, backend: str, *, metrics_sampling: int = 0):
+        config = DMPCConfig(
+            capacity_n=32, capacity_m=64, backend=backend, metrics_sampling=metrics_sampling, shard_count=3
+        )
+        cluster = Cluster(config)
+        machines = cluster.add_machines("m", 5)
+        records = []
+        for i in range(6):
+            for machine in machines[1:]:
+                machine.send("m0", "t", [i, machine.index])
+            records.append(cluster.exchange())
+            cluster.machine("m0").drain()
+        return records
+
+    @pytest.mark.parametrize("sampling", [0, 2])
+    def test_records_identical_to_fast_factory(self, sampling):
+        fast_records = self.run_rounds("fast", metrics_sampling=sampling)
+        sharded_records = self.run_rounds("sharded", metrics_sampling=sampling)
+        assert sharded_records == fast_records
+        for fast_record, sharded_record in zip(fast_records, sharded_records):
+            assert sharded_record.pair_words == fast_record.pair_words
+
+    def test_sampling_retains_pair_detail_on_sampled_rounds(self):
+        records = self.run_rounds("sharded", metrics_sampling=2)
+        sampled = [r for r in records if r.pair_words]
+        assert sampled and len(sampled) < len(records)
+        for record in sampled:
+            assert sum(record.pair_words.values()) == record.total_words
+
+    def test_append_round_guards_the_counter(self):
+        ledger = MetricsLedger()
+        record = RoundRecord(round_index=5, active_machines=0, total_words=0, message_count=0, max_message_words=0)
+        with pytest.raises(ProtocolError):
+            ledger.append_round(record)
+        assert ledger.next_round_index == 1
+        ok = RoundRecord(round_index=1, active_machines=0, total_words=0, message_count=0, max_message_words=0)
+        ledger.append_round(ok)
+        assert ledger.next_round_index == 2
+
+
+# ------------------------------------------------------------- shared ledgers
+class TestSharedLedgerPolicy:
+    """Regression: Cluster must not clobber an externally supplied ledger's policy."""
+
+    def make_config(self, backend: str) -> DMPCConfig:
+        return DMPCConfig(capacity_n=32, capacity_m=64, backend=backend)
+
+    def test_conflicting_backend_policies_raise(self):
+        ledger = MetricsLedger()
+        Cluster(self.make_config("reference"), ledger=ledger)
+        with pytest.raises(ProtocolError, match="accounting policy"):
+            Cluster(self.make_config("fast"), ledger=ledger)
+
+    def test_same_policy_may_share_a_ledger(self):
+        ledger = MetricsLedger()
+        first = Cluster(self.make_config("fast"), ledger=ledger)
+        second = Cluster(self.make_config("fast"), ledger=ledger)
+        assert first.ledger is second.ledger
+        a = first.add_machine("a")
+        first.add_machine("b")
+        a.send("b", "t", 1)
+        first.exchange()
+        b = second.add_machine("b")
+        second.add_machine("c")
+        b.send("c", "t", 2)
+        second.exchange()
+        assert ledger.next_round_index == 3  # one shared round stream
+
+    def test_aggregate_backends_share_one_policy_name(self):
+        """fast/sharded/parallel condense rounds identically, so they may mix."""
+        ledger = MetricsLedger()
+        Cluster(self.make_config("fast"), ledger=ledger)
+        Cluster(self.make_config("sharded"), ledger=ledger)
+        Cluster(self.make_config("parallel"), ledger=ledger)
+
+    @pytest.mark.parametrize("backend", ["fast", "sharded", "parallel"])
+    def test_custom_factory_never_clobbered(self, backend):
+        def custom_factory(round_index, messages):
+            return RoundRecord(
+                round_index=round_index, active_machines=-1, total_words=0, message_count=0, max_message_words=0
+            )
+
+        ledger = MetricsLedger(round_record_factory=custom_factory)
+        cluster = Cluster(self.make_config(backend), ledger=ledger)
+        assert ledger.round_record_factory is custom_factory
+        assert ledger.record_policy is None
+        # ... and every delivery path must actually invoke it, including the
+        # sharded fused path (which falls back to the factory path here).
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        a.send("b", "t", [1, 2, 3])
+        record = cluster.exchange()
+        assert record.active_machines == -1  # unmistakably the custom factory's record
+        assert cluster.machine("b").drain()[0].payload == [1, 2, 3]
+
+    def test_factory_reassigned_after_construction_is_honoured(self):
+        """The historical pattern: assign ledger.round_record_factory post-construction."""
+
+        def custom_factory(round_index, messages):
+            return RoundRecord(
+                round_index=round_index, active_machines=-7, total_words=0, message_count=0, max_message_words=0
+            )
+
+        cluster = Cluster(self.make_config("sharded"))
+        cluster.ledger.round_record_factory = custom_factory
+        assert cluster.ledger.record_policy is None  # adoption no longer governs
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        a.send("b", "t", [4, 5])
+        record = cluster.exchange()
+        assert record.active_machines == -7
+        # ... and the shard-load diagnostic stays accurate on the fallback path.
+        load = cluster._transport.shard_load()
+        assert sum(load) == sum(msg.words for msg in cluster.machine("b").inbox)
+
+    def test_fresh_ledger_adopts_backend_policy(self):
+        cluster = Cluster(self.make_config("fast"))
+        a = cluster.add_machine("a")
+        cluster.add_machine("b")
+        a.send("b", "t", [1, 2])
+        record = cluster.exchange()
+        assert record.pair_words == {}  # aggregate policy, not the stock full-detail one
+
+
+# -------------------------------------------------------------- superstep pool
+class TestParallelSuperstep:
+    def make_parallel_cluster(self, *, machines: int = 9, shard_count: int = 4, max_workers: int = 2) -> Cluster:
+        config = DMPCConfig(
+            capacity_n=64, capacity_m=128, backend="parallel", shard_count=shard_count, max_workers=max_workers
+        )
+        cluster = Cluster(config)
+        cluster.add_machines("m", machines)
+        return cluster
+
+    def test_pooled_superstep_matches_sequential(self):
+        outcomes = {}
+        for backend in ("reference", "parallel"):
+            config = DMPCConfig(
+                capacity_n=64, capacity_m=128, backend=backend, shard_count=4, max_workers=2
+            )
+            cluster = Cluster(config)
+            cluster.add_machines("m", 9)
+
+            def handler(machine, inbox):
+                machine.store("round", len(inbox))
+                if machine.machine_id != "m0":
+                    machine.send("m0", "report", machine.index)
+
+            record = cluster.superstep(handler)
+            outcomes[backend] = (
+                record.message_count,
+                record.total_words,
+                [m.load("round") for m in cluster.machines()],
+            )
+        assert outcomes["parallel"] == outcomes["reference"]
+
+    def test_pooled_superstep_inbox_delivery_order(self):
+        cluster = self.make_parallel_cluster()
+        seen: dict[str, list[int]] = {}
+
+        def stage(machine, inbox):
+            if machine.machine_id != "m0":
+                machine.send("m0", "probe", machine.index)
+
+        cluster.superstep(stage)
+
+        def collect(machine, inbox):
+            seen[machine.machine_id] = [msg.payload for msg in inbox]
+
+        cluster.superstep(collect)
+        assert seen["m0"] == list(range(1, 9))  # registration order despite pooled staging
+
+    def test_handler_errors_propagate_deterministically(self):
+        cluster = self.make_parallel_cluster()
+
+        def exploding(machine, inbox):
+            if machine.index % 2 == 1:
+                raise RuntimeError(f"boom-{machine.machine_id}")
+
+        with pytest.raises(RuntimeError, match="boom-m1"):
+            cluster.superstep(exploding)
+
+    def test_single_worker_falls_back_to_sequential(self):
+        cluster = self.make_parallel_cluster(max_workers=1)
+        order: list[str] = []
+
+        def handler(machine, inbox):
+            order.append(machine.machine_id)
+
+        cluster.superstep(handler)
+        assert order == [f"m{i}" for i in range(9)]  # strictly sequential registration order
+
+    def test_default_workers_bounded_by_plan_and_cpu(self):
+        import os
+
+        config = DMPCConfig(capacity_n=32, capacity_m=64, shard_count=3)
+        backend = ParallelBackend(config)
+        assert 1 <= backend.max_workers <= max(1, min(3, os.cpu_count() or 1))
+        explicit = ParallelBackend(DMPCConfig(capacity_n=32, capacity_m=64, max_workers=7))
+        assert explicit.max_workers == 7
+
+
 # ------------------------------------------------------------------ resolution
 class TestBackendResolution:
     def test_registry_names(self):
-        assert {"reference", "fast"} <= set(BACKENDS)
+        assert {"reference", "fast", "sharded", "parallel"} <= set(BACKENDS)
 
     def test_config_selects_backend(self):
         assert make_cluster("fast").backend.name == "fast"
@@ -308,6 +612,7 @@ class TestBackendResolution:
     def test_guarantees_surface(self):
         config = DMPCConfig(capacity_n=32, capacity_m=64)
         assert ReferenceBackend(config).guarantees["full_metrics"]
-        fast = FastBackend(config).guarantees
-        assert fast["strict_memory"] and fast["io_cap"] and fast["exact_accounting"]
-        assert not fast["full_metrics"]
+        for backend_cls in (FastBackend, ShardedBackend, ParallelBackend):
+            guarantees = backend_cls(config).guarantees
+            assert guarantees["strict_memory"] and guarantees["io_cap"] and guarantees["exact_accounting"]
+            assert not guarantees["full_metrics"]
