@@ -27,6 +27,7 @@ import os
 import sys
 import time
 from dataclasses import dataclass, field
+from statistics import median
 from typing import Any, Callable
 
 if __package__ in (None, ""):  # script mode: make `repro` importable
@@ -180,13 +181,18 @@ class RunResult:
 
 
 def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
-    """Build a ``run(backend, shard_count, max_workers)`` closure for a dynamic workload."""
+    """Build a ``run(backend, shard_count, max_workers, chunk)`` closure for a dynamic workload."""
     n = max(1, graph.num_vertices)
     m = max(1, graph.num_edges, 2 * n)
 
-    def run(backend, shard_count, max_workers) -> RunResult:
+    def run(backend, shard_count, max_workers, process_chunk_machines=None) -> RunResult:
         config = DMPCConfig.for_graph(
-            n, 2 * m, backend=backend, shard_count=shard_count, max_workers=max_workers
+            n,
+            2 * m,
+            backend=backend,
+            shard_count=shard_count,
+            max_workers=max_workers,
+            process_chunk_machines=process_chunk_machines,
         )
         algorithm = algorithm_cls(config, **algorithm_kwargs)
         algorithm.preprocess(graph.copy())
@@ -251,11 +257,17 @@ def _static_runner(make_algorithm, solution, label: str):
     """Build a ``run(...)`` closure timing one full static recomputation.
 
     Static baselines are superstep-style, so this is where the ``parallel``
-    backend's pooled execution shows up; the ``updates`` knob is unused.
+    and ``process`` backends' pooled execution shows up; the ``updates``
+    knob is unused.
     """
 
-    def run(backend, shard_count, max_workers) -> RunResult:
-        algorithm = make_algorithm(backend=backend, shard_count=shard_count, max_workers=max_workers)
+    def run(backend, shard_count, max_workers, process_chunk_machines=None) -> RunResult:
+        algorithm = make_algorithm(
+            backend=backend,
+            shard_count=shard_count,
+            max_workers=max_workers,
+            process_chunk_machines=process_chunk_machines,
+        )
         start = time.perf_counter()
         algorithm.run(label)
         elapsed = time.perf_counter() - start
@@ -304,7 +316,7 @@ def _static_mst_workload(n: int, updates: int, seed: int):
     )
 
 
-#: workload name -> builder(n, updates, seed) -> run(backend, shard_count, max_workers)
+#: workload name -> builder(n, updates, seed) -> run(backend, shard_count, max_workers, chunk)
 WORKLOADS: dict[str, Callable] = {
     "connectivity": _connectivity_workload,
     "maximal-matching": _matching_workload,
@@ -326,33 +338,45 @@ def compare_backends(
     repeats: int = 3,
     shard_count: int | None = None,
     max_workers: int | None = None,
+    process_chunk_machines: int | None = None,
 ) -> dict:
     """Run one workload under each backend; verify equivalence, measure speedup.
 
-    The wall-clock figure is the best of ``repeats`` runs (dynamic
+    The wall-clock figure is the **median of ``repeats`` runs** (dynamic
     workloads time the update stream, preprocessing excluded; static
-    workloads time one full recomputation).  Equivalence — identical
-    solutions and identical per-update round counts — is asserted, not just
-    reported: a backend that changes the simulation is a bug, not a
-    trade-off.  ``shard_count`` / ``max_workers`` configure the sharded and
-    parallel backends (other backends ignore them).
+    workloads time one full recomputation) — best-of-K rewards the luckiest
+    scheduler slice, while the median is what a backend comparison can
+    actually stand on; the raw samples are kept in the record so outliers
+    stay visible.  Equivalence — identical solutions and identical
+    per-update round counts — is asserted, not just reported: a backend
+    that changes the simulation is a bug, not a trade-off.  ``shard_count``
+    / ``max_workers`` configure the sharded, parallel and process backends
+    (other backends ignore them).
     """
     run = WORKLOADS[workload](n, updates, seed)
     results: dict[str, dict] = {}
     solutions: dict[str, Any] = {}
     round_counts: dict[str, list] = {}
     for backend in backends:
-        best: RunResult | None = None
-        for _ in range(repeats):
-            result = run(backend, shard_count, max_workers)
-            if best is None or result.elapsed < best.elapsed:
-                best = result
-        solutions[backend] = best.solution
-        round_counts[backend] = best.round_counts
+        samples: list[float] = []
+        last: RunResult | None = None
+        for _ in range(max(1, repeats)):
+            result = run(backend, shard_count, max_workers, process_chunk_machines)
+            if last is not None and (
+                result.solution != last.solution or result.round_counts != last.round_counts
+            ):
+                # the same backend must be deterministic run to run
+                raise AssertionError(f"{workload}: backend {backend!r} is nondeterministic across repeats")
+            last = result
+            samples.append(result.elapsed)
+        solutions[backend] = last.solution
+        round_counts[backend] = last.round_counts
         results[backend] = {
-            "wall_clock_s": round(best.elapsed, 6),
-            "rounds_total": best.rounds_total,
-            "words_total": best.words_total,
+            "wall_clock_s": round(median(samples), 6),
+            "wall_clock_stat": f"median-of-{len(samples)}",
+            "wall_clock_samples": [round(sample, 6) for sample in samples],
+            "rounds_total": last.rounds_total,
+            "words_total": last.words_total,
         }
     baseline = backends[0]
     for backend in backends[1:]:
@@ -374,6 +398,7 @@ def compare_backends(
         "updates": updates,
         "shard_count": shard_count,
         "max_workers": max_workers,
+        "process_chunk_machines": process_chunk_machines,
         "backends": results,
         "solutions_identical": True,
         "round_counts_identical": True,
@@ -401,7 +426,15 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--workload", choices=sorted(WORKLOADS), default="connectivity")
     parser.add_argument("--n", type=int, default=128, help="number of vertices")
     parser.add_argument("--updates", type=int, default=200, help="stream length (dynamic workloads)")
-    parser.add_argument("--repeats", type=int, default=3, help="timing repeats (best is kept)")
+    parser.add_argument(
+        "--repeat",
+        "--repeats",
+        dest="repeat",
+        type=int,
+        default=3,
+        metavar="K",
+        help="timing repeats; the recorded wall-clock is the median of K (samples kept in the JSON)",
+    )
     parser.add_argument(
         "--backends",
         nargs="+",
@@ -409,8 +442,15 @@ def main(argv: list[str] | None = None) -> int:
         default=["reference", "fast"],
         help="backends to compare; the first is the baseline speedups are relative to",
     )
-    parser.add_argument("--shards", type=int, default=None, help="shard_count for sharded/parallel backends")
-    parser.add_argument("--workers", type=int, default=None, help="max_workers for the parallel backend")
+    parser.add_argument("--shards", type=int, default=None, help="shard_count for sharded/parallel/process backends")
+    parser.add_argument("--workers", type=int, default=None, help="max_workers for the parallel/process backends")
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=None,
+        metavar="C",
+        help="process_chunk_machines: chunk process-backend shard jobs into runs of at most C machines",
+    )
     parser.add_argument("--quick", action="store_true", help="small smoke-test sizes (used by CI)")
     parser.add_argument(
         "--min-speedup",
@@ -422,16 +462,17 @@ def main(argv: list[str] | None = None) -> int:
     if args.min_speedup is not None and len(args.backends) < 2:
         parser.error("--min-speedup needs at least two --backends (a baseline and a contender)")
     if args.quick:
-        args.n, args.updates, args.repeats = 48, 60, 1
+        args.n, args.updates, args.repeat = 48, 60, 1
 
     report = compare_backends(
         args.workload,
         n=args.n,
         updates=args.updates,
-        repeats=args.repeats,
+        repeats=args.repeat,
         backends=tuple(args.backends),
         shard_count=args.shards,
         max_workers=args.workers,
+        process_chunk_machines=args.chunk,
     )
     print(format_comparison(report))
     path = emit_bench_json(f"table1_{args.workload}_backends", report)

@@ -43,8 +43,11 @@ class DMPCConfig:
     backend:
         Which execution backend (:mod:`repro.runtime`) clusters built from
         this config use: ``"reference"`` (strict, fully-eager, full metrics
-        detail) or ``"fast"`` (memoised sizing, staged-sender transport,
-        aggregate metrics).  ``None`` (the default) defers to the
+        detail), ``"fast"`` (memoised sizing, staged-sender transport,
+        aggregate metrics), ``"sharded"`` (shard-partitioned fused
+        transport), ``"parallel"`` (sharded + thread-pooled supersteps) or
+        ``"process"`` (sharded + picklable superstep programs serialized to
+        a spawn-safe process pool).  ``None`` (the default) defers to the
         ``REPRO_BACKEND`` environment variable and finally to
         ``"reference"``.  Every backend produces identical solutions, round
         counts and word accounting; only wall-clock cost and retained
@@ -67,10 +70,18 @@ class DMPCConfig:
         growth, for id-keyed workloads).  Like ``shard_count``, never
         observable in the simulation.
     max_workers:
-        Parallel-backend knob: size of the worker pool that
+        Parallel/process-backend knob: size of the worker pool (threads for
+        ``"parallel"``, spawned processes for ``"process"``) that
         :meth:`Cluster.superstep` fans shard-local execution across.
-        ``None`` defers to ``min(shard_count, os.cpu_count())``; a value
-        below 2 falls back to sequential superstep execution.
+        ``None`` defers to ``min(shard_count, os.cpu_count())``; fewer than
+        2 effective workers falls back to sequential superstep execution.
+    process_chunk_machines:
+        Process-backend knob: instead of one serialized job per shard,
+        chunk the superstep targets into contiguous runs of at most this
+        many machines per job — the lever for trading per-job IPC overhead
+        against parallelism.  ``None`` (the default) follows the shard
+        plan.  Job grouping never changes the simulation; the merge
+        barrier restores target order.
     """
 
     capacity_n: int
@@ -82,6 +93,7 @@ class DMPCConfig:
     shard_count: int | None = None
     shard_strategy: str = "index"
     max_workers: int | None = None
+    process_chunk_machines: int | None = None
 
     def __post_init__(self) -> None:
         if self.capacity_n < 1:
@@ -98,6 +110,8 @@ class DMPCConfig:
             raise ValueError(f"unknown shard_strategy {self.shard_strategy!r}")
         if self.max_workers is not None and self.max_workers < 1:
             raise ValueError("max_workers must be positive when given")
+        if self.process_chunk_machines is not None and self.process_chunk_machines < 1:
+            raise ValueError("process_chunk_machines must be positive when given")
 
     @property
     def capacity_N(self) -> int:
@@ -159,6 +173,7 @@ class DMPCConfig:
         shard_count: int | None = None,
         shard_strategy: str = "index",
         max_workers: int | None = None,
+        process_chunk_machines: int | None = None,
     ) -> "DMPCConfig":
         """Convenience constructor sizing a deployment for an ``(n, m)`` graph."""
         return DMPCConfig(
@@ -171,6 +186,7 @@ class DMPCConfig:
             shard_count=shard_count,
             shard_strategy=shard_strategy,
             max_workers=max_workers,
+            process_chunk_machines=process_chunk_machines,
         )
 
 

@@ -12,6 +12,7 @@ from repro.mpc.message import Message
 from repro.mpc.metrics import MetricsLedger, RoundRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpc.program import SuperstepProgram
     from repro.runtime.base import ExecutionBackend
 
 __all__ = ["Cluster"]
@@ -26,9 +27,10 @@ class Cluster:
       with :meth:`Machine.send` and calls :meth:`exchange` to run one
       synchronous round;
     * **superstep style** — the driver calls :meth:`superstep` with a
-      per-machine handler ``handler(machine, inbox) -> None`` which reads the
-      inbox, updates local state and stages outgoing messages; the cluster
-      then delivers them as one round.
+      declarative :class:`~repro.mpc.program.SuperstepProgram` (or a legacy
+      per-machine closure) which reads the inbox, stages outgoing messages
+      and returns shared-state deltas; the cluster merges the deltas at the
+      barrier and delivers the staged messages as one round.
 
     Every delivered round is recorded in the :class:`MetricsLedger`.  The
     per-round I/O cap of the model (each machine sends and receives at most
@@ -137,24 +139,38 @@ class Cluster:
         """
         return self._transport.exchange()
 
-    def superstep(self, handler: Callable[[Machine, list[Message]], None], *, machines: Iterable[str] | None = None) -> RoundRecord:
-        """Run ``handler`` on each (selected) machine, then exchange one round.
+    def superstep(
+        self,
+        program: "SuperstepProgram | Callable[[Machine, list[Message]], None]",
+        *,
+        machines: Iterable[str] | None = None,
+        shared: dict | None = None,
+    ) -> RoundRecord:
+        """Run one superstep of ``program`` on each (selected) machine.
 
-        The handler receives the machine and its *fully drained* inbox (all
-        tags) and is expected to read it, update machine-owned state and
-        stage outgoing messages.  This is the BSP-style entry point used by
-        the static MPC algorithms, where every machine executes the same
-        local code each round.
+        ``program`` is normally a declarative, picklable
+        :class:`~repro.mpc.program.SuperstepProgram`: its ``run`` receives a
+        restricted machine view, the machine's *fully drained* inbox (all
+        tags) and the read-only ``shared`` driver state, and returns a delta
+        that is merged back (``program.apply``) at the round barrier.  This
+        is the BSP-style entry point used by the static MPC algorithms,
+        where every machine executes the same local code each round.
 
-        *How* the handlers execute is an execution-backend strategy
+        The legacy ad-hoc form — a closure ``handler(machine, inbox) ->
+        None`` mutating driver state in place — is still accepted, but such
+        closures cannot cross a process boundary, so only in-process
+        execution strategies apply to them.
+
+        *How* the per-machine code executes is an execution-backend strategy
         (:meth:`~repro.runtime.base.ExecutionBackend.run_superstep`):
-        sequentially in registration order by default, or fanned across a
-        worker pool by the ``parallel`` backend.  Handlers must therefore be
-        order-independent — mutate only state owned by the machine they run
-        on; move everything else through messages.
+        sequentially in registration order by default, fanned across a
+        thread pool by the ``parallel`` backend, or serialized to a process
+        pool by the ``process`` backend.  Programs and handlers must
+        therefore be order-independent — mutate only state owned by the
+        machine they run on; move everything else through messages.
         """
         targets = self.machines() if machines is None else [self.machine(mid) for mid in machines]
-        return self.backend.run_superstep(self, handler, targets)
+        return self.backend.run_superstep(self, program, targets, shared if shared is not None else {})
 
     def discard_undelivered(self) -> None:
         """Drop any staged (outbox) and pending (inbox) messages on all machines."""

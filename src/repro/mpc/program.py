@@ -1,0 +1,203 @@
+"""Declarative, picklable superstep programs.
+
+The historical way to express a BSP superstep was an ad-hoc closure
+``handler(machine, inbox) -> None`` capturing the driver's shared state.
+Closures are perfect for the sequential and thread-pooled execution
+strategies — the handler reads and mutates live driver objects — but they
+are a dead end for *process*-level parallelism: a closure over a cluster
+cannot be pickled, so shard jobs can never leave the interpreter and the
+GIL caps the real speedup.
+
+:class:`SuperstepProgram` replaces the closure with a declarative object
+that makes every data dependency explicit, so one program definition runs
+bit-for-bit identically under every execution strategy — sequential,
+thread-pooled, or shipped to a :class:`~concurrent.futures.ProcessPoolExecutor`
+worker by the ``process`` backend:
+
+* **program state** — whatever the per-machine code needs that is constant
+  over the run (owner maps, worker ids, seeds) lives on the program
+  instance as plain picklable attributes, set in ``__init__`` at module
+  level.  No cluster, machine, graph or closure references.
+* **shared driver state in** — mutable driver-side state the code *reads*
+  (label maps, matched sets, ...) is passed to :meth:`run` as a mapping;
+  :attr:`shared_reads` declares which keys must be shipped to a worker
+  process.  ``run`` must treat the mapping as read-only — in-process
+  strategies hand it the live driver dicts.
+* **machine-local state in** — the machine's key/value store is reachable
+  only through :meth:`MachineContext.load`; :attr:`store_reads` declares
+  which key prefixes a worker needs.  Loaded values must not be mutated.
+* **state out** — all mutations of shared driver state leave ``run`` as a
+  picklable *delta* (the return value).  Deltas are merged by
+  :meth:`apply`, which the execution strategy calls **driver-side at the
+  round barrier, in target order, for every machine** — after all ``run``
+  calls, before the exchange.  Because the superstep contract already
+  requires per-machine code to mutate only machine-owned state, deltas of
+  different machines are disjoint and barrier-merging is unobservable.
+* **messages out** — staged through :meth:`MachineContext.send`.  A worker
+  records ``(receiver, tag, payload)`` triples and the driver replays them
+  through :meth:`Machine.send` in the same order, so sizing, staging order
+  and delivery are identical to in-process execution.
+
+The one sanctioned exception to the read-only rule for ``shared``: a
+mutation that is *semantically invisible* — e.g. union-find path
+compression, where every compressed pointer is a valid ancestor — may
+touch the live mapping in-process; in a worker it merely touches the
+shipped copy and is discarded.  Anything observable must travel through
+the delta.
+
+Programs must also be **frozen once the first superstep runs**: the
+``process`` backend serializes the program per superstep, and in-process
+strategies use the live object, so post-construction mutation would make
+the strategies diverge.  Per-round scalars (round numbers, phase flags)
+belong in the shared state, not on the program.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import TYPE_CHECKING, Any, Iterator, Mapping, MutableMapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpc.machine import Machine
+    from repro.mpc.message import Message
+
+__all__ = [
+    "SuperstepProgram",
+    "MachineContext",
+    "LiveMachineContext",
+    "WorkerMachineContext",
+    "store_subset",
+]
+
+
+class MachineContext(abc.ABC):
+    """What a program's per-machine code may touch: id, store reads, sends.
+
+    This deliberately narrow surface (no ``store``, no mailbox access, no
+    cluster) is what makes one program definition executable both against a
+    live :class:`~repro.mpc.machine.Machine` and against a shipped store
+    snapshot inside a worker process.
+    """
+
+    __slots__ = ()
+
+    @property
+    @abc.abstractmethod
+    def machine_id(self) -> str:
+        """Identifier of the machine this run executes on."""
+
+    @abc.abstractmethod
+    def load(self, key: Any, default: Any = None) -> Any:
+        """Read the machine's local store.  The value must not be mutated."""
+
+    @abc.abstractmethod
+    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
+        """Stage a message for the next round (sized by the transport policy)."""
+
+
+class LiveMachineContext(MachineContext):
+    """In-process view: delegates straight to the live machine."""
+
+    __slots__ = ("_machine",)
+
+    def __init__(self, machine: "Machine") -> None:
+        self._machine = machine
+
+    @property
+    def machine_id(self) -> str:
+        return self._machine.machine_id
+
+    def load(self, key: Any, default: Any = None) -> Any:
+        return self._machine.load(key, default)
+
+    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
+        self._machine.send(receiver, tag, payload)
+
+
+class WorkerMachineContext(MachineContext):
+    """Worker-process view: loads from a shipped store snapshot, records sends.
+
+    The recorded ``(receiver, tag, payload)`` triples are replayed through
+    :meth:`Machine.send` driver-side, in recording order, so the staged
+    messages — content, order, charged words — are identical to the ones a
+    :class:`LiveMachineContext` would have staged directly.
+    """
+
+    __slots__ = ("_machine_id", "_store", "sent")
+
+    def __init__(self, machine_id: str, store: Mapping[Any, Any]) -> None:
+        self._machine_id = machine_id
+        self._store = store
+        #: recorded sends, in staging order
+        self.sent: list[tuple[str, str, Any]] = []
+
+    @property
+    def machine_id(self) -> str:
+        return self._machine_id
+
+    def load(self, key: Any, default: Any = None) -> Any:
+        return self._store.get(key, default)
+
+    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
+        self.sent.append((receiver, tag, payload))
+
+
+class SuperstepProgram(abc.ABC):
+    """One superstep's per-machine code as a picklable object.
+
+    Subclasses are defined at module level, hold only picklable constants,
+    and implement :meth:`run` (per machine, possibly in a worker process)
+    plus — when they produce shared-state deltas — :meth:`apply` (driver
+    side, at the barrier).  See the module docstring for the full
+    serialization contract.
+    """
+
+    #: shared-state keys :meth:`run` reads — the subset of the ``shared``
+    #: mapping shipped to worker processes.  Reading an undeclared key works
+    #: in-process but raises in a worker; declare everything you read.
+    shared_reads: tuple[str, ...] = ()
+
+    #: machine-store key prefixes :meth:`run` loads.  A stored key matches
+    #: when it equals a prefix, or is a tuple whose first element equals a
+    #: prefix (the ``("adj", v)`` convention).  ``None`` ships the whole
+    #: store; the default ``()`` ships nothing.
+    store_reads: tuple[str, ...] | None = ()
+
+    @abc.abstractmethod
+    def run(self, ctx: MachineContext, inbox: "list[Message]", shared: Mapping[str, Any]) -> Any:
+        """Execute this machine's share of the superstep.
+
+        ``inbox`` is the machine's fully drained inbox.  ``shared`` is the
+        driver's shared state (read-only; only :attr:`shared_reads` keys are
+        available in a worker).  Returns a picklable delta handed to
+        :meth:`apply` at the barrier — return ``None`` when there is
+        nothing to merge.
+        """
+
+    def apply(self, shared: MutableMapping[str, Any], machine_id: str, delta: Any) -> None:
+        """Merge one machine's delta into the shared driver state.
+
+        Called driver-side at the round barrier for **every** target
+        machine, in target order, with whatever :meth:`run` returned
+        (including ``None``) — so programs that must record per-machine
+        facts every round (termination flags) can rely on being called.
+        The default ignores the delta.
+        """
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(shared_reads={self.shared_reads!r}, store_reads={self.store_reads!r})"
+
+
+def _key_matches(key: Any, prefixes: tuple[str, ...]) -> bool:
+    if isinstance(key, tuple) and key:
+        return key[0] in prefixes
+    return key in prefixes
+
+
+def store_subset(items: "Iterator[tuple[Any, Any]]", prefixes: tuple[str, ...] | None) -> dict[Any, Any]:
+    """The slice of a machine store a program declared via ``store_reads``."""
+    if prefixes is None:
+        return dict(items)
+    if not prefixes:
+        return {}
+    return {key: value for key, value in items if _key_matches(key, prefixes)}

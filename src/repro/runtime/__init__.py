@@ -26,12 +26,17 @@ backends are registered:
     single-pass delivery, merged back into reference order each round;
 ``parallel``
     :mod:`repro.runtime.parallel` — the sharded transport plus superstep
-    execution fanned across a worker pool with a deterministic merge
-    barrier at the exchange.
+    execution fanned across a thread pool with a deterministic merge
+    barrier at the exchange;
+``process``
+    :mod:`repro.runtime.process` — the sharded transport plus
+    :class:`~repro.mpc.program.SuperstepProgram` shard jobs serialized to a
+    spawn-safe process pool: declared state in, staged messages and deltas
+    out, merged at the same barrier.
 
-Further backends (process pools, distributed shards) plug in by registering
-a new :class:`~repro.runtime.base.ExecutionBackend` subclass — algorithm
-code never changes.
+Further backends (distributed shards) plug in by registering a new
+:class:`~repro.runtime.base.ExecutionBackend` subclass — algorithm code
+never changes.
 """
 
 from __future__ import annotations
@@ -47,6 +52,7 @@ from repro.runtime.base import (
 )
 from repro.runtime.fast import CachedStorage, FastBackend, FastTransport
 from repro.runtime.parallel import ParallelBackend
+from repro.runtime.process import ProcessBackend
 from repro.runtime.reference import ReferenceBackend, ReferenceStorage, ReferenceTransport
 from repro.runtime.sharding import DEFAULT_SHARD_COUNT, ShardedBackend, ShardedTransport, ShardPlan
 
@@ -69,4 +75,5 @@ __all__ = [
     "ShardedTransport",
     "DEFAULT_SHARD_COUNT",
     "ParallelBackend",
+    "ProcessBackend",
 ]

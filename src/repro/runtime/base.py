@@ -43,11 +43,18 @@ from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator
 from repro.exceptions import MessageSizeExceeded, UnknownMachineError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from typing import Union
+
     from repro.config import DMPCConfig
     from repro.mpc.cluster import Cluster
     from repro.mpc.machine import Machine
     from repro.mpc.message import Message
     from repro.mpc.metrics import RoundRecord
+    from repro.mpc.program import SuperstepProgram
+
+    #: what :meth:`Cluster.superstep` accepts: a declarative program, or the
+    #: legacy ad-hoc closure form (in-process execution strategies only).
+    SuperstepHandler = Union[SuperstepProgram, Callable[["Machine", "list[Message]"], None]]
 
 __all__ = [
     "MachineStorage",
@@ -72,14 +79,20 @@ class MachineStorage(abc.ABC):
     contents — backends may compute that sum lazily or from caches, but the
     value returned at any read point is part of the simulation semantics
     (allocation decisions branch on it) and must match the reference.
+
+    :attr:`version` is a monotone mutation counter: concrete
+    implementations bump it on every ``store``/``delete``/``clear``.  It is
+    never part of the simulation — the process backend uses it to know when
+    a serialized store snapshot shipped to worker processes has gone stale.
     """
 
-    __slots__ = ("machine_id", "capacity", "strict")
+    __slots__ = ("machine_id", "capacity", "strict", "version")
 
     def __init__(self, machine_id: str, capacity: int, *, strict: bool) -> None:
         self.machine_id = machine_id
         self.capacity = capacity
         self.strict = strict
+        self.version = 0
 
     @abc.abstractmethod
     def store(self, key: Any, value: Any) -> None:
@@ -244,28 +257,47 @@ class ExecutionBackend(abc.ABC):
     def run_superstep(
         self,
         cluster: "Cluster",
-        handler: "Callable[[Machine, list[Message]], None]",
+        program: "SuperstepHandler",
         targets: "list[Machine]",
+        shared: "dict[str, Any]",
     ) -> "RoundRecord":
-        """Execute one BSP superstep: per-machine handlers, then one exchange.
+        """Execute one BSP superstep: per-machine code, barrier, one exchange.
 
         This is the execution-strategy hook behind
-        :meth:`~repro.mpc.cluster.Cluster.superstep`.  The default runs the
-        handlers sequentially in the given (registration) order — the
-        reference strategy.  The parallel backend overrides it to fan
-        shard-local handler execution across a worker pool with a
-        deterministic merge barrier at the exchange.
+        :meth:`~repro.mpc.cluster.Cluster.superstep`.  ``program`` is either
+        a declarative :class:`~repro.mpc.program.SuperstepProgram` — whose
+        per-machine ``run`` may execute sequentially, on a thread pool, or
+        in another process — or the legacy ad-hoc closure form
+        ``handler(machine, inbox) -> None``, which is confined to in-process
+        strategies (closures cannot cross a process boundary).
 
-        Handler contract (what makes overriding legal): a handler may read
-        shared driver state freely but must only *mutate* state owned by the
-        machine it runs on (its local store, its owned vertices' driver-side
-        entries); any information flowing to another machine's code must be
-        sent as a message.  Handlers honouring this are order-independent,
-        so every strategy yields the bit-for-bit identical round.
+        The default strategy runs the per-machine code sequentially in the
+        given (registration) order; program deltas are merged at the
+        barrier (all runs, then all :meth:`SuperstepProgram.apply` calls in
+        target order, then the exchange) — the same barrier every
+        overriding strategy reproduces, so the delivered round is
+        bit-for-bit identical everywhere.
+
+        Handler contract (what makes overriding legal): per-machine code may
+        read shared driver state freely but must only *mutate* state owned
+        by the machine it runs on — via deltas for programs, directly for
+        closures; any information flowing to another machine's code must be
+        sent as a message.  Code honouring this is order-independent, so
+        every strategy yields the bit-for-bit identical round.
         """
+        from repro.mpc.program import LiveMachineContext, SuperstepProgram
+
+        if isinstance(program, SuperstepProgram):
+            deltas = []
+            for machine in targets:
+                inbox = machine.drain()
+                deltas.append(program.run(LiveMachineContext(machine), inbox, shared))
+            for machine, delta in zip(targets, deltas):
+                program.apply(shared, machine.machine_id, delta)
+            return cluster.exchange()
         for machine in targets:
             inbox = machine.drain()
-            handler(machine, inbox)
+            program(machine, inbox)
         return cluster.exchange()
 
     @property

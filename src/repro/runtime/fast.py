@@ -94,6 +94,10 @@ class CachedStorage(MachineStorage):
 
     def store(self, key: Any, value: Any) -> None:
         if self._store.get(key, _MISSING) is value:
+            # Same-object re-store: accounting is untouched, but the stored
+            # value may have been mutated in place (the sanctioned
+            # read-modify-write pattern), so shipped snapshots still stale.
+            self.version += 1
             return
         new_words = fast_word_size(key) + fast_word_size(value)
         old_words = self._sizes.get(key, 0)
@@ -105,6 +109,7 @@ class CachedStorage(MachineStorage):
         self._store[key] = value
         self._sizes[key] = new_words
         self._total = projected
+        self.version += 1
 
     def load(self, key: Any, default: Any = None) -> Any:
         return self._store.get(key, default)
@@ -116,6 +121,7 @@ class CachedStorage(MachineStorage):
         if key in self._store:
             del self._store[key]
             self._total -= self._sizes.pop(key, 0)
+            self.version += 1
 
     def keys(self) -> Iterator[Any]:
         return iter(list(self._store.keys()))
@@ -131,6 +137,7 @@ class CachedStorage(MachineStorage):
         self._store.clear()
         self._sizes.clear()
         self._total = 0
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._store)

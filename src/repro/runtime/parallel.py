@@ -3,8 +3,13 @@
 Builds directly on :mod:`repro.runtime.sharding`: same cached storage, same
 shard-partitioned fused transport, plus an overridden
 :meth:`~repro.runtime.base.ExecutionBackend.run_superstep` that fans the
-shard-local halves of a BSP superstep — inbox draining, handler execution,
-message staging and sizing — across a shared :class:`ThreadPoolExecutor`.
+shard-local halves of a BSP superstep — inbox draining, per-machine
+program/handler execution, message staging and sizing — across a shared
+:class:`ThreadPoolExecutor`.  Declarative
+:class:`~repro.mpc.program.SuperstepProgram` runs execute against the live
+machines (threads share the interpreter, so no serialization is needed) and
+their shared-state deltas are merged at the barrier in target order —
+exactly where the sequential strategy merges them.
 
 Why this is legal: the superstep handler contract (see
 :meth:`ExecutionBackend.run_superstep`) requires handlers to mutate only
@@ -36,16 +41,19 @@ from __future__ import annotations
 import os
 import threading
 from concurrent.futures import ThreadPoolExecutor
-from typing import TYPE_CHECKING, Callable
+from typing import TYPE_CHECKING
 
+from repro.mpc.program import LiveMachineContext, SuperstepProgram
 from repro.runtime.base import register_backend
 from repro.runtime.sharding import ShardedBackend
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from typing import Any
+
     from repro.mpc.cluster import Cluster
     from repro.mpc.machine import Machine
-    from repro.mpc.message import Message
     from repro.mpc.metrics import RoundRecord
+    from repro.runtime.base import SuperstepHandler
 
 __all__ = ["ParallelBackend"]
 
@@ -77,6 +85,14 @@ class ParallelBackend(ShardedBackend):
 
     name = "parallel"
 
+    def __init__(self, config, *, plan=None) -> None:
+        super().__init__(config, plan=plan)
+        #: how the most recent ``run_superstep`` executed — ``"threads"``,
+        #: ``"sequential"`` or (process backend) ``"pool"``; an
+        #: observability/testing aid recorded where the decision is made,
+        #: never consulted by the simulation.
+        self.last_superstep_mode: str | None = None
+
     @property
     def max_workers(self) -> int:
         """Effective worker-pool size: ``config.max_workers`` or CPU-bounded."""
@@ -88,17 +104,29 @@ class ParallelBackend(ShardedBackend):
     def run_superstep(
         self,
         cluster: "Cluster",
-        handler: "Callable[[Machine, list[Message]], None]",
+        program: "SuperstepHandler",
         targets: "list[Machine]",
+        shared: "dict[str, Any]",
     ) -> "RoundRecord":
         buckets = [bucket for bucket in self.plan.partition(targets) if bucket]
         if len(buckets) < 2 or self.max_workers < 2:
-            return super().run_superstep(cluster, handler, targets)
+            self.last_superstep_mode = "sequential"
+            return super().run_superstep(cluster, program, targets, shared)
+        self.last_superstep_mode = "threads"
+
+        is_program = isinstance(program, SuperstepProgram)
+        deltas: "dict[Machine, Any]" = {}
 
         def run_shard(bucket: "list[Machine]") -> None:
             for machine in bucket:
                 inbox = machine.drain()
-                handler(machine, inbox)
+                if is_program:
+                    # Writing machine-keyed slots from concurrent shards is
+                    # safe: buckets are disjoint, so no key is ever touched
+                    # by two workers.
+                    deltas[machine] = program.run(LiveMachineContext(machine), inbox, shared)
+                else:
+                    program(machine, inbox)
 
         pool = _shared_pool(self.max_workers)
         futures = [pool.submit(run_shard, bucket) for bucket in buckets]
@@ -112,4 +140,7 @@ class ParallelBackend(ShardedBackend):
                 error = exc
         if error is not None:
             raise error
+        if is_program:
+            for machine in targets:
+                program.apply(shared, machine.machine_id, deltas.get(machine))
         return cluster.exchange()

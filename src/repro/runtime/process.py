@@ -1,0 +1,269 @@
+"""The process execution backend — shard jobs serialized to worker processes.
+
+The ``parallel`` backend fans superstep execution across *threads*, which
+shares the interpreter (zero-copy access to machines and driver state) but
+also shares the GIL: pure-Python handler work never truly overlaps.  This
+backend takes the next step the ROADMAP names: it ships shard jobs to a
+spawn-safe :class:`~concurrent.futures.ProcessPoolExecutor`, which is only
+possible because :class:`~repro.mpc.program.SuperstepProgram` made the
+per-machine computation picklable — explicit program state, declared shared
+reads, declared store reads, deltas out.
+
+One superstep becomes, per shard job:
+
+1. **serialize** — the program (pickled once per superstep), the declared
+   ``shared_reads`` slice of the driver state (pickled once per superstep),
+   and per machine its drained inbox plus the declared ``store_reads``
+   slice of its local store.  Store slices are pickled **once per store
+   version** and the bytes reused round after round — the static baselines
+   never write stores inside a superstep, so the big adjacency/weight
+   payloads cross the pipe as pre-serialized bytes with no re-pickling.
+   Worker processes keep the last snapshot per machine id and skip even the
+   unpickling when the bytes are unchanged.
+2. **execute** — the worker runs ``program.run`` per machine against a
+   :class:`~repro.mpc.program.WorkerMachineContext`, recording staged
+   ``(receiver, tag, payload)`` triples and collecting the returned deltas.
+3. **merge** — back in the driver, the recorded sends are replayed through
+   :meth:`Machine.send` in target order (identical staging order, identical
+   ``fast_word_size`` charging via the sharded transport's sizer), deltas
+   are applied in target order, and the exchange runs — the **same
+   deterministic merge barrier** every other backend uses, so the delivered
+   round is bit-for-bit identical across all five backends.
+
+Spawn safety: pools use the ``spawn`` start method everywhere (``fork`` is
+unsafe under threads and unavailable on Windows/macOS defaults), so worker
+processes import :mod:`repro` fresh; programs must live at module level.
+Pools are process-wide, keyed by worker count, and created lazily — the
+one-time spawn cost is amortized over every cluster in the process.
+
+Fallbacks keep ``process`` always safe to select: with fewer than two
+effective workers, fewer than two non-empty jobs, or a legacy closure
+handler (which cannot cross a process boundary), execution degrades to the
+inherited in-process strategies (the ``parallel`` thread pool for closures,
+sequential otherwise).  Dynamic driver-style workloads never enter
+``run_superstep`` at all and simply ride the sharded transport.
+
+Error semantics: if program runs raise in several jobs, the exception from
+the lowest job index is re-raised (deterministic), after every job has been
+joined; inboxes drained for a failed superstep are consumed, exactly as
+under sequential execution — callers wanting a clean slate call
+``cluster.discard_undelivered()``.
+"""
+
+from __future__ import annotations
+
+import pickle
+import threading
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from multiprocessing import get_context
+from typing import TYPE_CHECKING, Any
+
+from repro.mpc.program import SuperstepProgram, WorkerMachineContext, store_subset
+from repro.runtime.base import register_backend
+from repro.runtime.parallel import ParallelBackend
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mpc.cluster import Cluster
+    from repro.mpc.machine import Machine
+    from repro.mpc.message import Message
+    from repro.mpc.metrics import RoundRecord
+    from repro.runtime.base import SuperstepHandler
+
+__all__ = ["ProcessBackend"]
+
+
+#: process-wide spawn pools keyed by worker count; lazily created, reused by
+#: every cluster so the spawn cost is paid once per interpreter.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+_POOLS_LOCK = threading.Lock()
+
+
+def _shared_pool(max_workers: int) -> ProcessPoolExecutor:
+    pool = _POOLS.get(max_workers)
+    if pool is None:
+        with _POOLS_LOCK:
+            pool = _POOLS.get(max_workers)
+            if pool is None:
+                pool = ProcessPoolExecutor(max_workers=max_workers, mp_context=get_context("spawn"))
+                _POOLS[max_workers] = pool
+    return pool
+
+
+def _evict_pool(max_workers: int) -> None:
+    """Forget a broken pool so the next superstep spawns a fresh one."""
+    with _POOLS_LOCK:
+        pool = _POOLS.pop(max_workers, None)
+    if pool is not None:
+        pool.shutdown(wait=False, cancel_futures=True)
+
+
+#: worker-process cache: (machine id, declared prefixes) -> (store blob,
+#: unpickled store).  Store blobs only change when the driver-side store
+#: version bumps, so re-sent bytes are recognised by equality and the
+#: unpickling is skipped.  Keyed per prefix set because supersteps alternate
+#: programs with different ``store_reads`` (propose ships adjacency, apply
+#: ships nothing) and must not evict each other's snapshots.  Machine ids
+#: recur across clusters ("w0", "w1", ...), which bounds the cache.
+_WORKER_STORES: dict[tuple[str, tuple[str, ...] | None], tuple[bytes, dict]] = {}
+
+
+def _worker_store(machine_id: str, prefixes: tuple[str, ...] | None, blob: bytes) -> dict:
+    key = (machine_id, prefixes)
+    cached = _WORKER_STORES.get(key)
+    if cached is not None and cached[0] == blob:
+        return cached[1]
+    store = pickle.loads(blob)
+    _WORKER_STORES[key] = (blob, store)
+    return store
+
+
+def _run_shard_job(
+    program_blob: bytes,
+    shared_blob: bytes,
+    batch: "list[tuple[str, list[Message], bytes]]",
+) -> "list[tuple[str, list[tuple[str, str, Any]], Any]]":
+    """Execute one shard job in a worker: per-machine runs, sends recorded.
+
+    Returns ``(machine_id, recorded sends, delta)`` per machine, in batch
+    order.  Messages, program and shared state arrive pickled by the
+    driver; nothing here touches global driver state, so jobs are pure
+    functions of their arguments (plus the benign snapshot cache).
+    """
+    program: SuperstepProgram = pickle.loads(program_blob)
+    shared: dict[str, Any] = pickle.loads(shared_blob)
+    prefixes = program.store_reads
+    results: "list[tuple[str, list[tuple[str, str, Any]], Any]]" = []
+    for machine_id, inbox, store_blob in batch:
+        ctx = WorkerMachineContext(machine_id, _worker_store(machine_id, prefixes, store_blob))
+        delta = program.run(ctx, inbox, shared)
+        results.append((machine_id, ctx.sent, delta))
+    return results
+
+
+@register_backend
+class ProcessBackend(ParallelBackend):
+    """Sharded transport + process-pool execution of picklable programs.
+
+    Inherits the cached storage, the shard-partitioned fused transport and
+    the thread-pooled closure path from :class:`ParallelBackend`; overrides
+    the program path of ``run_superstep`` to serialize shard jobs to the
+    spawn pool.
+    """
+
+    name = "process"
+
+    def __init__(self, config, *, plan=None) -> None:
+        super().__init__(config, plan=plan)
+        #: driver-side store-slice pickle cache:
+        #: machine -> {store_reads: (storage version, blob)}
+        self._store_blobs: dict["Machine", dict[tuple[str, ...] | None, tuple[int, bytes]]] = {}
+
+    # ------------------------------------------------------------------- jobs
+    @property
+    def chunk_machines(self) -> int | None:
+        """Optional ``process_chunk_machines`` override for job granularity."""
+        return getattr(self.config, "process_chunk_machines", None)
+
+    def job_buckets(self, targets: "list[Machine]") -> "list[list[Machine]]":
+        """Group targets into shard jobs.
+
+        By default jobs follow the shard plan (so explicit rebalanced plans
+        steer process placement too).  ``process_chunk_machines = c`` chunks
+        the targets into contiguous runs of at most ``c`` machines instead —
+        the knob for trading per-job IPC overhead against parallelism.  Job
+        grouping is unobservable either way: the merge barrier restores
+        target order.
+        """
+        chunk = self.chunk_machines
+        if chunk is None:
+            return [bucket for bucket in self.plan.partition(targets) if bucket]
+        return [targets[i : i + chunk] for i in range(0, len(targets), chunk)]
+
+    def _store_blob(self, machine: "Machine", prefixes: "tuple[str, ...] | None") -> bytes:
+        versions = self._store_blobs.setdefault(machine, {})
+        version = machine.storage.version
+        cached = versions.get(prefixes)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        subset = store_subset(machine.storage.items(), prefixes)
+        blob = pickle.dumps(subset, protocol=pickle.HIGHEST_PROTOCOL)
+        versions[prefixes] = (version, blob)
+        return blob
+
+    # -------------------------------------------------------------- superstep
+    def run_superstep(
+        self,
+        cluster: "Cluster",
+        program: "SuperstepHandler",
+        targets: "list[Machine]",
+        shared: "dict[str, Any]",
+    ) -> "RoundRecord":
+        if not isinstance(program, SuperstepProgram):
+            # Closures cannot cross a process boundary; the inherited thread
+            # pool still parallelises them in-process (and records the
+            # threads/sequential mode where the decision is made).
+            return super().run_superstep(cluster, program, targets, shared)
+
+        buckets = self.job_buckets(targets)
+        # Effective pool size follows the parallel backend's convention: an
+        # explicit ``max_workers`` wins (processes timeshare fine on fewer
+        # cores), the default is CPU-bounded via the inherited property.
+        workers = self.max_workers
+        if len(buckets) < 2 or workers < 2:
+            self.last_superstep_mode = "sequential"
+            # Skip ParallelBackend (threads buy nothing a sequential run of
+            # a program doesn't) and run the shared sequential strategy.
+            return super(ParallelBackend, self).run_superstep(cluster, program, targets, shared)
+
+        # Serialize the per-superstep constants once, before draining any
+        # inbox, so an unpicklable program fails fast and side-effect free.
+        program_blob = pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+        try:
+            shared_slice = {key: shared[key] for key in program.shared_reads}
+        except KeyError as exc:
+            raise KeyError(
+                f"{type(program).__name__} declares shared_reads key {exc.args[0]!r} "
+                f"but the superstep's shared state only has {sorted(shared)!r}"
+            ) from None
+        shared_blob = pickle.dumps(shared_slice, protocol=pickle.HIGHEST_PROTOCOL)
+
+        jobs = []
+        for bucket in buckets:
+            batch = []
+            for machine in bucket:
+                batch.append(
+                    (machine.machine_id, machine.drain(), self._store_blob(machine, program.store_reads))
+                )
+            jobs.append(batch)
+
+        pool = _shared_pool(workers)
+        try:
+            futures = [pool.submit(_run_shard_job, program_blob, shared_blob, batch) for batch in jobs]
+            # Deterministic merge barrier: join every job, keep the lowest
+            # job index's error, then merge in target order.
+            results: dict[str, tuple[list[tuple[str, str, Any]], Any]] = {}
+            error: BaseException | None = None
+            for future in futures:
+                exc = future.exception()
+                if exc is not None:
+                    if error is None:
+                        error = exc
+                    continue
+                for machine_id, sent, delta in future.result():
+                    results[machine_id] = (sent, delta)
+        except BrokenProcessPool:
+            _evict_pool(workers)
+            raise
+        if error is not None:
+            if isinstance(error, BrokenProcessPool):
+                _evict_pool(workers)
+            raise error
+
+        for machine in targets:
+            for receiver, tag, payload in results[machine.machine_id][0]:
+                machine.send(receiver, tag, payload)
+        for machine in targets:
+            program.apply(shared, machine.machine_id, results[machine.machine_id][1])
+        self.last_superstep_mode = "pool"
+        return cluster.exchange()

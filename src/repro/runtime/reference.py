@@ -56,6 +56,7 @@ class ReferenceStorage(MachineStorage):
             )
         self._store[key] = value
         self._stored_words = projected
+        self.version += 1
 
     def load(self, key: Any, default: Any = None) -> Any:
         return self._store.get(key, default)
@@ -67,6 +68,7 @@ class ReferenceStorage(MachineStorage):
         if key in self._store:
             self._stored_words -= word_size(key) + word_size(self._store[key])
             del self._store[key]
+            self.version += 1
 
     def keys(self) -> Iterator[Any]:
         return iter(list(self._store.keys()))
@@ -81,6 +83,7 @@ class ReferenceStorage(MachineStorage):
     def clear(self) -> None:
         self._store.clear()
         self._stored_words = 0
+        self.version += 1
 
     def __len__(self) -> int:
         return len(self._store)

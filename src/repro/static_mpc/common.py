@@ -7,11 +7,14 @@ stateless hash partition so drivers and machines agree on ownership without
 any directory traffic.
 
 The baselines are *superstep-style* algorithms: each round every machine
-runs the same local code over its owned vertices, so they are routed
-through :meth:`Cluster.superstep` and pick up whatever execution strategy
-the cluster's backend provides — including the pooled shard execution of
-the ``parallel`` backend (``backend=``/``shard_count=``/``max_workers=``
-below).
+runs the same local code over its owned vertices.  That code is expressed
+as module-level :class:`~repro.mpc.program.SuperstepProgram` classes
+(:class:`VertexProgram` below is their common base, carrying the owner map
+and worker ids as picklable program state), routed through
+:meth:`Cluster.superstep` — so it picks up whatever execution strategy the
+cluster's backend provides: sequential, the ``parallel`` backend's thread
+pool, or the ``process`` backend's serialized shard jobs
+(``backend=``/``shard_count=``/``max_workers=`` below).
 """
 
 from __future__ import annotations
@@ -22,8 +25,30 @@ from repro.config import DMPCConfig
 from repro.graph.graph import DynamicGraph
 from repro.mpc.cluster import Cluster
 from repro.mpc.partition import hash_partition
+from repro.mpc.program import SuperstepProgram
 
-__all__ = ["StaticMPCSetup", "build_static_cluster"]
+__all__ = ["StaticMPCSetup", "VertexProgram", "build_static_cluster"]
+
+
+class VertexProgram(SuperstepProgram):
+    """Superstep program over a vertex partition: owned vertices + owner map.
+
+    The two per-cluster constants every static baseline program needs —
+    which vertices each machine owns, and the worker-id list that makes
+    :func:`~repro.mpc.partition.hash_partition` ownership computable
+    anywhere — live on the program as plain picklable state, so the same
+    instance runs in-process or inside a worker process.  Subclasses add
+    their own constants (seeds, leader ids) the same way and must stay
+    frozen once the first superstep runs.
+    """
+
+    def __init__(self, owned: dict[str, list[int]], worker_ids: list[str]) -> None:
+        self.owned = owned
+        self.worker_ids = list(worker_ids)
+
+    def owner(self, vertex: int) -> str:
+        """The machine owning ``vertex`` — pure function of the worker ids."""
+        return hash_partition(vertex, self.worker_ids)
 
 
 @dataclass
@@ -55,6 +80,7 @@ def build_static_cluster(
     backend: str | None = None,
     shard_count: int | None = None,
     max_workers: int | None = None,
+    process_chunk_machines: int | None = None,
 ) -> StaticMPCSetup:
     """Create a cluster for a static baseline and load ``graph`` onto it.
 
@@ -64,9 +90,10 @@ def build_static_cluster(
     strict memory and per-round I/O enforcement.  The communication is still
     fully *accounted*, which is what the benchmarks compare.
 
-    ``backend`` / ``shard_count`` / ``max_workers`` select the execution
-    backend (:mod:`repro.runtime`) the baseline runs on; ``None`` defers to
-    the usual resolution chain (``REPRO_BACKEND``, then ``reference``).
+    ``backend`` / ``shard_count`` / ``max_workers`` /
+    ``process_chunk_machines`` select and tune the execution backend
+    (:mod:`repro.runtime`) the baseline runs on; ``None`` defers to the
+    usual resolution chain (``REPRO_BACKEND``, then ``reference``).
     """
     n = max(1, graph.num_vertices)
     m = graph.num_edges
@@ -77,6 +104,7 @@ def build_static_cluster(
         backend=backend,
         shard_count=shard_count,
         max_workers=max_workers,
+        process_chunk_machines=process_chunk_machines,
     )
     cluster = Cluster(config, enforce_io_cap=False)
     workers = num_workers if num_workers is not None else config.num_worker_machines

@@ -14,22 +14,87 @@ pointers form a spanning forest of the graph (each strict decrease points to
 a vertex that held the smaller label strictly earlier, so no cycles can
 form), which is what the Section 5 preprocessing needs.
 
-Each iteration is two supersteps routed through :meth:`Cluster.superstep`
-(propose, then apply-and-agree-on-termination), so the per-machine work runs
-under whatever execution strategy the cluster's backend provides.  The
-handlers follow the shard-safe idiom: shared driver state (``labels``,
-``via``) is only *written* for vertices owned by the machine the handler
-runs on, and the write phase is separated from every read phase by a round
-barrier — which is exactly what lets the ``parallel`` backend fan the
-handlers across a worker pool without changing a single delivered message.
+Each iteration is two supersteps expressed as module-level picklable
+programs (:class:`LabelProposeProgram`, :class:`LabelApplyProgram`) routed
+through :meth:`Cluster.superstep`, so the per-machine work runs under
+whatever execution strategy the cluster's backend provides — including the
+``process`` backend's serialized shard jobs.  The programs follow the
+program contract: shared driver state (``labels``, ``via``,
+``changed_flags``) is read through the declared ``shared_reads`` keys and
+only *written* through deltas merged at the round barrier, which is exactly
+what lets the pooled backends run the per-machine code concurrently — or in
+another process — without changing a single delivered message.
 """
 
 from __future__ import annotations
 
-from repro.graph.graph import DynamicGraph, normalize_edge
-from repro.static_mpc.common import StaticMPCSetup, build_static_cluster
+from typing import Any, Mapping, MutableMapping
 
-__all__ = ["StaticConnectedComponents"]
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.mpc.program import MachineContext
+from repro.static_mpc.common import StaticMPCSetup, VertexProgram, build_static_cluster
+
+__all__ = ["StaticConnectedComponents", "LabelProposeProgram", "LabelApplyProgram"]
+
+
+class LabelProposeProgram(VertexProgram):
+    """Ship every owned vertex's current label along each incident edge."""
+
+    shared_reads = ("labels",)
+    store_reads = ("adj",)
+
+    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> None:
+        # inbox: only stale termination flags (on the leader) — ignored.
+        labels = shared["labels"]
+        proposals: dict[str, list[tuple[int, int, int]]] = {}
+        for v in self.owned[ctx.machine_id]:
+            adj = ctx.load(("adj", v), [])
+            label_v = labels[v]
+            for w in adj:
+                proposals.setdefault(self.owner(w), []).append((w, label_v, v))
+        for target, items in proposals.items():
+            ctx.send(target, "label-proposal", items)
+
+
+class LabelApplyProgram(VertexProgram):
+    """Lower owned labels to the minimum proposal; report whether any changed.
+
+    The delta is ``(improvements, changed)`` where ``improvements`` maps an
+    owned vertex to its new ``(label, via edge)`` — tracked against a local
+    running minimum (read-your-own-writes), so the merged result is
+    identical to the historical in-place sequential application.
+    """
+
+    shared_reads = ("labels",)
+
+    def __init__(self, owned: dict[str, list[int]], worker_ids: list[str], leader_id: str) -> None:
+        super().__init__(owned, worker_ids)
+        self.leader_id = leader_id
+
+    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> tuple[dict, bool]:
+        labels = shared["labels"]
+        improvements: dict[int, tuple[int, tuple[int, int]]] = {}
+        for msg in inbox:
+            if msg.tag != "label-proposal":
+                continue
+            for (w, proposed, sender_vertex) in msg.payload:
+                current = improvements[w][0] if w in improvements else labels[w]
+                if proposed < current:
+                    improvements[w] = (proposed, (sender_vertex, w))
+        changed = bool(improvements)
+        # One more round of constant-size messages to agree on termination.
+        if ctx.machine_id != self.leader_id:
+            ctx.send(self.leader_id, "changed", changed)
+        return improvements, changed
+
+    def apply(self, shared: MutableMapping[str, Any], machine_id: str, delta: tuple[dict, bool]) -> None:
+        improvements, changed = delta
+        labels = shared["labels"]
+        via = shared["via"]
+        for w, (label, via_edge) in improvements.items():
+            labels[w] = label
+            via[w] = via_edge
+        shared["changed_flags"][machine_id] = changed
 
 
 class StaticConnectedComponents:
@@ -44,6 +109,7 @@ class StaticConnectedComponents:
         backend: str | None = None,
         shard_count: int | None = None,
         max_workers: int | None = None,
+        process_chunk_machines: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -52,6 +118,7 @@ class StaticConnectedComponents:
             backend=backend,
             shard_count=shard_count,
             max_workers=max_workers,
+            process_chunk_machines=process_chunk_machines,
         )
         self.cluster = self.setup.cluster
         self.max_rounds = max_rounds if max_rounds is not None else 4 * max(4, graph.num_vertices)
@@ -66,38 +133,16 @@ class StaticConnectedComponents:
         setup = self.setup
         worker_ids = setup.worker_ids
         leader_id = worker_ids[0]
-        owner = setup.owner
-        labels = {v: v for v in self.graph.vertices}
-        via: dict[int, tuple[int, int]] = {}
-        # machine id -> "did any owned label change this iteration"; written
-        # by the apply handler (one machine each), read by the driver.
-        changed_flags: dict[str, bool] = {}
-
-        def propose(machine, inbox):
-            # inbox: only stale termination flags (on the leader) — ignored.
-            proposals: dict[str, list[tuple[int, int, int]]] = {}
-            for v in setup.owned_vertices(machine.machine_id):
-                adj = machine.load(("adj", v), [])
-                label_v = labels[v]
-                for w in adj:
-                    proposals.setdefault(owner(w), []).append((w, label_v, v))
-            for target, items in proposals.items():
-                machine.send(target, "label-proposal", items)
-
-        def apply_min(machine, inbox):
-            local_changed = False
-            for msg in inbox:
-                if msg.tag != "label-proposal":
-                    continue
-                for (w, proposed, sender_vertex) in msg.payload:
-                    if proposed < labels[w]:
-                        labels[w] = proposed
-                        via[w] = (sender_vertex, w)
-                        local_changed = True
-            changed_flags[machine.machine_id] = local_changed
-            # One more round of constant-size messages to agree on termination.
-            if machine.machine_id != leader_id:
-                machine.send(leader_id, "changed", local_changed)
+        # The shared driver state both programs read (and LabelApplyProgram
+        # writes through its deltas): labels, via pointers, and a machine id
+        # -> "did any owned label change this iteration" flag map.
+        state: dict[str, Any] = {
+            "labels": {v: v for v in self.graph.vertices},
+            "via": {},
+            "changed_flags": {},
+        }
+        propose = LabelProposeProgram(setup.owned, worker_ids)
+        apply_min = LabelApplyProgram(setup.owned, worker_ids, leader_id)
 
         with cluster.update(label):
             changed = True
@@ -105,16 +150,16 @@ class StaticConnectedComponents:
             while changed and rounds < self.max_rounds:
                 rounds += 1
                 # Every owner ships its owned labels along every incident edge.
-                cluster.superstep(propose, machines=worker_ids)
+                cluster.superstep(propose, machines=worker_ids, shared=state)
                 # Owners lower labels to the minimum proposal.
-                cluster.superstep(apply_min, machines=worker_ids)
-                changed = any(changed_flags.values())
+                cluster.superstep(apply_min, machines=worker_ids, shared=state)
+                changed = any(state["changed_flags"].values())
             cluster.machine(leader_id).drain("changed")
             self.rounds_used = rounds
 
-        self.labels = labels
-        self.parent_edges = via
-        return labels
+        self.labels = state["labels"]
+        self.parent_edges = state["via"]
+        return self.labels
 
     # ----------------------------------------------------------------- results
     def components(self) -> list[set[int]]:

@@ -21,20 +21,28 @@ of Section 3 avoids.
 The proposal choice is drawn from a stable per-``(seed, round, vertex)``
 mixer rather than one shared RNG stream: a shared stream's consumption
 order would depend on machine execution order, while the mixer makes every
-machine's choices a pure function of driver state — the property the
-superstep handler contract needs so the ``parallel`` backend can run the
-per-machine phases concurrently and still produce the identical matching.
-The proposal and announcement phases run through :meth:`Cluster.superstep`;
+machine's choices a pure function of driver state — which, together with
+the explicit program contract, lets the ``parallel`` and ``process``
+backends run the per-machine phases concurrently (or in other processes)
+and still produce the identical matching.  The proposal and announcement
+phases are module-level picklable programs (:class:`MatchingProposeProgram`,
+:class:`MatchingAnnounceProgram`) routed through :meth:`Cluster.superstep`;
 the acceptance phase is a global driver decision (it resolves cross-shard
-proposal conflicts), exactly as a coordinator round would.
+proposal conflicts), exactly as a coordinator round would.  Edge pruning —
+historically an in-place ``free_adj`` mutation at the top of the proposal
+handler — is computed against a read-your-own-writes local view and merged
+back as a delta at the round barrier.
 """
 
 from __future__ import annotations
 
-from repro.graph.graph import DynamicGraph, normalize_edge
-from repro.static_mpc.common import StaticMPCSetup, build_static_cluster
+from typing import Any, Mapping, MutableMapping
 
-__all__ = ["StaticMaximalMatching"]
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.mpc.program import MachineContext
+from repro.static_mpc.common import StaticMPCSetup, VertexProgram, build_static_cluster
+
+__all__ = ["StaticMaximalMatching", "MatchingProposeProgram", "MatchingAnnounceProgram"]
 
 _MASK = (1 << 64) - 1
 
@@ -53,6 +61,66 @@ def _mix(seed: int, round_index: int, vertex: int) -> int:
     return x ^ (x >> 31)
 
 
+class MatchingProposeProgram(VertexProgram):
+    """Apply last round's status announcements, then propose along one edge.
+
+    The delta maps each owned vertex whose free-neighbour set shrank to its
+    pruned set; proposals are computed against the pruned view in the same
+    run (read-your-own-writes), so the staged messages are identical to the
+    historical prune-in-place handler.
+    """
+
+    shared_reads = ("free_adj", "matched", "round_no")
+
+    def __init__(self, owned: dict[str, list[int]], worker_ids: list[str], seed: int) -> None:
+        super().__init__(owned, worker_ids)
+        self.seed = seed
+
+    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> dict[int, set[int]]:
+        free_adj = shared["free_adj"]
+        matched = shared["matched"]
+        round_no = shared["round_no"]
+        owned = self.owned[ctx.machine_id]
+        announced = {v for msg in inbox if msg.tag == "matched-status" for v in msg.payload}
+        pruned: dict[int, set[int]] = {}
+        if announced:
+            for w in owned:
+                if not announced.isdisjoint(free_adj[w]):
+                    pruned[w] = free_adj[w] - announced
+        outgoing: dict[str, list[tuple[int, int]]] = {}
+        for v in owned:
+            neighbours = pruned.get(v, free_adj[v])
+            if v in matched or not neighbours:
+                continue
+            candidates = sorted(neighbours)
+            choice = candidates[_mix(self.seed, round_no, v) % len(candidates)]
+            outgoing.setdefault(self.owner(choice), []).append((v, choice))
+        for target, pairs in outgoing.items():
+            ctx.send(target, "propose", pairs)
+        return pruned
+
+    def apply(self, shared: MutableMapping[str, Any], machine_id: str, delta: dict[int, set[int]]) -> None:
+        if delta:
+            shared["free_adj"].update(delta)
+
+
+class MatchingAnnounceProgram(VertexProgram):
+    """Newly matched vertices announce their status to their neighbours' owners."""
+
+    shared_reads = ("free_adj", "matched")
+
+    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> None:
+        free_adj = shared["free_adj"]
+        matched = shared["matched"]
+        announcements: dict[str, list[int]] = {}
+        for v in self.owned[ctx.machine_id]:
+            if v in matched and free_adj[v]:
+                for w in sorted(free_adj[v]):
+                    announcements.setdefault(self.owner(w), []).append(v)
+        for target, vertices in announcements.items():
+            ctx.send(target, "matched-status", vertices)
+
+
 class StaticMaximalMatching:
     """Randomized proposal-round maximal matching on the simulator."""
 
@@ -66,6 +134,7 @@ class StaticMaximalMatching:
         backend: str | None = None,
         shard_count: int | None = None,
         max_workers: int | None = None,
+        process_chunk_machines: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -74,6 +143,7 @@ class StaticMaximalMatching:
             backend=backend,
             shard_count=shard_count,
             max_workers=max_workers,
+            process_chunk_machines=process_chunk_machines,
         )
         self.cluster = self.setup.cluster
         self.seed = seed
@@ -86,44 +156,24 @@ class StaticMaximalMatching:
         cluster = self.cluster
         setup = self.setup
         worker_ids = setup.worker_ids
-        owner = setup.owner
-        seed = self.seed
-        free_adj: dict[int, set[int]] = {v: set(self.graph.neighbors(v)) for v in self.graph.vertices}
-        matched: set[int] = set()
+        # Shared driver state: per-vertex free-neighbour sets, the matched
+        # vertex set, and the current round number (per-round scalars live
+        # here, not on the programs — programs stay frozen).
+        state: dict[str, Any] = {
+            "free_adj": {v: set(self.graph.neighbors(v)) for v in self.graph.vertices},
+            "matched": set(),
+            "round_no": 0,
+        }
+        free_adj: dict[int, set[int]] = state["free_adj"]
+        matched: set[int] = state["matched"]
         matching: set[tuple[int, int]] = set()
-        round_no = [0]
-
-        def prune_and_propose(machine, inbox):
-            # Apply last round's status announcements, then propose.  Both
-            # touch ``free_adj`` only for vertices this machine owns.
-            owned = setup.owned_vertices(machine.machine_id)
-            announced = [v for msg in inbox if msg.tag == "matched-status" for v in msg.payload]
-            if announced:
-                for w in owned:
-                    free_adj[w].difference_update(announced)
-            outgoing: dict[str, list[tuple[int, int]]] = {}
-            for v in owned:
-                if v in matched or not free_adj[v]:
-                    continue
-                candidates = sorted(free_adj[v])
-                choice = candidates[_mix(seed, round_no[0], v) % len(candidates)]
-                outgoing.setdefault(owner(choice), []).append((v, choice))
-            for target, pairs in outgoing.items():
-                machine.send(target, "propose", pairs)
-
-        def announce(machine, inbox):
-            announcements: dict[str, list[int]] = {}
-            for v in setup.owned_vertices(machine.machine_id):
-                if v in matched and free_adj[v]:
-                    for w in free_adj[v]:
-                        announcements.setdefault(owner(w), []).append(v)
-            for target, vertices in announcements.items():
-                machine.send(target, "matched-status", vertices)
+        propose = MatchingProposeProgram(setup.owned, worker_ids, self.seed)
+        announce = MatchingAnnounceProgram(setup.owned, worker_ids)
 
         def has_free_edge() -> bool:
             # A free vertex with a *free* neighbour (pruning of last round's
-            # matches happens lazily in the next prune_and_propose handler,
-            # so consult ``matched`` here to avoid a no-op trailing round).
+            # matches happens lazily in the next proposal program, so
+            # consult ``matched`` here to avoid a no-op trailing round).
             return any(
                 v not in matched and any(w not in matched for w in free_adj[v]) for v in free_adj
             )
@@ -132,9 +182,9 @@ class StaticMaximalMatching:
             rounds = 0
             while rounds < self.max_rounds and has_free_edge():
                 rounds += 1
-                round_no[0] = rounds
+                state["round_no"] = rounds
                 # Phase 1: prune dead edges, then propose along chosen edges.
-                cluster.superstep(prune_and_propose, machines=worker_ids)
+                cluster.superstep(propose, machines=worker_ids, shared=state)
                 proposals_by_target: dict[int, list[int]] = {}
                 for machine_id in worker_ids:
                     for msg in cluster.machine(machine_id).drain("propose"):
@@ -160,7 +210,7 @@ class StaticMaximalMatching:
 
                 # Phase 3: announce new statuses so machines prune dead edges
                 # at the start of the next round.
-                cluster.superstep(announce, machines=worker_ids)
+                cluster.superstep(announce, machines=worker_ids, shared=state)
                 for v in list(free_adj):
                     if v in matched:
                         free_adj[v] = set()

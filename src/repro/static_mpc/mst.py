@@ -12,22 +12,68 @@ Component labels are maintained exactly as in
 candidate edges are aggregated at the owner machine of each component's
 label vertex.
 
-The per-machine candidate scan runs through :meth:`Cluster.superstep`.  The
-handler reads the shared union-find ``component`` map through ``find`` with
-path compression; compression writes are benign under concurrent shard
-execution because no merges happen during the scan — every compressed
-pointer is a valid ancestor and every ``find`` returns the phase's unique
-root either way.  Merging (choosing global minima and uniting components)
-is a driver-level decision between supersteps, mirroring the label-vertex
+The per-machine candidate scan is a module-level picklable program
+(:class:`MSTCandidateProgram`) routed through :meth:`Cluster.superstep`.
+The program reads the shared union-find ``component`` map through ``find``
+with path compression — the sanctioned *semantically invisible* mutation of
+shared state: no merges happen during the scan, so every compressed pointer
+is a valid ancestor and every ``find`` returns the phase's unique root
+whether the map is the live driver dict (sequential/thread execution) or a
+shipped copy (process execution, where the compression is simply
+discarded).  Merging (choosing global minima and uniting components) is a
+driver-level decision between supersteps, mirroring the label-vertex
 owners' role.
 """
 
 from __future__ import annotations
 
-from repro.graph.graph import DynamicGraph, normalize_edge
-from repro.static_mpc.common import StaticMPCSetup, build_static_cluster
+from typing import Any, Mapping, MutableMapping
 
-__all__ = ["StaticBoruvkaMST"]
+from repro.graph.graph import DynamicGraph, normalize_edge
+from repro.mpc.program import MachineContext
+from repro.static_mpc.common import StaticMPCSetup, VertexProgram, build_static_cluster
+
+__all__ = ["StaticBoruvkaMST", "MSTCandidateProgram"]
+
+
+class MSTCandidateProgram(VertexProgram):
+    """Report, per owned component label, the cheapest outgoing owned edge.
+
+    The delta is the number of candidate edges reported — what the driver's
+    termination check sums at the barrier.
+    """
+
+    shared_reads = ("component",)
+    store_reads = ("weights",)
+
+    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> int:
+        # inbox: the previous phase's merge broadcast — the shared
+        # ``component`` map models each machine's local view, so the
+        # payload itself needs no further processing here.
+        component = shared["component"]
+
+        def find(v: int) -> int:
+            while component[v] != v:
+                component[v] = component[component[v]]
+                v = component[v]
+            return v
+
+        best_local: dict[int, tuple[float, int, int]] = {}
+        for v in self.owned[ctx.machine_id]:
+            comp_v = find(v)
+            weights = ctx.load(("weights", v), {})
+            for w, weight in weights.items():
+                if find(w) == comp_v:
+                    continue
+                entry = (float(weight), v, w)
+                if comp_v not in best_local or entry < best_local[comp_v]:
+                    best_local[comp_v] = entry
+        for comp_label, (weight, v, w) in best_local.items():
+            ctx.send(self.owner(comp_label), "mst-candidate", (comp_label, weight, v, w))
+        return len(best_local)
+
+    def apply(self, shared: MutableMapping[str, Any], machine_id: str, delta: int) -> None:
+        shared["candidate_counts"][machine_id] = delta
 
 
 class StaticBoruvkaMST:
@@ -42,6 +88,7 @@ class StaticBoruvkaMST:
         backend: str | None = None,
         shard_count: int | None = None,
         max_workers: int | None = None,
+        process_chunk_machines: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -50,6 +97,7 @@ class StaticBoruvkaMST:
             backend=backend,
             shard_count=shard_count,
             max_workers=max_workers,
+            process_chunk_machines=process_chunk_machines,
         )
         self.cluster = self.setup.cluster
         self.max_phases = max_phases if max_phases is not None else 2 * max(2, graph.num_vertices.bit_length() + 1)
@@ -61,11 +109,16 @@ class StaticBoruvkaMST:
         cluster = self.cluster
         setup = self.setup
         worker_ids = setup.worker_ids
-        owner = setup.owner
-        component: dict[int, int] = {v: v for v in self.graph.vertices}
+        # Shared driver state: the union-find component map the candidate
+        # scan reads, and the per-machine candidate counts its deltas fill.
+        state: dict[str, Any] = {
+            "component": {v: v for v in self.graph.vertices},
+            "candidate_counts": {},
+        }
+        component: dict[int, int] = state["component"]
+        candidate_counts: dict[str, int] = state["candidate_counts"]
         forest: set[tuple[int, int]] = set()
-        # machine id -> number of candidate edges it reported this phase.
-        candidate_counts: dict[str, int] = {}
+        report_candidates = MSTCandidateProgram(setup.owned, worker_ids)
 
         def find(v: int) -> int:
             while component[v] != v:
@@ -73,29 +126,11 @@ class StaticBoruvkaMST:
                 v = component[v]
             return v
 
-        def report_candidates(machine, inbox):
-            # inbox: the previous phase's merge broadcast — the shared
-            # ``component`` map models each machine's local view, so the
-            # payload itself needs no further processing here.
-            best_local: dict[int, tuple[float, int, int]] = {}
-            for v in setup.owned_vertices(machine.machine_id):
-                comp_v = find(v)
-                weights = machine.load(("weights", v), {})
-                for w, weight in weights.items():
-                    if find(w) == comp_v:
-                        continue
-                    entry = (float(weight), v, w)
-                    if comp_v not in best_local or entry < best_local[comp_v]:
-                        best_local[comp_v] = entry
-            for comp_label, (weight, v, w) in best_local.items():
-                machine.send(owner(comp_label), "mst-candidate", (comp_label, weight, v, w))
-            candidate_counts[machine.machine_id] = len(best_local)
-
         with cluster.update(label):
             for phase in range(self.max_phases):
                 # Phase part 1: each owner reports, per owned component label,
                 # the cheapest outgoing edge among its owned vertices.
-                cluster.superstep(report_candidates, machines=worker_ids)
+                cluster.superstep(report_candidates, machines=worker_ids, shared=state)
                 if sum(candidate_counts.values()) == 0:
                     # The terminal phase's empty scan still cost one (empty)
                     # exchange — the price of detecting termination inside the

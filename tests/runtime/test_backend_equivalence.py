@@ -4,13 +4,15 @@ The execution-backend contract (:mod:`repro.runtime.base`) is that backends
 may change *how* a simulation executes but never *what* it computes: the
 maintained solutions, the per-update round counts and the word accounting
 must be identical under every backend.  These tests drive the same graphs
-and update streams through the reference, fast, sharded and parallel
-backends and compare everything the algorithms expose.
+and update streams through the reference, fast, sharded, parallel and
+process backends and compare everything the algorithms expose.
 
-The sharded/parallel configurations deliberately use a ``shard_count`` that
-does **not** divide the machine counts these workloads produce, so the
-uneven last shard and the K-way merge barrier are always exercised; the
-parallel backend runs with a real two-worker pool.
+The sharded/parallel/process configurations deliberately use a
+``shard_count`` that does **not** divide the machine counts these workloads
+produce, so the uneven last shard and the K-way merge barrier are always
+exercised; the parallel backend runs with a real two-worker thread pool and
+the process backend with a real two-worker spawn pool (its superstep jobs
+genuinely cross the process boundary — the static tests assert it).
 """
 
 from __future__ import annotations
@@ -31,7 +33,7 @@ from repro.graph.generators import gnm_random_graph, random_weighted_graph
 from repro.graph.streams import mixed_stream
 from repro.static_mpc import StaticBoruvkaMST, StaticConnectedComponents, StaticMaximalMatching
 
-BACKENDS = ("reference", "fast", "sharded", "parallel")
+BACKENDS = ("reference", "fast", "sharded", "parallel", "process")
 
 #: deliberately odd so it does not divide typical machine counts
 SHARD_COUNT = 3
@@ -39,11 +41,11 @@ MAX_WORKERS = 2
 
 
 def backend_overrides(backend: str) -> dict:
-    """Per-backend config extras: odd shard count, real worker pool."""
+    """Per-backend config extras: odd shard count, real worker pools."""
     extra: dict = {}
-    if backend in ("sharded", "parallel"):
+    if backend in ("sharded", "parallel", "process"):
         extra["shard_count"] = SHARD_COUNT
-    if backend == "parallel":
+    if backend in ("parallel", "process"):
         extra["max_workers"] = MAX_WORKERS
     return extra
 
@@ -176,6 +178,9 @@ class TestStaticAlgorithmEquivalence:
             algorithm = cls(graph, backend=backend, **backend_overrides(backend), **kwargs)
             algorithm.run()
             runs[backend] = algorithm
+        # The process rows must have genuinely crossed the process boundary —
+        # a silent fallback would make this whole class vacuous for it.
+        assert runs["process"].cluster.backend.last_superstep_mode == "pool"
         return runs
 
     def assert_cluster_parity(self, runs):

@@ -9,23 +9,55 @@ enforcement).
 
 from __future__ import annotations
 
+import os
+
 import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import DMPCConfig
 from repro.exceptions import MachineMemoryExceeded, MessageSizeExceeded, ProtocolError, UnknownMachineError
-from repro.mpc import Cluster, Machine, MetricsLedger, RoundRecord, rendezvous_shard
+from repro.mpc import Cluster, Machine, MetricsLedger, RoundRecord, SuperstepProgram, rendezvous_shard
 from repro.runtime import (
     BACKENDS,
     CachedStorage,
     FastBackend,
     ParallelBackend,
+    ProcessBackend,
     ReferenceBackend,
     ReferenceStorage,
     ShardedBackend,
     ShardPlan,
     resolve_backend,
 )
+
+
+class TokenProbeProgram(SuperstepProgram):
+    """Module-level (hence picklable) probe: store + shared in, delta + message out.
+
+    Each machine reads its stored token, adds the shared offset, reports
+    the sum to ``m0`` as a message and returns ``(pid, sum)`` as its delta —
+    enough to observe *where* the run executed and that every data path
+    (store slice, shared slice, sends, deltas) round-trips.
+    """
+
+    shared_reads = ("offset",)
+    store_reads = ("token",)
+
+    def run(self, ctx, inbox, shared):
+        value = ctx.load(("token", ctx.machine_id), 0) + shared["offset"]
+        if ctx.machine_id != "m0":
+            ctx.send("m0", "probe", value)
+        return (os.getpid(), value)
+
+    def apply(self, shared, machine_id, delta):
+        shared["results"][machine_id] = delta
+
+
+class UndeclaredReadProgram(SuperstepProgram):
+    shared_reads = ("missing-key",)
+
+    def run(self, ctx, inbox, shared):  # pragma: no cover - never reached
+        return None
 
 
 def make_cluster(backend: str, **kwargs) -> Cluster:
@@ -441,13 +473,14 @@ class TestSharedLedgerPolicy:
         assert ledger.next_round_index == 3  # one shared round stream
 
     def test_aggregate_backends_share_one_policy_name(self):
-        """fast/sharded/parallel condense rounds identically, so they may mix."""
+        """fast/sharded/parallel/process condense rounds identically, so they may mix."""
         ledger = MetricsLedger()
         Cluster(self.make_config("fast"), ledger=ledger)
         Cluster(self.make_config("sharded"), ledger=ledger)
         Cluster(self.make_config("parallel"), ledger=ledger)
+        Cluster(self.make_config("process"), ledger=ledger)
 
-    @pytest.mark.parametrize("backend", ["fast", "sharded", "parallel"])
+    @pytest.mark.parametrize("backend", ["fast", "sharded", "parallel", "process"])
     def test_custom_factory_never_clobbered(self, backend):
         def custom_factory(round_index, messages):
             return RoundRecord(
@@ -574,10 +607,133 @@ class TestParallelSuperstep:
         assert explicit.max_workers == 7
 
 
+# ------------------------------------------------------------ process backend
+class TestProcessSuperstep:
+    """The spawn-pool execution path: serialization round trip, fallbacks."""
+
+    def make_process_cluster(
+        self, *, machines: int = 9, shard_count: int = 4, max_workers: int = 2, **extra
+    ) -> Cluster:
+        config = DMPCConfig(
+            capacity_n=64,
+            capacity_m=128,
+            backend="process",
+            shard_count=shard_count,
+            max_workers=max_workers,
+            **extra,
+        )
+        cluster = Cluster(config)
+        for i, machine in enumerate(cluster.add_machines("m", machines)):
+            machine.store(("token", machine.machine_id), 10 * i)
+        return cluster
+
+    def run_probe(self, cluster: Cluster) -> dict:
+        shared = {"offset": 7, "results": {}}
+        cluster.superstep(TokenProbeProgram(), shared=shared)
+        return shared["results"]
+
+    def assert_probe_observable(self, cluster: Cluster, results: dict) -> None:
+        machines = cluster.machines()
+        assert [results[m.machine_id][1] for m in machines] == [10 * i + 7 for i in range(len(machines))]
+        inbox = cluster.machine("m0").drain("probe")
+        # registration delivery order, identical to every in-process backend
+        assert [msg.payload for msg in inbox] == [10 * i + 7 for i in range(1, len(machines))]
+
+    def test_pool_round_trip_crosses_process_boundary(self):
+        cluster = self.make_process_cluster()
+        results = self.run_probe(cluster)
+        assert cluster.backend.last_superstep_mode == "pool"
+        self.assert_probe_observable(cluster, results)
+        worker_pids = {pid for pid, _ in results.values()}
+        assert os.getpid() not in worker_pids  # every run happened elsewhere
+
+    def test_single_worker_falls_back_to_sequential(self):
+        cluster = self.make_process_cluster(max_workers=1)
+        results = self.run_probe(cluster)
+        assert cluster.backend.last_superstep_mode == "sequential"
+        self.assert_probe_observable(cluster, results)
+        assert {pid for pid, _ in results.values()} == {os.getpid()}  # never left the driver
+
+    def test_single_shard_falls_back_to_sequential(self):
+        cluster = self.make_process_cluster(shard_count=1)
+        results = self.run_probe(cluster)
+        assert cluster.backend.last_superstep_mode == "sequential"
+        assert {pid for pid, _ in results.values()} == {os.getpid()}
+
+    def test_env_var_selection_round_trip(self, monkeypatch):
+        """REPRO_BACKEND=process: resolution, construction and a pooled run."""
+        monkeypatch.setenv("REPRO_BACKEND", "process")
+        config = DMPCConfig(capacity_n=64, capacity_m=128, shard_count=4, max_workers=2)
+        assert resolve_backend(None, config).name == "process"
+        cluster = Cluster(config)
+        assert isinstance(cluster.backend, ProcessBackend)
+        for i, machine in enumerate(cluster.add_machines("m", 9)):
+            machine.store(("token", machine.machine_id), 10 * i)
+        results = self.run_probe(cluster)
+        assert cluster.backend.last_superstep_mode == "pool"
+        self.assert_probe_observable(cluster, results)
+
+    def test_closure_handlers_stay_in_process(self):
+        """Closures cannot be pickled; they take the inherited thread path."""
+        cluster = self.make_process_cluster()
+        seen: list[str] = []
+
+        def handler(machine, inbox):
+            seen.append(machine.machine_id)
+
+        cluster.superstep(handler)
+        assert cluster.backend.last_superstep_mode == "threads"
+        assert sorted(seen) == sorted(m.machine_id for m in cluster.machines())
+
+    def test_chunking_knob_regroups_jobs(self):
+        cluster = self.make_process_cluster(process_chunk_machines=4)
+        buckets = cluster.backend.job_buckets(cluster.machines())
+        assert [len(b) for b in buckets] == [4, 4, 1]
+        # contiguous registration-order chunks, not shard-plan buckets
+        assert [m.machine_id for m in buckets[0]] == ["m0", "m1", "m2", "m3"]
+        results = self.run_probe(cluster)
+        assert cluster.backend.last_superstep_mode == "pool"
+        self.assert_probe_observable(cluster, results)
+
+    def test_undeclared_shared_read_is_a_loud_error(self):
+        cluster = self.make_process_cluster()
+        with pytest.raises(KeyError, match="missing-key"):
+            cluster.superstep(UndeclaredReadProgram(), shared={"offset": 1})
+
+    def test_store_blobs_memoised_until_version_bump(self):
+        cluster = self.make_process_cluster()
+        backend = cluster.backend
+        machine = cluster.machine("m0")
+        blob = backend._store_blob(machine, ("token",))
+        assert backend._store_blob(machine, ("token",)) is blob  # cached bytes reused
+        machine.store(("token", "m0"), 999)
+        fresh = backend._store_blob(machine, ("token",))
+        assert fresh is not blob
+
+    def test_matches_reference_backend_observables(self):
+        outcomes = {}
+        for backend in ("reference", "process"):
+            config = DMPCConfig(
+                capacity_n=64, capacity_m=128, backend=backend, shard_count=4, max_workers=2
+            )
+            cluster = Cluster(config)
+            for i, machine in enumerate(cluster.add_machines("m", 9)):
+                machine.store(("token", machine.machine_id), 10 * i)
+            shared = {"offset": 3, "results": {}}
+            record = cluster.superstep(TokenProbeProgram(), shared=shared)
+            outcomes[backend] = (
+                record.message_count,
+                record.total_words,
+                record.active_machines,
+                {mid: value for mid, (_, value) in shared["results"].items()},
+            )
+        assert outcomes["process"] == outcomes["reference"]
+
+
 # ------------------------------------------------------------------ resolution
 class TestBackendResolution:
     def test_registry_names(self):
-        assert {"reference", "fast", "sharded", "parallel"} <= set(BACKENDS)
+        assert {"reference", "fast", "sharded", "parallel", "process"} <= set(BACKENDS)
 
     def test_config_selects_backend(self):
         assert make_cluster("fast").backend.name == "fast"
@@ -612,7 +768,7 @@ class TestBackendResolution:
     def test_guarantees_surface(self):
         config = DMPCConfig(capacity_n=32, capacity_m=64)
         assert ReferenceBackend(config).guarantees["full_metrics"]
-        for backend_cls in (FastBackend, ShardedBackend, ParallelBackend):
+        for backend_cls in (FastBackend, ShardedBackend, ParallelBackend, ProcessBackend):
             guarantees = backend_cls(config).guarantees
             assert guarantees["strict_memory"] and guarantees["io_cap"] and guarantees["exact_accounting"]
             assert not guarantees["full_metrics"]

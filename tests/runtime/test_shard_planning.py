@@ -1,0 +1,165 @@
+"""Shard-plan autotuning and rendezvous-hash placement properties.
+
+Two satellite guarantees of the sharded execution layer:
+
+* :func:`repro.mpc.partition.rendezvous_shard` must spread keys
+  near-uniformly and move almost nothing when the shard count changes —
+  the properties future distributed-shard deployments lean on when
+  resizing;
+* :meth:`ShardPlan.rebalance` must turn the transport's per-machine load
+  diagnostic into an explicitly-pinned plan that flattens skew the
+  round-robin/rendezvous rules cannot see.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import DMPCConfig
+from repro.mpc import Cluster, Machine, rendezvous_shard
+from repro.runtime import ShardPlan
+
+
+def shard_histogram(keys: list[str], shard_count: int) -> Counter:
+    return Counter(rendezvous_shard(key, shard_count) for key in keys)
+
+
+# ------------------------------------------------------------ rendezvous hash
+class TestRendezvousProperties:
+    KEYS = [f"m{i}" for i in range(2000)]
+
+    def test_near_uniform_balance(self):
+        shard_count = 8
+        histogram = shard_histogram(self.KEYS, shard_count)
+        expected = len(self.KEYS) / shard_count
+        assert set(histogram) == set(range(shard_count))  # every shard populated
+        for shard, count in histogram.items():
+            # 2000 keys over 8 shards is ~binomial(2000, 1/8): mean 250,
+            # sigma ~15 — a +-40% band is ~6 sigma, loose enough to never
+            # flake yet tight enough to catch a broken weight function.
+            assert 0.6 * expected <= count <= 1.4 * expected, f"shard {shard} holds {count}"
+
+    @settings(max_examples=25, deadline=None)
+    @given(shard_count=st.integers(2, 12), salt=st.integers(0, 1000))
+    def test_assignment_is_a_pure_function_of_key_and_count(self, shard_count, salt):
+        """Adding/removing *machines* never moves any other machine.
+
+        The assignment consults nothing but ``(key, shard_count)``, so the
+        machine population is irrelevant by construction — pinned here
+        because it is the property that makes rendezvous plans stable as
+        clusters grow.
+        """
+        keys = [f"w{salt}-{i}" for i in range(50)]
+        before = {key: rendezvous_shard(key, shard_count) for key in keys}
+        # "add machines" / "remove machines": assignments recomputed over a
+        # different population are bit-identical per key.
+        subset = keys[::2]
+        assert {key: rendezvous_shard(key, shard_count) for key in subset} == {
+            key: before[key] for key in subset
+        }
+
+    @settings(max_examples=20, deadline=None)
+    @given(shard_count=st.integers(1, 10))
+    def test_growing_by_one_shard_moves_only_keys_onto_the_new_shard(self, shard_count):
+        moved = {
+            key
+            for key in self.KEYS[:600]
+            if rendezvous_shard(key, shard_count) != rendezvous_shard(key, shard_count + 1)
+        }
+        # every moved key lands on the newly added shard ...
+        assert all(rendezvous_shard(key, shard_count + 1) == shard_count for key in moved)
+        # ... and roughly a 1/(K+1) fraction moves (binomial, generous band)
+        expected = 600 / (shard_count + 1)
+        assert moved, "growing the shard set must hand the new shard some keys"
+        assert len(moved) <= 2.0 * expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(shard_count=st.integers(2, 10))
+    def test_shrinking_by_one_shard_moves_only_the_removed_shards_keys(self, shard_count):
+        for key in self.KEYS[:400]:
+            before = rendezvous_shard(key, shard_count)
+            after = rendezvous_shard(key, shard_count - 1)
+            if before != shard_count - 1:  # key not on the removed shard
+                assert after == before
+
+
+# ----------------------------------------------------------------- rebalancing
+def make_machines(count: int) -> list[Machine]:
+    return [Machine(f"w{i}", 64, index=i) for i in range(count)]
+
+
+def shard_loads(plan: ShardPlan, machines: list[Machine], loads: dict[str, int]) -> list[int]:
+    totals = [0] * plan.shard_count
+    for machine in machines:
+        totals[plan.shard_of(machine)] += loads.get(machine.machine_id, 0)
+    return totals
+
+
+class TestShardPlanRebalance:
+    def test_rebalance_flattens_a_skewed_owner_map(self):
+        """A hot machine the round-robin rule pairs with others gets isolated."""
+        machines = make_machines(8)
+        # the skew a hash-partitioned owner map can produce: one machine
+        # owns the hub vertices and sends 100x the words of the others
+        loads = {"w0": 1000, **{f"w{i}": 10 for i in range(1, 8)}}
+        plan = ShardPlan(4)  # index plan: w0 shares shard 0 with w4
+        before = shard_loads(plan, machines, loads)
+        assert max(before) == 1010
+
+        proposal = plan.rebalance(loads)
+        after = shard_loads(proposal, machines, loads)
+        assert max(after) == 1000  # the hot machine now owns a shard alone
+        assert sum(after) == sum(before)  # no load invented or lost
+        assert proposal.shard_count == plan.shard_count
+        assert proposal.strategy == plan.strategy
+        # LPT puts every named machine somewhere valid and deterministic
+        assert proposal.assignment is not None
+        assert set(proposal.assignment) == set(loads)
+        assert plan.rebalance(loads).assignment == proposal.assignment
+
+    def test_rebalance_balances_uniform_loads(self):
+        machines = make_machines(12)
+        loads = {f"w{i}": 10 for i in range(12)}
+        proposal = ShardPlan(4).rebalance(loads)
+        assert shard_loads(proposal, machines, loads) == [30, 30, 30, 30]
+
+    def test_rebalance_can_change_the_shard_count(self):
+        loads = {f"w{i}": i + 1 for i in range(6)}
+        proposal = ShardPlan(2).rebalance(loads, shard_count=3)
+        assert proposal.shard_count == 3
+        assert set(proposal.assignment.values()) <= {0, 1, 2}
+
+    def test_unnamed_machines_keep_the_strategy_rule(self):
+        machines = make_machines(6)
+        proposal = ShardPlan(3).rebalance({"w0": 50})
+        assert proposal.shard_of(machines[0]) == proposal.assignment["w0"]
+        for machine in machines[1:]:
+            assert proposal.shard_of(machine) == machine.index % 3
+
+    def test_assignment_validation(self):
+        with pytest.raises(ValueError, match="outside"):
+            ShardPlan(2, assignment={"w0": 5})
+
+
+# ------------------------------------------------- transport load diagnostics
+class TestMachineLoadDiagnostic:
+    def test_machine_load_feeds_rebalance(self):
+        config = DMPCConfig(capacity_n=32, capacity_m=64, backend="sharded", shard_count=3)
+        cluster = Cluster(config)
+        machines = cluster.add_machines("w", 6)
+        machines[0].send("w1", "bulk", list(range(64)))
+        machines[0].send("w2", "bulk", list(range(64)))
+        machines[3].send("w4", "ping", 1)
+        cluster.exchange()
+
+        load = cluster._transport.machine_load()
+        assert set(load) == {"w0", "w3"}  # only actual senders appear
+        assert load["w0"] > load["w3"]
+        assert sum(load.values()) == sum(cluster._transport.shard_load())
+
+        proposal = cluster._transport.plan.rebalance(load)
+        # the heavy sender is pinned first, onto the lightest (first) shard
+        assert proposal.assignment["w0"] != proposal.assignment["w3"]
