@@ -82,6 +82,15 @@ class DMPCConfig:
         against parallelism.  ``None`` (the default) follows the shard
         plan.  Job grouping never changes the simulation; the merge
         barrier restores target order.
+    replan_every:
+        Sharded-family autotuning knob: every this-many delivered rounds
+        the cluster closes the loop ``machine_load() → rebalance() →
+        replan()`` — observed per-machine word loads feed a greedy-LPT
+        proposal that is adopted as the live shard plan
+        (:meth:`~repro.mpc.cluster.Cluster.autotune_replan`), with resident
+        backends migrating worker-held shard state to match.  ``None`` (the
+        default) keeps the plan fixed for the whole run.  Like every shard
+        choice, re-planning never changes the simulation.
     """
 
     capacity_n: int
@@ -94,6 +103,7 @@ class DMPCConfig:
     shard_strategy: str = "index"
     max_workers: int | None = None
     process_chunk_machines: int | None = None
+    replan_every: int | None = None
 
     def __post_init__(self) -> None:
         if self.capacity_n < 1:
@@ -112,6 +122,8 @@ class DMPCConfig:
             raise ValueError("max_workers must be positive when given")
         if self.process_chunk_machines is not None and self.process_chunk_machines < 1:
             raise ValueError("process_chunk_machines must be positive when given")
+        if self.replan_every is not None and self.replan_every < 1:
+            raise ValueError("replan_every must be positive when given")
 
     @property
     def capacity_N(self) -> int:
@@ -174,6 +186,7 @@ class DMPCConfig:
         shard_strategy: str = "index",
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
+        replan_every: int | None = None,
     ) -> "DMPCConfig":
         """Convenience constructor sizing a deployment for an ``(n, m)`` graph."""
         return DMPCConfig(
@@ -187,6 +200,7 @@ class DMPCConfig:
             shard_strategy=shard_strategy,
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
+            replan_every=replan_every,
         )
 
 

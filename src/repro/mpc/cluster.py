@@ -13,7 +13,8 @@ from repro.mpc.metrics import MetricsLedger, RoundRecord
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpc.program import SuperstepProgram
-    from repro.runtime.base import ExecutionBackend
+    from repro.runtime.base import ExecutionBackend, ExecutionSession
+    from repro.runtime.sharding import ShardPlan
 
 __all__ = ["Cluster"]
 
@@ -67,6 +68,14 @@ class Cluster:
         )
         self._machines: dict[str, Machine] = {}
         self._transport = self.backend.create_transport(self)
+        #: the execution session an active :meth:`session` scope opened;
+        #: resident backends route supersteps through it.
+        self._active_session: "ExecutionSession | None" = None
+        #: rounds delivered so far — drives the ``replan_every`` autotuner.
+        self._rounds_delivered = 0
+        #: plans adopted by :meth:`replan`, in order, with the round index
+        #: each one took effect at — the autotuning loop's audit trail.
+        self.replan_history: list[dict] = []
 
     # --------------------------------------------------------------- machines
     def add_machine(self, machine_id: str, *, role: str = "worker", capacity: int | None = None) -> Machine:
@@ -137,7 +146,12 @@ class Cluster:
         collection/delivery mechanics live in the backend's
         :class:`~repro.runtime.base.Transport`.
         """
-        return self._transport.exchange()
+        record = self._transport.exchange()
+        self._rounds_delivered += 1
+        every = getattr(self.config, "replan_every", None)
+        if every and self._rounds_delivered % every == 0:
+            self.autotune_replan()
+        return record
 
     def superstep(
         self,
@@ -175,6 +189,88 @@ class Cluster:
     def discard_undelivered(self) -> None:
         """Drop any staged (outbox) and pending (inbox) messages on all machines."""
         self._transport.discard_undelivered()
+
+    # --------------------------------------------------------------- sessions
+    @contextmanager
+    def session(self, shared: dict) -> "Iterator[ExecutionSession]":
+        """Scope a superstep round loop governed by one ``shared`` state dict.
+
+        Backends that keep worker-resident state (the ``resident`` backend)
+        ship the shared slice and machine stores once per session and keep
+        them in sync from the merged program deltas; every other backend
+        yields a no-op session, so drivers wire this unconditionally::
+
+            with cluster.session(state) as sess:
+                while not done:
+                    cluster.superstep(program, machines=ids, shared=state)
+                    ...
+                    sess.touch("matched")   # out-of-band driver mutation
+
+        Supersteps inside the scope must pass this same ``shared`` dict;
+        shared keys the driver mutates outside ``program.apply`` must be
+        reported with :meth:`~repro.runtime.base.ExecutionSession.touch`
+        (the delta-replay contract in :mod:`repro.mpc.program`).  Sessions
+        do not nest.
+        """
+        if self._active_session is not None:
+            raise ProtocolError("cluster already has an active execution session")
+        session = self.backend.open_session(self, shared)
+        self._active_session = session
+        try:
+            yield session
+        finally:
+            self._active_session = None
+            session.close()
+
+    # ------------------------------------------------------------- re-planning
+    def replan(self, plan: "ShardPlan") -> bool:
+        """Adopt ``plan`` as the live shard plan; return whether it applied.
+
+        Only meaningful behind the merge barrier (no staged messages — the
+        transport enforces this) and only for sharded-family backends;
+        other backends return ``False`` and change nothing.  Resident
+        sessions migrate their worker-held shard state to match.  Applied
+        plans are recorded in :attr:`replan_history` so autotuning
+        decisions stay inspectable.
+        """
+        applied = self.backend.replan(self, plan)
+        if applied:
+            self.replan_history.append(
+                {
+                    "round": self._rounds_delivered,
+                    "shard_count": plan.shard_count,
+                    "strategy": plan.strategy,
+                    "pinned": dict(plan.assignment) if plan.assignment else {},
+                }
+            )
+        return applied
+
+    def autotune_replan(self) -> "ShardPlan | None":
+        """One turn of the closed autotuning loop: load → rebalance → replan.
+
+        Reads the sharded transport's per-machine word loads, asks the
+        current plan for a greedy-LPT rebalance proposal and adopts it.
+        Returns the adopted plan, or ``None`` when the backend has no plan
+        or no load diagnostic (non-sharded backends).  Driven automatically
+        every ``config.replan_every`` delivered rounds.
+        """
+        machine_load = getattr(self._transport, "machine_load", None)
+        plan = getattr(self.backend, "plan", None)
+        if machine_load is None or plan is None:
+            return None
+        loads = machine_load()
+        if not loads:
+            return None
+        proposal = plan.rebalance(loads)
+        if (
+            proposal.shard_count == plan.shard_count
+            and proposal.strategy == plan.strategy
+            and (proposal.assignment or {}) == (plan.assignment or {})
+        ):
+            # Stable loads propose the plan already live: adopting it would
+            # only churn caches, reset diagnostics and bloat the history.
+            return None
+        return proposal if self.replan(proposal) else None
 
     # ---------------------------------------------------------------- updates
     @contextmanager

@@ -50,6 +50,31 @@ Programs must also be **frozen once the first superstep runs**: the
 strategies use the live object, so post-construction mutation would make
 the strategies diverge.  Per-round scalars (round numbers, phase flags)
 belong in the shared state, not on the program.
+
+The delta-replay contract
+-------------------------
+
+The ``resident`` backend (:mod:`repro.runtime.resident`) keeps a copy of
+the shared state inside long-lived worker processes and keeps that copy in
+sync by **replaying the very deltas the driver merges at the barrier** —
+instead of re-shipping the shared slice every round.  That replay is only
+sound when :meth:`apply` honours two further rules, which together form
+the *delta-replay contract*:
+
+* **determinism** — ``apply(shared, machine_id, delta)`` must be a pure
+  function of its three arguments: replaying the same deltas in the same
+  (target) order against an identical copy of the shared state must
+  reproduce the driver's merged state exactly.  No reads of driver-only
+  globals, no randomness, no dependence on *when* it runs.
+* **declared writes** — every shared key ``apply`` writes (or reads while
+  merging) that is not already in :attr:`shared_reads` must be declared in
+  :attr:`shared_writes`, so a resident session knows to ship those keys to
+  the worker copy before the first replay touches them.
+
+Driver code that mutates shared state *outside* ``apply`` between
+supersteps (a coordinator decision, a round-number bump) must tell its
+resident session via ``session.touch(key, ...)`` so the stale keys are
+re-shipped — see :meth:`repro.runtime.base.ExecutionSession.touch`.
 """
 
 from __future__ import annotations
@@ -162,6 +187,62 @@ class SuperstepProgram(abc.ABC):
     #: prefix (the ``("adj", v)`` convention).  ``None`` ships the whole
     #: store; the default ``()`` ships nothing.
     store_reads: tuple[str, ...] | None = ()
+
+    #: shared-state keys :meth:`apply` writes (or reads while merging)
+    #: beyond :attr:`shared_reads`.  Part of the delta-replay contract (see
+    #: the module docstring): a resident worker session replays merged
+    #: deltas against its copy of the shared state, so every key the replay
+    #: touches must be resident — the session ships
+    #: ``shared_reads + shared_writes`` before the program's first round.
+    shared_writes: tuple[str, ...] = ()
+
+    #: whether :meth:`run` reads its ``inbox`` argument at all.  Phase
+    #: programs that only *produce* messages (propose/scan phases whose
+    #: inbox holds nothing but stale flags from the previous phase) declare
+    #: ``False`` so resident sessions drain the inboxes driver-side (the
+    #: consumed-inbox semantics are unchanged) and ship the workers empty
+    #: ones instead of serializing messages nobody will look at.
+    reads_inbox: bool = True
+
+    #: execution hint for resident sessions: ``True`` marks this program's
+    #: per-machine work as cheap aggregation (scan the inbox, fold into a
+    #: delta) that is not worth a worker round trip — the session runs it
+    #: driver-side instead of shipping the drained inboxes to the workers.
+    #: Purely an execution-strategy choice, like shard counts and pool
+    #: sizes: the barrier, the deltas, the worker-side replay and the
+    #: delivered round are identical either way.
+    driver_local: bool = False
+
+    #: how far one machine's merged delta must travel for replay — the
+    #: second half of the delta-replay contract:
+    #:
+    #: ``"global"``
+    #:     (default, always safe) the delta may influence shared state any
+    #:     machine's ``run`` reads; resident sessions replay it at every
+    #:     worker.
+    #: ``"owner"``
+    #:     machine ``m``'s delta only writes shared state that future
+    #:     ``run`` calls *of machine m itself* read (the vertex-partitioned
+    #:     pattern: owners merge facts about their own vertices); sessions
+    #:     replay it only at the worker hosting ``m``.
+    #: ``"driver"``
+    #:     the delta feeds driver-side decisions only (termination flags,
+    #:     candidate counts) — no ``run`` ever reads what ``apply`` writes;
+    #:     sessions skip worker replay entirely.
+    #:
+    #: Declaring a narrower scope than the writes warrant is a correctness
+    #: bug (a worker would read a stale copy); declaring wider is merely
+    #: slower.  When in doubt, leave the default.
+    delta_scope: str = "global"
+
+    def session_keys(self) -> tuple[str, ...]:
+        """All shared keys a resident session must keep in sync for this program.
+
+        The declared reads plus the declared ``apply`` writes, de-duplicated
+        with declaration order preserved (deterministic, so driver and
+        worker agree on what ships).
+        """
+        return tuple(dict.fromkeys(self.shared_reads + self.shared_writes))
 
     @abc.abstractmethod
     def run(self, ctx: MachineContext, inbox: "list[Message]", shared: Mapping[str, Any]) -> Any:

@@ -32,7 +32,14 @@ backends are registered:
     :mod:`repro.runtime.process` — the sharded transport plus
     :class:`~repro.mpc.program.SuperstepProgram` shard jobs serialized to a
     spawn-safe process pool: declared state in, staged messages and deltas
-    out, merged at the same barrier.
+    out, merged at the same barrier;
+``resident``
+    :mod:`repro.runtime.resident` — the process backend plus session-scoped
+    *resident* worker state: long-lived worker slots keep shard stores and
+    the shared slice in memory for a whole run
+    (:meth:`~repro.mpc.cluster.Cluster.session`), the driver ships only
+    per-round deltas, and live re-plans migrate shard state between
+    workers.
 
 Further backends (distributed shards) plug in by registering a new
 :class:`~repro.runtime.base.ExecutionBackend` subclass — algorithm code
@@ -45,6 +52,7 @@ from repro.runtime.base import (
     BACKEND_ENV_VAR,
     BACKENDS,
     ExecutionBackend,
+    ExecutionSession,
     MachineStorage,
     Transport,
     register_backend,
@@ -54,12 +62,14 @@ from repro.runtime.fast import CachedStorage, FastBackend, FastTransport
 from repro.runtime.parallel import ParallelBackend
 from repro.runtime.process import ProcessBackend
 from repro.runtime.reference import ReferenceBackend, ReferenceStorage, ReferenceTransport
+from repro.runtime.resident import ResidentBackend, ResidentSession
 from repro.runtime.sharding import DEFAULT_SHARD_COUNT, ShardedBackend, ShardedTransport, ShardPlan
 
 __all__ = [
     "BACKEND_ENV_VAR",
     "BACKENDS",
     "ExecutionBackend",
+    "ExecutionSession",
     "MachineStorage",
     "Transport",
     "register_backend",
@@ -76,4 +86,6 @@ __all__ = [
     "DEFAULT_SHARD_COUNT",
     "ParallelBackend",
     "ProcessBackend",
+    "ResidentBackend",
+    "ResidentSession",
 ]

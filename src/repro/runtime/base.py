@@ -59,6 +59,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 __all__ = [
     "MachineStorage",
     "Transport",
+    "ExecutionSession",
     "ExecutionBackend",
     "BACKENDS",
     "register_backend",
@@ -220,6 +221,56 @@ class Transport(abc.ABC):
             machine.inbox.clear()
 
 
+class ExecutionSession:
+    """A run-scoped execution session: the seam for resident worker state.
+
+    Superstep-style drivers open a session around their round loop
+    (:meth:`~repro.mpc.cluster.Cluster.session`) to tell the backend that
+    one ``shared`` state dict will govern a whole sequence of supersteps.
+    Backends that keep state *resident* in long-lived workers (the
+    ``resident`` backend) use the session to ship that state once and keep
+    it in sync by replaying merged deltas; every other backend returns this
+    base class, whose hooks are all no-ops — so drivers wire sessions
+    unconditionally and stay backend-agnostic.
+
+    The one obligation sessions place on drivers: shared state mutated
+    *outside* ``program.apply`` between supersteps (coordinator decisions,
+    per-round scalars) must be reported via :meth:`touch` before the next
+    superstep reads it, so resident copies are invalidated and re-shipped.
+    Mutations of *machine stores* need no reporting — those are versioned
+    (:attr:`MachineStorage.version`) and invalidated automatically.
+    """
+
+    #: whether this session actually keeps worker-resident state (the null
+    #: session does not; backends flip this when the resident path is live).
+    resident = False
+
+    def __init__(self, cluster: "Cluster", shared: "dict[str, Any]") -> None:
+        self.cluster = cluster
+        self.shared = shared
+        #: supersteps executed through the resident path of this session —
+        #: an observability/testing aid (proves the session was exercised).
+        self.rounds_run = 0
+        #: machine ids moved between workers by the most recent
+        #: :meth:`migrate`; ``None`` until a live re-plan happens.
+        self.last_migration: "list[str] | None" = None
+
+    def touch(self, *keys: str) -> None:
+        """Mark shared keys as mutated out-of-band; resident copies re-ship."""
+
+    def migrate(self, plan: Any) -> None:
+        """Move resident shard state to match a new plan (no-op by default)."""
+
+    def close(self) -> None:
+        """Release any resident worker state held for this session."""
+
+    def __enter__(self) -> "ExecutionSession":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+
 class ExecutionBackend(abc.ABC):
     """One bundled choice of storage, transport and accounting policy."""
 
@@ -299,6 +350,27 @@ class ExecutionBackend(abc.ABC):
             inbox = machine.drain()
             program(machine, inbox)
         return cluster.exchange()
+
+    def open_session(self, cluster: "Cluster", shared: "dict[str, Any]") -> ExecutionSession:
+        """Open an execution session for a superstep round loop over ``shared``.
+
+        The default is the null :class:`ExecutionSession` — sessions only
+        change execution for backends that keep worker-resident state, so
+        drivers open them unconditionally via
+        :meth:`~repro.mpc.cluster.Cluster.session`.
+        """
+        return ExecutionSession(cluster, shared)
+
+    def replan(self, cluster: "Cluster", plan: Any) -> bool:
+        """Adopt a new shard plan mid-run; return whether anything changed.
+
+        Only sharded-family backends group execution by a plan; for every
+        other backend a re-plan is meaningless and this default returns
+        ``False`` so autotuning drivers can call it unconditionally.  Must
+        only be called behind the merge barrier (no staged messages) —
+        sharded implementations enforce that.
+        """
+        return False
 
     @property
     @abc.abstractmethod

@@ -98,30 +98,42 @@ def _evict_pool(max_workers: int) -> None:
         pool.shutdown(wait=False, cancel_futures=True)
 
 
-#: worker-process cache: (machine id, declared prefixes) -> (store blob,
-#: unpickled store).  Store blobs only change when the driver-side store
-#: version bumps, so re-sent bytes are recognised by equality and the
-#: unpickling is skipped.  Keyed per prefix set because supersteps alternate
-#: programs with different ``store_reads`` (propose ships adjacency, apply
-#: ships nothing) and must not evict each other's snapshots.  Machine ids
-#: recur across clusters ("w0", "w1", ...), which bounds the cache.
-_WORKER_STORES: dict[tuple[str, tuple[str, ...] | None], tuple[bytes, dict]] = {}
+#: worker-process cache: machine id -> (storage version, {declared prefixes
+#: -> (store blob, unpickled store)}).  Store blobs only change when the
+#: driver-side store version bumps, so re-sent bytes are recognised by
+#: equality and the unpickling is skipped.  Keyed per prefix set within a
+#: version because supersteps alternate programs with different
+#: ``store_reads`` (propose ships adjacency, apply ships nothing) and must
+#: not evict each other's snapshots — but a newer version evicts *every*
+#: prefix entry of the machine at once, so long update streams (whose store
+#: versions march forward) never accumulate superseded snapshots and worker
+#: RSS stays bounded by one version per machine.
+_WORKER_STORES: dict[str, tuple[int, dict[tuple[str, ...] | None, tuple[bytes, dict]]]] = {}
 
 
-def _worker_store(machine_id: str, prefixes: tuple[str, ...] | None, blob: bytes) -> dict:
-    key = (machine_id, prefixes)
-    cached = _WORKER_STORES.get(key)
-    if cached is not None and cached[0] == blob:
-        return cached[1]
+def _worker_store(
+    machine_id: str, prefixes: tuple[str, ...] | None, version: int, blob: bytes
+) -> dict:
+    cached = _WORKER_STORES.get(machine_id)
+    if cached is None or cached[0] != version:
+        # A superseded (or brand new) version: drop every prefix snapshot
+        # taken of the old store at once.
+        by_prefix: dict[tuple[str, ...] | None, tuple[bytes, dict]] = {}
+        _WORKER_STORES[machine_id] = (version, by_prefix)
+    else:
+        by_prefix = cached[1]
+    entry = by_prefix.get(prefixes)
+    if entry is not None and entry[0] == blob:
+        return entry[1]
     store = pickle.loads(blob)
-    _WORKER_STORES[key] = (blob, store)
+    by_prefix[prefixes] = (blob, store)
     return store
 
 
 def _run_shard_job(
     program_blob: bytes,
     shared_blob: bytes,
-    batch: "list[tuple[str, list[Message], bytes]]",
+    batch: "list[tuple[str, list[Message], int, bytes]]",
 ) -> "list[tuple[str, list[tuple[str, str, Any]], Any]]":
     """Execute one shard job in a worker: per-machine runs, sends recorded.
 
@@ -134,8 +146,8 @@ def _run_shard_job(
     shared: dict[str, Any] = pickle.loads(shared_blob)
     prefixes = program.store_reads
     results: "list[tuple[str, list[tuple[str, str, Any]], Any]]" = []
-    for machine_id, inbox, store_blob in batch:
-        ctx = WorkerMachineContext(machine_id, _worker_store(machine_id, prefixes, store_blob))
+    for machine_id, inbox, version, store_blob in batch:
+        ctx = WorkerMachineContext(machine_id, _worker_store(machine_id, prefixes, version, store_blob))
         delta = program.run(ctx, inbox, shared)
         results.append((machine_id, ctx.sent, delta))
     return results
@@ -233,7 +245,12 @@ class ProcessBackend(ParallelBackend):
             batch = []
             for machine in bucket:
                 batch.append(
-                    (machine.machine_id, machine.drain(), self._store_blob(machine, program.store_reads))
+                    (
+                        machine.machine_id,
+                        machine.drain(),
+                        machine.storage.version,
+                        self._store_blob(machine, program.store_reads),
+                    )
                 )
             jobs.append(batch)
 

@@ -46,7 +46,7 @@ from __future__ import annotations
 from heapq import merge as heap_merge
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
-from repro.exceptions import MessageSizeExceeded, UnknownMachineError
+from repro.exceptions import MessageSizeExceeded, ProtocolError, UnknownMachineError
 from repro.mpc.partition import rendezvous_shard
 from repro.mpc.sizing import fast_word_size
 from repro.runtime.base import ExecutionBackend, Transport, register_backend
@@ -203,8 +203,29 @@ class ShardedTransport(Transport):
         self._staged[self.shard_of(machine)].add(machine)
 
     def shard_load(self) -> tuple[int, ...]:
-        """Cumulative words sent per shard — the load-balance diagnostic."""
+        """Words sent per shard since the last re-plan — the balance diagnostic.
+
+        Reset when :meth:`replan` adopts a new plan (shard identities
+        change); :meth:`machine_load` stays cumulative across re-plans.
+        """
         return tuple(self._shard_words)
+
+    def replan(self, plan: ShardPlan) -> None:
+        """Adopt ``plan`` for all future staging/delivery grouping.
+
+        Legal only behind the merge barrier: staged-but-undelivered
+        messages are grouped under the old plan, so re-planning with any
+        staged sender raises :class:`ProtocolError` instead of silently
+        mixing groupings.  The per-shard word aggregates restart at zero
+        (shard identities changed); the per-machine loads — what
+        :meth:`ShardPlan.rebalance` consumes — keep accumulating.
+        """
+        if any(self._staged):
+            raise ProtocolError("cannot replan with staged undelivered messages")
+        self.plan = plan
+        self._staged = [set() for _ in range(plan.shard_count)]
+        self._shard_cache.clear()
+        self._shard_words = [0] * plan.shard_count
 
     def machine_load(self) -> dict[str, int]:
         """Cumulative words sent per machine — what :meth:`ShardPlan.rebalance` eats.
@@ -357,6 +378,20 @@ class ShardedBackend(ExecutionBackend):
 
     def create_transport(self, cluster: "Cluster") -> ShardedTransport:
         return ShardedTransport(cluster, self.plan, sample_every=self._sampling)
+
+    def replan(self, cluster: "Cluster", plan: ShardPlan) -> bool:
+        """Adopt ``plan`` live: backend plan + the cluster's transport grouping.
+
+        The new plan governs future shard partitioning (superstep job
+        grouping and staging) from the next round on; like every shard
+        choice it is invisible to the simulation.  Returns ``True`` — the
+        sharded family always applies a re-plan.
+        """
+        if not isinstance(plan, ShardPlan):
+            raise TypeError(f"replan expects a ShardPlan, got {type(plan).__name__}")
+        cluster._transport.replan(plan)
+        self._plan = plan
+        return True
 
     @property
     def _sampling(self) -> int:

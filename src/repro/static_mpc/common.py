@@ -81,6 +81,7 @@ def build_static_cluster(
     shard_count: int | None = None,
     max_workers: int | None = None,
     process_chunk_machines: int | None = None,
+    replan_every: int | None = None,
 ) -> StaticMPCSetup:
     """Create a cluster for a static baseline and load ``graph`` onto it.
 
@@ -91,9 +92,10 @@ def build_static_cluster(
     fully *accounted*, which is what the benchmarks compare.
 
     ``backend`` / ``shard_count`` / ``max_workers`` /
-    ``process_chunk_machines`` select and tune the execution backend
-    (:mod:`repro.runtime`) the baseline runs on; ``None`` defers to the
-    usual resolution chain (``REPRO_BACKEND``, then ``reference``).
+    ``process_chunk_machines`` / ``replan_every`` select and tune the
+    execution backend (:mod:`repro.runtime`) the baseline runs on; ``None``
+    defers to the usual resolution chain (``REPRO_BACKEND``, then
+    ``reference``).
     """
     n = max(1, graph.num_vertices)
     m = graph.num_edges
@@ -105,6 +107,7 @@ def build_static_cluster(
         shard_count=shard_count,
         max_workers=max_workers,
         process_chunk_machines=process_chunk_machines,
+        replan_every=replan_every,
     )
     cluster = Cluster(config, enforce_io_cap=False)
     workers = num_workers if num_workers is not None else config.num_worker_machines

@@ -42,6 +42,9 @@ class LabelProposeProgram(VertexProgram):
 
     shared_reads = ("labels",)
     store_reads = ("adj",)
+    #: the inbox only ever holds the previous round's stale termination
+    #: flags (on the leader) — never read, so never shipped to workers
+    reads_inbox = False
 
     def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> None:
         # inbox: only stale termination flags (on the leader) — ignored.
@@ -63,9 +66,25 @@ class LabelApplyProgram(VertexProgram):
     owned vertex to its new ``(label, via edge)`` — tracked against a local
     running minimum (read-your-own-writes), so the merged result is
     identical to the historical in-place sequential application.
+
+    ``apply`` also writes the via-pointer and termination-flag maps, so
+    they are declared in ``shared_writes`` — the delta-replay contract that
+    lets resident worker sessions replay the merged deltas against their
+    own copy of the shared state.  The per-machine work is a single fold
+    over the inbox, so ``driver_local`` keeps it out of the worker round
+    trip under resident sessions — the proposal traffic then crosses the
+    process boundary once (as staged sends) instead of twice (again as
+    shipped inboxes), which is where the process backend lost its
+    static-connectivity race.
     """
 
     shared_reads = ("labels",)
+    shared_writes = ("via", "changed_flags")
+    driver_local = True
+    #: owner scope: machine m's delta lowers labels of vertices m owns —
+    #: which only m's own later runs read (propose ships owned labels, the
+    #: next fold reads owned labels); via/changed_flags are driver-only.
+    delta_scope = "owner"
 
     def __init__(self, owned: dict[str, list[int]], worker_ids: list[str], leader_id: str) -> None:
         super().__init__(owned, worker_ids)
@@ -110,6 +129,7 @@ class StaticConnectedComponents:
         shard_count: int | None = None,
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
+        replan_every: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -119,6 +139,7 @@ class StaticConnectedComponents:
             shard_count=shard_count,
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
+            replan_every=replan_every,
         )
         self.cluster = self.setup.cluster
         self.max_rounds = max_rounds if max_rounds is not None else 4 * max(4, graph.num_vertices)
@@ -144,7 +165,11 @@ class StaticConnectedComponents:
         propose = LabelProposeProgram(setup.owned, worker_ids)
         apply_min = LabelApplyProgram(setup.owned, worker_ids, leader_id)
 
-        with cluster.update(label):
+        # The session scope lets resident backends ship the label map and
+        # adjacency stores once and keep worker copies in sync purely from
+        # the merged deltas: this loop never mutates the shared state
+        # outside program.apply, so it needs no session.touch at all.
+        with cluster.update(label), cluster.session(state):
             changed = True
             rounds = 0
             while changed and rounds < self.max_rounds:

@@ -71,6 +71,11 @@ class MatchingProposeProgram(VertexProgram):
     """
 
     shared_reads = ("free_adj", "matched", "round_no")
+    #: owner scope: machine m's delta prunes free-neighbour sets of vertices
+    #: m owns, and only m's own later runs (propose/announce over owned
+    #: vertices) read them; the driver's has_free_edge check reads its own
+    #: always-current copy.
+    delta_scope = "owner"
 
     def __init__(self, owned: dict[str, list[int]], worker_ids: list[str], seed: int) -> None:
         super().__init__(owned, worker_ids)
@@ -108,6 +113,9 @@ class MatchingAnnounceProgram(VertexProgram):
     """Newly matched vertices announce their status to their neighbours' owners."""
 
     shared_reads = ("free_adj", "matched")
+    #: announcements are derived from shared state alone; the inbox (stale
+    #: proposals already drained by the driver) is never read
+    reads_inbox = False
 
     def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> None:
         free_adj = shared["free_adj"]
@@ -135,6 +143,7 @@ class StaticMaximalMatching:
         shard_count: int | None = None,
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
+        replan_every: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -144,6 +153,7 @@ class StaticMaximalMatching:
             shard_count=shard_count,
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
+            replan_every=replan_every,
         )
         self.cluster = self.setup.cluster
         self.seed = seed
@@ -178,11 +188,23 @@ class StaticMaximalMatching:
                 v not in matched and any(w not in matched for w in free_adj[v]) for v in free_adj
             )
 
-        with cluster.update(label):
+        # Session scope for resident backends.  This driver *does* mutate
+        # shared state outside program.apply — the acceptance phase marks
+        # vertices matched, and the round epilogue clears their adjacency
+        # sets — so each such mutation is reported with session.touch
+        # before the next superstep reads the key (the delta-replay
+        # contract); free_adj pruning via the propose program's own deltas
+        # needs no reporting, replay covers it.
+        with cluster.update(label), cluster.session(state) as session:
             rounds = 0
             while rounds < self.max_rounds and has_free_edge():
                 rounds += 1
                 state["round_no"] = rounds
+                # round_no was rebound out-of-band (free_adj mutations are
+                # reported where they happen: pruning travels via the
+                # propose program's own deltas, clearing via the guarded
+                # touch in the round epilogue).
+                session.touch("round_no")
                 # Phase 1: prune dead edges, then propose along chosen edges.
                 cluster.superstep(propose, machines=worker_ids, shared=state)
                 proposals_by_target: dict[int, list[int]] = {}
@@ -207,13 +229,22 @@ class StaticMaximalMatching:
                     matched.add(chosen)
                     newly_matched.append(normalize_edge(target, chosen))
                 matching.update(newly_matched)
+                # The acceptance decisions mutated the matched set
+                # out-of-band; the announce program reads it.
+                session.touch("matched")
 
                 # Phase 3: announce new statuses so machines prune dead edges
                 # at the start of the next round.
                 cluster.superstep(announce, machines=worker_ids, shared=state)
+                cleared = False
                 for v in list(free_adj):
-                    if v in matched:
+                    if v in matched and free_adj[v]:
                         free_adj[v] = set()
+                        cleared = True
+                if cleared:
+                    # only an actual clear is an out-of-band mutation worth
+                    # re-shipping the map for (re-clearing empty sets is not)
+                    session.touch("free_adj")
             self.rounds_used = rounds
 
         self.matching = matching

@@ -40,11 +40,20 @@ class MSTCandidateProgram(VertexProgram):
     """Report, per owned component label, the cheapest outgoing owned edge.
 
     The delta is the number of candidate edges reported — what the driver's
-    termination check sums at the barrier.
+    termination check sums at the barrier; ``apply`` records it in the
+    ``candidate_counts`` map, declared in ``shared_writes`` for the
+    delta-replay contract.
     """
 
     shared_reads = ("component",)
+    shared_writes = ("candidate_counts",)
     store_reads = ("weights",)
+    #: driver scope: candidate counts feed the driver's termination check
+    #: only — no run ever reads them, so worker replay is skipped entirely.
+    delta_scope = "driver"
+    #: the inbox holds the previous phase's merge broadcast, already
+    #: reflected in the shared component map — never read
+    reads_inbox = False
 
     def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> int:
         # inbox: the previous phase's merge broadcast — the shared
@@ -89,6 +98,7 @@ class StaticBoruvkaMST:
         shard_count: int | None = None,
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
+        replan_every: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -98,6 +108,7 @@ class StaticBoruvkaMST:
             shard_count=shard_count,
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
+            replan_every=replan_every,
         )
         self.cluster = self.setup.cluster
         self.max_phases = max_phases if max_phases is not None else 2 * max(2, graph.num_vertices.bit_length() + 1)
@@ -126,7 +137,14 @@ class StaticBoruvkaMST:
                 v = component[v]
             return v
 
-        with cluster.update(label):
+        # Session scope for resident backends: the big weights stores stay
+        # resident across phases; the union-find map — mutated driver-side
+        # by the merge decisions — is re-shipped only after phases that
+        # actually merged (driver-side path compression alone is the
+        # sanctioned semantically-invisible mutation: every compressed
+        # pointer is a valid ancestor, so stale worker copies still find
+        # the same roots).
+        with cluster.update(label), cluster.session(state) as session:
             for phase in range(self.max_phases):
                 # Phase part 1: each owner reports, per owned component label,
                 # the cheapest outgoing edge among its owned vertices.
@@ -154,6 +172,8 @@ class StaticBoruvkaMST:
                         forest.add(normalize_edge(v, w))
                         merges.append((find(v), find(w)))
                         component[find(v)] = find(w)
+                if merges:
+                    session.touch("component")
                 # Broadcast the merge decisions (constant words per merge) so
                 # every machine can update its local component view.
                 leader = cluster.machine(worker_ids[0])

@@ -7,12 +7,14 @@ must be identical under every backend.  These tests drive the same graphs
 and update streams through the reference, fast, sharded, parallel and
 process backends and compare everything the algorithms expose.
 
-The sharded/parallel/process configurations deliberately use a
+The sharded/parallel/process/resident configurations deliberately use a
 ``shard_count`` that does **not** divide the machine counts these workloads
 produce, so the uneven last shard and the K-way merge barrier are always
-exercised; the parallel backend runs with a real two-worker thread pool and
-the process backend with a real two-worker spawn pool (its superstep jobs
-genuinely cross the process boundary — the static tests assert it).
+exercised; the parallel backend runs with a real two-worker thread pool,
+the process backend with a real two-worker spawn pool and the resident
+backend with live persistent worker sessions (the static tests assert the
+superstep jobs genuinely crossed the process boundary and, for resident,
+that one session was reused across rounds).
 """
 
 from __future__ import annotations
@@ -33,7 +35,7 @@ from repro.graph.generators import gnm_random_graph, random_weighted_graph
 from repro.graph.streams import mixed_stream
 from repro.static_mpc import StaticBoruvkaMST, StaticConnectedComponents, StaticMaximalMatching
 
-BACKENDS = ("reference", "fast", "sharded", "parallel", "process")
+BACKENDS = ("reference", "fast", "sharded", "parallel", "process", "resident")
 
 #: deliberately odd so it does not divide typical machine counts
 SHARD_COUNT = 3
@@ -43,9 +45,9 @@ MAX_WORKERS = 2
 def backend_overrides(backend: str) -> dict:
     """Per-backend config extras: odd shard count, real worker pools."""
     extra: dict = {}
-    if backend in ("sharded", "parallel", "process"):
+    if backend in ("sharded", "parallel", "process", "resident"):
         extra["shard_count"] = SHARD_COUNT
-    if backend in ("parallel", "process"):
+    if backend in ("parallel", "process", "resident"):
         extra["max_workers"] = MAX_WORKERS
     return extra
 
@@ -181,6 +183,13 @@ class TestStaticAlgorithmEquivalence:
         # The process rows must have genuinely crossed the process boundary —
         # a silent fallback would make this whole class vacuous for it.
         assert runs["process"].cluster.backend.last_superstep_mode == "pool"
+        # Likewise the resident rows: the run's supersteps must have been
+        # routed through one live worker session, with more than one round
+        # actually crossing into the persistent workers (state was kept
+        # resident and *reused*, not re-shipped per round).
+        resident_backend = runs["resident"].cluster.backend
+        assert resident_backend.last_superstep_mode in ("resident", "resident-inline")
+        assert resident_backend.last_session_worker_rounds >= 2
         return runs
 
     def assert_cluster_parity(self, runs):
