@@ -26,7 +26,9 @@ from repro.graph.validation import maximum_matching_size
 def main() -> None:
     n, updates, window = 80, 320, 120
     stream = list(sliding_window_stream(n, updates, window, seed=5))
-    config = lambda: DMPCConfig.for_graph(n, 4 * window)  # noqa: E731 - tiny factory
+    def config() -> DMPCConfig:
+        return DMPCConfig.for_graph(n, 4 * window)
+
     print(f"Assignment stream: {updates} updates over {n} endpoints, at most {window} live edges\n")
 
     maximal = DMPCMaximalMatching(config())

@@ -1,0 +1,28 @@
+"""Static contract checking for superstep programs (``python -m repro.lint``).
+
+The lint subsystem turns the prose contract of :mod:`repro.mpc.program`
+into enforced rules: an AST-based analyzer (:mod:`repro.lint.analyzer`)
+locates every :class:`~repro.mpc.program.SuperstepProgram` subclass in a
+file set and checks its ``shared_reads`` / ``store_reads`` /
+``shared_writes`` / ``delta_scope`` / ``reads_inbox`` declarations against
+what ``run`` and ``apply`` actually touch, emitting stable ``RP1xx``
+diagnostics (:mod:`repro.lint.rules`).  The runtime counterpart — the
+shadow oracle recording what programs *really* touch — lives in
+:mod:`repro.mpc.contract`; the test suite asserts the two agree on every
+shipped program.
+"""
+
+from repro.lint.analyzer import AnalysisResult, ProgramFacts, analyze_paths, collect_python_files
+from repro.lint.cli import main
+from repro.lint.rules import RULES, Finding, Rule
+
+__all__ = [
+    "AnalysisResult",
+    "ProgramFacts",
+    "analyze_paths",
+    "collect_python_files",
+    "main",
+    "RULES",
+    "Finding",
+    "Rule",
+]

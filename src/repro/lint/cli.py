@@ -1,0 +1,111 @@
+"""Command-line front end: ``python -m repro.lint [paths...]``.
+
+Exit codes follow the convention CI expects:
+
+* ``0`` — every analyzed program honours its declared contract;
+* ``1`` — at least one finding (the JSON/text report lists them all);
+* ``2`` — the analyzer itself could not run (bad arguments, unreadable or
+  syntactically invalid input files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from repro.lint.analyzer import analyze_paths
+from repro.lint.rules import RULES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description=(
+            "Static contract checker for SuperstepProgram classes: verifies "
+            "shared_reads/store_reads/shared_writes/delta_scope/reads_inbox "
+            "declarations against what run/apply actually touch."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="CODES",
+        default="",
+        help="comma-separated RP1xx codes to report (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: "Sequence[str] | None" = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES.values():
+            print(f"{rule.code} [{rule.name}] {rule.summary}")
+        return 0
+
+    selected = {code.strip().upper() for code in args.select.split(",") if code.strip()}
+    unknown = selected - set(RULES)
+    if unknown:
+        print(f"unknown rule codes: {', '.join(sorted(unknown))}", file=sys.stderr)
+        return 2
+
+    try:
+        result = analyze_paths(args.paths)
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if result.errors:
+        for error in result.errors:
+            print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    findings = result.findings
+    if selected:
+        findings = [finding for finding in findings if finding.code in selected]
+
+    if args.format == "json":
+        print(
+            json.dumps(
+                {
+                    "version": 1,
+                    "files_scanned": result.files_scanned,
+                    "programs_checked": result.programs_checked,
+                    "findings": [finding.to_dict() for finding in findings],
+                },
+                indent=2,
+                default=repr,
+            )
+        )
+    else:
+        for finding in findings:
+            print(finding.format_text())
+        summary = (
+            f"{len(findings)} finding{'s' if len(findings) != 1 else ''} in "
+            f"{result.programs_checked} program{'s' if result.programs_checked != 1 else ''} "
+            f"({result.files_scanned} files scanned)"
+        )
+        print(summary if findings else f"clean: {summary}")
+
+    return 1 if findings else 0

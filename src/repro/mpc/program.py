@@ -75,6 +75,22 @@ Driver code that mutates shared state *outside* ``apply`` between
 supersteps (a coordinator decision, a round-number bump) must tell its
 resident session via ``session.touch(key, ...)`` so the stale keys are
 re-shipped — see :meth:`repro.runtime.base.ExecutionSession.touch`.
+
+Checking the contract
+---------------------
+
+The declarations above are *load-bearing*: a program that reads an
+undeclared key works under the in-process strategies and silently
+diverges three backends deep.  Two tools keep them honest:
+
+* ``python -m repro.lint`` (:mod:`repro.lint`) statically checks every
+  program class in the tree against its declarations — rule codes RP101
+  (undeclared shared read) through RP108, run in CI next to ruff;
+* ``REPRO_CHECK_CONTRACTS=1`` (:mod:`repro.mpc.contract`) makes the
+  sequential and thread strategies execute programs against recording
+  views with worker-parity semantics, so the same undeclared read raises
+  in-process exactly where a worker would raise, and tests can assert
+  the static findings match the runtime-observed reads and writes.
 """
 
 from __future__ import annotations

@@ -339,12 +339,29 @@ class ExecutionBackend(abc.ABC):
         from repro.mpc.program import LiveMachineContext, SuperstepProgram
 
         if isinstance(program, SuperstepProgram):
+            # Shadow oracle (REPRO_CHECK_CONTRACTS=1): wrap the program's
+            # inputs in recording views with worker-parity semantics, so an
+            # undeclared shared read raises in-process exactly like it
+            # would against a worker's shipped slice.  Off by default —
+            # the wrappers cost a lookup per access on the hottest path.
+            from repro.mpc.contract import (
+                checked_apply_view,
+                checked_run_inputs,
+                contract_checking_enabled,
+            )
+
+            checking = contract_checking_enabled()
             deltas = []
             for machine in targets:
                 inbox = machine.drain()
-                deltas.append(program.run(LiveMachineContext(machine), inbox, shared))
+                ctx: "Any" = LiveMachineContext(machine)
+                run_shared: "Any" = shared
+                if checking:
+                    ctx, inbox, run_shared = checked_run_inputs(program, ctx, inbox, shared)
+                deltas.append(program.run(ctx, inbox, run_shared))
+            apply_shared = checked_apply_view(program, shared) if checking else shared
             for machine, delta in zip(targets, deltas):
-                program.apply(shared, machine.machine_id, delta)
+                program.apply(apply_shared, machine.machine_id, delta)
             return cluster.exchange()
         for machine in targets:
             inbox = machine.drain()

@@ -115,6 +115,16 @@ class ParallelBackend(ShardedBackend):
         self.last_superstep_mode = "threads"
 
         is_program = isinstance(program, SuperstepProgram)
+        # Shadow oracle (REPRO_CHECK_CONTRACTS=1): same recording/parity
+        # views the sequential strategy wires in — threads share the
+        # per-program observation (set.add is GIL-atomic).
+        from repro.mpc.contract import (
+            checked_apply_view,
+            checked_run_inputs,
+            contract_checking_enabled,
+        )
+
+        checking = is_program and contract_checking_enabled()
         deltas: "dict[Machine, Any]" = {}
 
         def run_shard(bucket: "list[Machine]") -> None:
@@ -124,7 +134,12 @@ class ParallelBackend(ShardedBackend):
                     # Writing machine-keyed slots from concurrent shards is
                     # safe: buckets are disjoint, so no key is ever touched
                     # by two workers.
-                    deltas[machine] = program.run(LiveMachineContext(machine), inbox, shared)
+                    ctx = LiveMachineContext(machine)
+                    if checking:
+                        ctx, inbox, run_shared = checked_run_inputs(program, ctx, inbox, shared)
+                        deltas[machine] = program.run(ctx, inbox, run_shared)
+                    else:
+                        deltas[machine] = program.run(ctx, inbox, shared)
                 else:
                     program(machine, inbox)
 
@@ -141,6 +156,7 @@ class ParallelBackend(ShardedBackend):
         if error is not None:
             raise error
         if is_program:
+            apply_shared = checked_apply_view(program, shared) if checking else shared
             for machine in targets:
-                program.apply(shared, machine.machine_id, deltas.get(machine))
+                program.apply(apply_shared, machine.machine_id, deltas.get(machine))
         return cluster.exchange()

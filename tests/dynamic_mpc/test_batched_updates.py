@@ -172,7 +172,9 @@ class TestBatchedMatching:
         n, m = 36, 72
         graph = gnm_random_graph(n, m, seed=41)
         stream = mixed_stream(n, 150, seed=42, insert_probability=0.5, initial=graph)
-        make = lambda: DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m))
+        def make():
+            return DMPCMaximalMatching(DMPCConfig.for_graph(n, 2 * m))
+
         sequential, batch = run_pair(make, graph, stream, batch_size)
         assert sequential.matching() == batch.matching()
         assert batch.update_round_total() < sequential.update_round_total()
@@ -181,7 +183,9 @@ class TestBatchedMatching:
     def test_three_halves_equivalent_from_empty(self):
         n = 28
         stream = mixed_stream(n, 150, seed=43, insert_probability=0.65)
-        make = lambda: DMPCThreeHalvesMatching(DMPCConfig.for_graph(n, 160))
+        def make():
+            return DMPCThreeHalvesMatching(DMPCConfig.for_graph(n, 160))
+
         sequential, batch = run_pair(make, None, stream, 16)
         assert sequential.matching() == batch.matching()
         assert batch.update_round_total() < sequential.update_round_total()
@@ -190,7 +194,9 @@ class TestBatchedMatching:
     def test_two_plus_eps_fallback_equivalent(self):
         n = 24
         stream = mixed_stream(n, 120, seed=44, insert_probability=0.6)
-        make = lambda: DMPCTwoPlusEpsMatching(DMPCConfig.for_graph(n, 120), seed=7)
+        def make():
+            return DMPCTwoPlusEpsMatching(DMPCConfig.for_graph(n, 120), seed=7)
+
         sequential, batch = run_pair(make, None, stream, 8)
         assert sequential.matching() == batch.matching()
 
@@ -200,7 +206,9 @@ class TestBatchedApproxMST:
         n, m = 24, 48
         graph = random_weighted_graph(n, m, seed=45)
         stream = mixed_stream(n, 100, seed=46, insert_probability=0.5, initial=graph, weighted=True)
-        make = lambda: DMPCApproxMST(DMPCConfig.for_graph(n, 2 * m), epsilon=0.1)
+        def make():
+            return DMPCApproxMST(DMPCConfig.for_graph(n, 2 * m), epsilon=0.1)
+
         sequential, batch = run_pair(make, graph, stream, 8)
         assert canonical(sequential.components()) == canonical(batch.components())
         assert sequential.spanning_forest() == batch.spanning_forest()

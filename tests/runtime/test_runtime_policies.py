@@ -41,6 +41,7 @@ class TokenProbeProgram(SuperstepProgram):
     """
 
     shared_reads = ("offset",)
+    shared_writes = ("results",)
     store_reads = ("token",)
 
     def run(self, ctx, inbox, shared):
