@@ -182,6 +182,10 @@ class RunResult:
     #: shard plans the autotuning loop adopted mid-run (``--replan-every``),
     #: in order — empty without re-planning
     replans: list = field(default_factory=list)
+    #: wire-path totals from :meth:`MetricsLedger.traffic_totals` — which
+    #: physical path messages took on slot-routing backends (all zeros on
+    #: driver-delivered backends)
+    traffic: dict = field(default_factory=dict)
 
 
 def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
@@ -189,7 +193,10 @@ def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
     n = max(1, graph.num_vertices)
     m = max(1, graph.num_edges, 2 * n)
 
-    def run(backend, shard_count, max_workers, process_chunk_machines=None, replan_every=None) -> RunResult:
+    def run(
+        backend, shard_count, max_workers, process_chunk_machines=None, replan_every=None,
+        resident_slots=None,
+    ) -> RunResult:
         config = DMPCConfig.for_graph(
             n,
             2 * m,
@@ -198,6 +205,7 @@ def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
             replan_every=replan_every,
+            resident_slots=resident_slots,
         )
         algorithm = algorithm_cls(config, **algorithm_kwargs)
         algorithm.preprocess(graph.copy())
@@ -212,6 +220,7 @@ def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
             words_total=algorithm.update_summary().total_words,
             elapsed=elapsed,
             replans=list(algorithm.cluster.replan_history),
+            traffic=algorithm.cluster.ledger.traffic_totals(),
         )
 
     return run
@@ -267,13 +276,17 @@ def _static_runner(make_algorithm, solution, label: str):
     knob is unused.
     """
 
-    def run(backend, shard_count, max_workers, process_chunk_machines=None, replan_every=None) -> RunResult:
+    def run(
+        backend, shard_count, max_workers, process_chunk_machines=None, replan_every=None,
+        resident_slots=None,
+    ) -> RunResult:
         algorithm = make_algorithm(
             backend=backend,
             shard_count=shard_count,
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
             replan_every=replan_every,
+            resident_slots=resident_slots,
         )
         start = time.perf_counter()
         algorithm.run(label)
@@ -286,6 +299,7 @@ def _static_runner(make_algorithm, solution, label: str):
             words_total=ledger.summary().total_words,
             elapsed=elapsed,
             replans=list(algorithm.cluster.replan_history),
+            traffic=ledger.traffic_totals(),
         )
 
     return run
@@ -349,6 +363,7 @@ def compare_backends(
     max_workers: int | None = None,
     process_chunk_machines: int | None = None,
     replan_every: int | None = None,
+    resident_slots: int | None = None,
 ) -> dict:
     """Run one workload under each backend; verify equivalence, measure speedup.
 
@@ -368,6 +383,11 @@ def compare_backends(
     sharded-family backends (other backends ignore them);
     ``replan_every`` turns on the live shard-replan autotuning loop, and
     the plans it adopts are recorded per backend under ``"replans"``.
+    ``resident_slots`` pins the resident backend's worker-slot count (the
+    slot-routing transport only has cross-slot traffic with >= 2 slots);
+    backends whose rounds took a measured wire path report the per-path
+    message totals (``local_messages`` / ``cross_slot_messages`` /
+    ``shm_bytes`` / ``pipe_fallbacks``) under ``"traffic"``.
     """
     run = WORKLOADS[workload](n, updates, seed)
     results: dict[str, dict] = {}
@@ -382,7 +402,10 @@ def compare_backends(
     # measured during the slow minute.
     for iteration in range(-max(0, warmup), max(1, repeats)):
         for backend in backends:
-            result = run(backend, shard_count, max_workers, process_chunk_machines, replan_every)
+            result = run(
+                backend, shard_count, max_workers, process_chunk_machines, replan_every,
+                resident_slots,
+            )
             last = lasts.get(backend)
             if last is not None and (
                 result.solution != last.solution or result.round_counts != last.round_counts
@@ -405,6 +428,11 @@ def compare_backends(
         }
         if last.replans:
             results[backend]["replans"] = last.replans
+        if any(last.traffic.values()):
+            # Wire-path provenance for slot-routing backends: how many
+            # messages stayed worker-local vs crossed a shm ring vs fell
+            # back to the pipe.  Driver-delivered backends record nothing.
+            results[backend]["traffic"] = dict(last.traffic)
     baseline = backends[0]
     for backend in backends[1:]:
         if solutions[backend] != solutions[baseline]:
@@ -432,6 +460,7 @@ def compare_backends(
         "max_workers": max_workers,
         "process_chunk_machines": process_chunk_machines,
         "replan_every": replan_every,
+        "resident_slots": resident_slots,
         "backends": results,
         "solutions_identical": True,
         "round_counts_identical": True,
@@ -504,6 +533,14 @@ def main(argv: list[str] | None = None) -> int:
         help="autotune the shard plan every N delivered rounds (machine_load -> rebalance -> replan); "
         "adopted plans are recorded in the BENCH json",
     )
+    parser.add_argument(
+        "--resident-slots",
+        type=int,
+        default=None,
+        metavar="S",
+        help="pin the resident backend's worker-slot count; >= 2 exercises the "
+        "cross-slot shm rings and the traffic counters land in the BENCH json",
+    )
     parser.add_argument("--quick", action="store_true", help="small smoke-test sizes (used by CI)")
     parser.add_argument(
         "--min-speedup",
@@ -528,6 +565,7 @@ def main(argv: list[str] | None = None) -> int:
         max_workers=args.workers,
         process_chunk_machines=args.chunk,
         replan_every=args.replan_every,
+        resident_slots=args.resident_slots,
     )
     print(format_comparison(report))
     path = emit_bench_json(f"table1_{args.workload}_backends", report)

@@ -91,6 +91,23 @@ class DMPCConfig:
         backends migrating worker-held shard state to match.  ``None`` (the
         default) keeps the plan fixed for the whole run.  Like every shard
         choice, re-planning never changes the simulation.
+    resident_slots:
+        Resident-backend knob: how many long-lived worker-slot processes a
+        resident session fans shard execution across (still clamped to the
+        shard count — a slot with no shards would idle).  ``None`` (the
+        default) defers to ``min(max_workers, shard_count, os.cpu_count())``.
+        Slot count also governs slot-local message routing: same-slot
+        traffic never leaves its worker process and cross-slot traffic
+        rides shared-memory rings, but like every execution knob the
+        simulation is bit-for-bit identical under any value.
+    resident_shm_ring_bytes:
+        Resident-backend knob: capacity in bytes of each cross-slot
+        shared-memory ring.  ``None`` (the default) pre-sizes the rings
+        from the per-machine word budget ``S`` (the same quantity the
+        ``fast_word_size`` sizer charges messages against — a slot's round
+        traffic is capped by its machines' I/O budgets).  Rings that
+        overflow fall back to the driver pipe, so undersizing is a
+        performance choice, never a correctness one.
     """
 
     capacity_n: int
@@ -104,6 +121,8 @@ class DMPCConfig:
     max_workers: int | None = None
     process_chunk_machines: int | None = None
     replan_every: int | None = None
+    resident_slots: int | None = None
+    resident_shm_ring_bytes: int | None = None
 
     def __post_init__(self) -> None:
         if self.capacity_n < 1:
@@ -124,6 +143,10 @@ class DMPCConfig:
             raise ValueError("process_chunk_machines must be positive when given")
         if self.replan_every is not None and self.replan_every < 1:
             raise ValueError("replan_every must be positive when given")
+        if self.resident_slots is not None and self.resident_slots < 1:
+            raise ValueError("resident_slots must be positive when given")
+        if self.resident_shm_ring_bytes is not None and self.resident_shm_ring_bytes < 1024:
+            raise ValueError("resident_shm_ring_bytes must be at least 1024 when given")
 
     @property
     def capacity_N(self) -> int:
@@ -187,6 +210,8 @@ class DMPCConfig:
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
         replan_every: int | None = None,
+        resident_slots: int | None = None,
+        resident_shm_ring_bytes: int | None = None,
     ) -> "DMPCConfig":
         """Convenience constructor sizing a deployment for an ``(n, m)`` graph."""
         return DMPCConfig(
@@ -201,6 +226,8 @@ class DMPCConfig:
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
             replan_every=replan_every,
+            resident_slots=resident_slots,
+            resident_shm_ring_bytes=resident_shm_ring_bytes,
         )
 
 

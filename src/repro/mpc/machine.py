@@ -136,12 +136,24 @@ class Machine:
 
     def receive(self, tag: str | None = None) -> list[Message]:
         """Return (without consuming) inbox messages, optionally filtered by tag."""
+        transport = self.transport
+        if transport is not None and transport.inbox_router is not None:
+            transport.inbox_router.ensure_local(self)
         if tag is None:
             return list(self.inbox)
         return [m for m in self.inbox if m.tag == tag]
 
     def drain(self, tag: str | None = None) -> list[Message]:
-        """Consume and return inbox messages, optionally filtered by tag."""
+        """Consume and return inbox messages, optionally filtered by tag.
+
+        When the transport has an :attr:`~repro.runtime.base.Transport.inbox_router`
+        (a resident session routing messages worker-locally), the router first
+        pulls any worker-held messages for this machine back to the driver so
+        driver code observes a complete inbox — the routing stays invisible.
+        """
+        transport = self.transport
+        if transport is not None and transport.inbox_router is not None:
+            transport.inbox_router.ensure_local(self)
         if tag is None:
             drained, self.inbox = self.inbox, []
             return drained

@@ -46,6 +46,23 @@ class Message:
         if self.words < 1:
             raise ValueError("a message always costs at least one word")
 
+    def as_fields(self) -> tuple[str, str, str, Any, int]:
+        """Flatten to a ``(sender, receiver, tag, payload, words)`` tuple.
+
+        The wire form used by the worker backends (:mod:`repro.runtime.wire`):
+        a frozen dataclass pickles as a class reference plus per-instance
+        state, while a flat tuple of builtins marshals in a fraction of the
+        bytes.  ``words`` travels with the fields so the far side never
+        re-sizes the message.
+        """
+        return (self.sender, self.receiver, self.tag, self.payload, self.words)
+
+    @classmethod
+    def from_fields(cls, fields: tuple[str, str, str, Any, int]) -> "Message":
+        """Rebuild a message from :meth:`as_fields` output (words preserved)."""
+        sender, receiver, tag, payload, words = fields
+        return cls(sender=sender, receiver=receiver, tag=tag, payload=payload, words=words)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"Message({self.sender!r} -> {self.receiver!r}, tag={self.tag!r}, "

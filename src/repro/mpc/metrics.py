@@ -163,6 +163,12 @@ class MetricsLedger:
         #: re-assigned by hand *after* adoption is detectable.
         self._record_policy: str | None = None
         self._policy_factory = None
+        #: per-round wire-path traffic: ``(round_index, counters)`` entries
+        #: appended by slot-routing transports via :meth:`record_traffic`.
+        #: Orthogonal to the word accounting above — words measure the
+        #: *model's* communication, these measure which physical path each
+        #: message took (worker-local, shm ring, pipe fallback).
+        self._traffic: list[tuple[int, dict[str, int]]] = []
 
     def install_round_record_factory(self, factory, *, policy: str) -> None:
         """Adopt a backend accounting policy without clobbering an existing one.
@@ -335,6 +341,55 @@ class MetricsLedger:
             self._current.rounds.append(record)
         return record
 
+    # ---------------------------------------------------------- wire traffic
+    def record_traffic(
+        self,
+        *,
+        local_messages: int = 0,
+        cross_slot_messages: int = 0,
+        shm_bytes: int = 0,
+        pipe_fallbacks: int = 0,
+    ) -> None:
+        """Attach wire-path counters to the most recently recorded round.
+
+        Called by slot-routing transports right after the round is filed:
+        ``local_messages`` never left their worker process,
+        ``cross_slot_messages`` crossed worker slots (over a shared-memory
+        ring or, on overflow, the pipe), ``shm_bytes`` is the ring payload
+        volume, and ``pipe_fallbacks`` counts cross-slot messages that had
+        to ride the driver pipe (ring full, frame too large, or shm
+        unavailable).  Rounds delivered entirely driver-side record no
+        traffic entry at all — :meth:`traffic_totals` then reports zeros.
+        """
+        self._traffic.append(
+            (
+                self._round_counter,
+                {
+                    "local_messages": local_messages,
+                    "cross_slot_messages": cross_slot_messages,
+                    "shm_bytes": shm_bytes,
+                    "pipe_fallbacks": pipe_fallbacks,
+                },
+            )
+        )
+
+    def traffic_rounds(self) -> list[tuple[int, dict[str, int]]]:
+        """Per-round wire-path counters, as ``(round_index, counters)`` pairs."""
+        return [(index, dict(counters)) for index, counters in self._traffic]
+
+    def traffic_totals(self) -> dict[str, int]:
+        """Wire-path counters summed over every round recorded so far."""
+        totals = {
+            "local_messages": 0,
+            "cross_slot_messages": 0,
+            "shm_bytes": 0,
+            "pipe_fallbacks": 0,
+        }
+        for _, counters in self._traffic:
+            for key, value in counters.items():
+                totals[key] += value
+        return totals
+
     def replay_update(self, label: str, rounds: Iterable[RoundRecord]) -> UpdateRecord:
         """Append an already-recorded update (label + round records) verbatim.
 
@@ -393,6 +448,7 @@ class MetricsLedger:
         if self._current_batch is not None:
             raise ProtocolError("cannot reset the ledger while a batch is open")
         self._updates.clear()
+        self._traffic.clear()
 
     # --------------------------------------------------------------- entropy
     def communication_entropy(self, prefix: str | None = None) -> float:

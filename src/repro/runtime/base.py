@@ -146,6 +146,17 @@ class Transport(abc.ABC):
     #: equal to ``word_size`` on every input.
     message_sizer: "Callable[[Any], int] | None" = None
 
+    #: optional slot-routing hook (the resident backend's session installs
+    #: itself here while live).  When set, some delivered messages may be
+    #: held *inside* worker processes instead of driver inboxes; the router
+    #: owes two guarantees that keep the routing observably invisible:
+    #: ``ensure_local(machine)`` — called by :meth:`Machine.receive` /
+    #: :meth:`Machine.drain` — must pull every worker-held message for that
+    #: machine into its driver inbox (preserving the reference delivery
+    #: order) before the read proceeds, and ``discard_pending()`` — called
+    #: by :meth:`discard_undelivered` — must drop all worker-held messages.
+    inbox_router: "Any | None" = None
+
     def __init__(self, cluster: "Cluster") -> None:
         self.cluster = cluster
 
@@ -216,6 +227,9 @@ class Transport(abc.ABC):
 
     def discard_undelivered(self) -> None:
         """Drop all staged (outbox) and pending (inbox) messages."""
+        router = self.inbox_router
+        if router is not None:
+            router.discard_pending()
         for machine in self.cluster.machines():
             machine.outbox.clear()
             machine.inbox.clear()

@@ -62,11 +62,11 @@ from typing import TYPE_CHECKING, Any
 from repro.mpc.program import SuperstepProgram, WorkerMachineContext, store_subset
 from repro.runtime.base import register_backend
 from repro.runtime.parallel import ParallelBackend
+from repro.runtime.wire import decode_obj, encode_obj, pack_inbox, unpack_inbox
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.mpc.cluster import Cluster
     from repro.mpc.machine import Machine
-    from repro.mpc.message import Message
     from repro.mpc.metrics import RoundRecord
     from repro.runtime.base import SuperstepHandler
 
@@ -133,22 +133,25 @@ def _worker_store(
 def _run_shard_job(
     program_blob: bytes,
     shared_blob: bytes,
-    batch: "list[tuple[str, list[Message], int, bytes]]",
+    batch: "list[tuple[str, bytes, int, bytes]]",
 ) -> "list[tuple[str, list[tuple[str, str, Any]], Any]]":
     """Execute one shard job in a worker: per-machine runs, sends recorded.
 
     Returns ``(machine_id, recorded sends, delta)`` per machine, in batch
-    order.  Messages, program and shared state arrive pickled by the
-    driver; nothing here touches global driver state, so jobs are pure
-    functions of their arguments (plus the benign snapshot cache).
+    order.  Program and shared state arrive pickled by the driver; inboxes
+    arrive as :mod:`repro.runtime.wire` frames (marshal-first — the same
+    codec the resident pipes and shm rings speak), which dodges per-Message
+    pickle dispatch on the hottest serialization path.  Nothing here
+    touches global driver state, so jobs are pure functions of their
+    arguments (plus the benign snapshot cache).
     """
     program: SuperstepProgram = pickle.loads(program_blob)
     shared: dict[str, Any] = pickle.loads(shared_blob)
     prefixes = program.store_reads
     results: "list[tuple[str, list[tuple[str, str, Any]], Any]]" = []
-    for machine_id, inbox, version, store_blob in batch:
+    for machine_id, packed_inbox, version, store_blob in batch:
         ctx = WorkerMachineContext(machine_id, _worker_store(machine_id, prefixes, version, store_blob))
-        delta = program.run(ctx, inbox, shared)
+        delta = program.run(ctx, unpack_inbox(decode_obj(packed_inbox)), shared)
         results.append((machine_id, ctx.sent, delta))
     return results
 
@@ -247,7 +250,7 @@ class ProcessBackend(ParallelBackend):
                 batch.append(
                     (
                         machine.machine_id,
-                        machine.drain(),
+                        encode_obj(pack_inbox(machine.drain())),
                         machine.storage.version,
                         self._store_blob(machine, program.store_reads),
                     )

@@ -27,17 +27,42 @@ simulator's own execution substrate:
   deterministic barrier, then one exchange: bit-for-bit the round every
   other backend delivers.
 
-The worker-session protocol has four operations, all executed inside the
+* **messages route slot-locally** — the historical resident path still
+  funnelled every message through the driver: worker-recorded sends were
+  replayed into driver outboxes, exchanged centrally, then shipped back
+  down as next round's inboxes — two pipe crossings per message.  With a
+  backend accounting policy governing the ledger, workers now *keep* each
+  message frame: a frame whose receiver lives on the sending slot is
+  staged worker-locally (it never crosses the pipe and is never
+  re-encoded), a cross-slot frame rides a pre-sized
+  :class:`~repro.runtime.wire.ShmRing` (one SPSC ring per ordered slot
+  pair; overflow falls back to driver-forwarded pipe delivery), and only
+  per-(sender, receiver) word aggregates return to the driver, where
+  :meth:`~repro.runtime.sharding.ShardedTransport.deposit_worker_round`
+  rebuilds the identical :class:`~repro.mpc.metrics.RoundRecord`.  The
+  frame key ``(epoch, sender index, staging seq)`` totally orders frames,
+  so any time the driver genuinely needs a message body (a
+  ``driver_local`` program, :meth:`Machine.receive`/``drain`` outside a
+  worker round, session close, a live re-plan), the session's inbox-router
+  hooks (:attr:`~repro.runtime.base.Transport.inbox_router`) flush every
+  worker-held frame back into driver inboxes in exactly the reference
+  delivery order.
+
+The worker-session protocol has six operations, all executed inside the
 slot's worker process: :func:`_session_open` (create the resident state),
+:func:`_session_attach_shm` (map the cross-slot rings),
 :func:`_session_run_round` (replay deltas, refresh invalidated keys and
-stale stores, run the machines), :func:`_session_migrate` (drop shard
-state that a live re-plan moved to another worker) and
-:func:`_session_close` (release everything).  Sessions are driven from
-:class:`ResidentSession`, which :meth:`Cluster.session` opens around a
-superstep round loop; without an active session (or with a legacy closure
-handler) the backend behaves exactly like ``process``.  The slot count is
-bounded by the host's real CPU parallelism — a single resident slot is
-still the full residency win (state locality), just without fan-out.
+stale stores, run the machines, route their frames),
+:func:`_session_flush` (surrender every held frame to the driver),
+:func:`_session_migrate` (drop shard state that a live re-plan moved to
+another worker) and :func:`_session_close` (release everything).
+Sessions are driven from :class:`ResidentSession`, which
+:meth:`Cluster.session` opens around a superstep round loop; without an
+active session (or with a legacy closure handler) the backend behaves
+exactly like ``process``.  The slot count is bounded by the host's real
+CPU parallelism unless ``DMPCConfig.resident_slots`` pins it — a single
+resident slot is still the full residency + locality win (every message
+is then slot-local), just without fan-out.
 
 Live re-planning composes with residency: :meth:`Cluster.replan` adopts a
 :meth:`~repro.runtime.sharding.ShardPlan.rebalance` proposal behind the
@@ -59,7 +84,6 @@ slot), so late-appearing programs are correct, just less incremental.
 from __future__ import annotations
 
 import itertools
-import marshal
 import os
 import pickle
 import threading
@@ -70,6 +94,7 @@ from repro.mpc.program import LiveMachineContext, SuperstepProgram, WorkerMachin
 from repro.mpc.sizing import fast_word_size
 from repro.runtime.base import ExecutionSession, register_backend
 from repro.runtime.process import ProcessBackend
+from repro.runtime.wire import FRAME_HEADER, ShmRing, decode_obj, encode_obj, pack_inbox, unpack_inbox
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
@@ -85,28 +110,13 @@ __all__ = ["ResidentBackend", "ResidentSession", "ResidentWorkerError"]
 
 _PICKLE = pickle.HIGHEST_PROTOCOL
 
-
-def _encode(obj: Any) -> bytes:
-    """Wire codec: ``marshal`` when the payload allows it, else pickle.
-
-    Per-round traffic is dominated by large flat structures of builtin
-    scalars — message payload tuples, per-send word counts — for which
-    ``marshal`` encodes and decodes several times faster than pickle.
-    Anything marshal cannot take (program-defined payload objects, shipped
-    exceptions) falls back to pickle transparently; a one-byte prefix
-    routes decoding.  Driver and workers are always the same interpreter
-    (spawned from this binary), so marshal's version-lock is moot.
-    """
-    try:
-        return b"M" + marshal.dumps(obj)
-    except ValueError:
-        return b"P" + pickle.dumps(obj, protocol=_PICKLE)
-
-
-def _decode(blob: bytes) -> Any:
-    if blob[:1] == b"M":
-        return marshal.loads(blob[1:])
-    return pickle.loads(blob[1:])
+# The pipe codec and inbox flattening live in repro.runtime.wire now (the
+# process backend shares them); the historical private names remain the
+# idiom inside this module.
+_encode = encode_obj
+_decode = decode_obj
+_pack_inbox = pack_inbox
+_unpack_inbox = unpack_inbox
 
 
 class ResidentWorkerError(RuntimeError):
@@ -117,7 +127,16 @@ class ResidentWorkerError(RuntimeError):
 class _SessionState:
     """What one worker process holds resident for one session."""
 
-    __slots__ = ("programs", "shared", "stores", "store_versions")
+    __slots__ = (
+        "programs",
+        "shared",
+        "stores",
+        "store_versions",
+        "pending",
+        "rings_in",
+        "rings_out",
+        "machine_slots",
+    )
 
     def __init__(self) -> None:
         #: program key -> unpickled program (shipped once per slot)
@@ -130,28 +149,45 @@ class _SessionState:
         #: machine id -> storage version epoch its snapshots were taken at;
         #: a newer epoch evicts every prefix snapshot of the machine at once
         self.store_versions: dict[str, int] = {}
+        #: receiver machine id -> slot-routed frames held for its next run,
+        #: each ``(epoch, sender_index, seq, sender, receiver, tag, payload,
+        #: words)`` — the first three fields are the global sort key that
+        #: restores the reference delivery order when frames from several
+        #: source slots merge into one inbox
+        self.pending: dict[str, list[tuple]] = {}
+        #: source slot -> ring this worker reads cross-slot frames from
+        self.rings_in: dict[int, ShmRing] = {}
+        #: destination slot -> ring this worker writes cross-slot frames to
+        self.rings_out: dict[int, ShmRing] = {}
+        #: machine id -> (registration index, worker slot): the routing map,
+        #: re-shipped whenever the driver's map version moves
+        self.machine_slots: dict[str, tuple[int, int]] = {}
+
+    def release_rings(self) -> None:
+        for ring in (*self.rings_in.values(), *self.rings_out.values()):
+            ring.close()
+        self.rings_in.clear()
+        self.rings_out.clear()
 
 
 _EMPTY_STORE: dict = {}
 
 
-def _pack_inbox(inbox: "list[Message]") -> "list[tuple[str, str, str, Any, int]]":
-    """Flatten drained messages to field tuples for the wire.
-
-    A frozen dataclass pickles as class reference plus attribute dict per
-    instance; plain tuples are a fraction of the bytes and the encode time.
-    The receiving worker rebuilds real :class:`Message` objects (programs
-    read ``msg.tag`` / ``msg.payload`` / ``msg.sender``), words included —
-    no re-sizing.
-    """
-    return [(m.sender, m.receiver, m.tag, m.payload, m.words) for m in inbox]
+def _frame_sort_key(frame: tuple) -> tuple:
+    """Reference delivery order: round epoch, sender registration, staging seq."""
+    return (frame[0], frame[1], frame[2])
 
 
-def _unpack_inbox(packed: "list[tuple[str, str, str, Any, int]]") -> "list[Message]":
-    return [
-        Message(sender=sender, receiver=receiver, tag=tag, payload=payload, words=words)
-        for sender, receiver, tag, payload, words in packed
-    ]
+def _frame_message(frame: tuple) -> Message:
+    return Message(sender=frame[3], receiver=frame[4], tag=frame[5], payload=frame[6], words=frame[7])
+
+
+def _ingest_rings(state: _SessionState) -> None:
+    """Drain every inbound ring into the pending map (deterministic order)."""
+    for src_slot in sorted(state.rings_in):
+        for blob in state.rings_in[src_slot].read_all():
+            frame = decode_obj(blob)
+            state.pending.setdefault(frame[4], []).append(frame)
 
 
 class _SizingMachineContext(WorkerMachineContext):
@@ -170,11 +206,97 @@ class _SizingMachineContext(WorkerMachineContext):
         self.sent.append((receiver, tag, payload, fast_word_size(tag) + fast_word_size(payload)))
 
 
+class _RoutingMachineContext(WorkerMachineContext):
+    """Worker view for slot-routed rounds: sizes *and* addresses each send.
+
+    Every send becomes one keyed frame ``(epoch, sender_index, seq, sender,
+    receiver, tag, payload, words)``.  ``words`` is computed exactly once,
+    here, by the same :func:`fast_word_size` the sharded transport charges
+    with; local delivery, ring-capacity fit checks and the driver's round
+    accounting all reuse that one number — the send path never re-sizes a
+    payload.  The key triple ``(epoch, sender_index, seq)`` totally orders
+    all frames of a session, reproducing the reference delivery order
+    (senders by registration index, sends in staging order) no matter which
+    physical path — worker-local, shm ring or pipe — a frame takes.
+    """
+
+    __slots__ = ("_epoch", "_index")
+
+    def __init__(self, machine_id: str, store: Any, epoch: int, index: int) -> None:
+        super().__init__(machine_id, store)
+        self._epoch = epoch
+        self._index = index
+
+    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
+        sent = self.sent
+        sent.append(
+            (
+                self._epoch,
+                self._index,
+                len(sent),
+                self._machine_id,
+                receiver,
+                tag,
+                payload,
+                fast_word_size(tag) + fast_word_size(payload),
+            )
+        )
+
+
 def _session_open(sessions: "dict[str, _SessionState]", session_id: str) -> bool:
     """Protocol op 1: create the resident state for a session (idempotent)."""
     if session_id not in sessions:
         sessions[session_id] = _SessionState()
     return True
+
+
+def _session_attach_shm(
+    sessions: "dict[str, _SessionState]",
+    session_id: str,
+    rings_in: "list[tuple[int, str]]",
+    rings_out: "list[tuple[int, str]]",
+) -> int:
+    """Protocol op: attach the cross-slot shared-memory rings by name.
+
+    Best-effort by design: a ring that cannot be attached (shm unavailable,
+    unlinked early) is simply absent from the worker's map, so every frame
+    for that destination takes the pipe-fallback path — slower, never
+    wrong.  Returns how many rings are attached afterwards.
+    """
+    state = sessions.get(session_id)
+    if state is None:
+        state = sessions[session_id] = _SessionState()
+    for src_slot, name in rings_in:
+        if src_slot not in state.rings_in:
+            try:
+                state.rings_in[src_slot] = ShmRing.attach(name)
+            except Exception:  # pragma: no cover - environment dependent
+                pass
+    for dst_slot, name in rings_out:
+        if dst_slot not in state.rings_out:
+            try:
+                state.rings_out[dst_slot] = ShmRing.attach(name)
+            except Exception:  # pragma: no cover - environment dependent
+                pass
+    return len(state.rings_in) + len(state.rings_out)
+
+
+def _session_flush(sessions: "dict[str, _SessionState]", session_id: str) -> "list[tuple]":
+    """Protocol op: surrender every slot-routed frame held at this worker.
+
+    Rings are ingested first, so frames a peer slot wrote that this worker
+    has not looked at yet are included.  Called behind the barrier (no
+    round in flight), hence every held frame is deliverable; the driver
+    merges the returned frames by their global sort key.
+    """
+    state = sessions.get(session_id)
+    if state is None:
+        return []
+    _ingest_rings(state)
+    frames: "list[tuple]" = []
+    for receiver in list(state.pending):
+        frames.extend(state.pending.pop(receiver))
+    return frames
 
 
 def _session_run_round(
@@ -186,7 +308,8 @@ def _session_run_round(
     shared_init: "dict[str, Any]",
     store_updates: "list[tuple[str, tuple[str, ...] | None, int, bytes]]",
     batch: "list[tuple[str, list[Message]]]",
-) -> "list[tuple[str, list[tuple[str, str, Any]], Any]]":
+    routing: "dict[str, Any] | None" = None,
+) -> Any:
     """Protocol op 2: sync resident state, then run this slot's machines.
 
     Ordering is the heart of the sync: (1) replay the previous barriers'
@@ -197,6 +320,37 @@ def _session_run_round(
     (3) refresh store snapshots whose version epoch moved.  Step 2 after
     step 1 makes refreshes idempotent with replay; a key is never left
     reflecting a delta the driver's copy has superseded.
+
+    Without ``routing`` (the legacy shape) every send is recorded and
+    returned for driver-side replay.  With ``routing`` the *worker* routes:
+    same-slot sends land straight in this worker's pending map, cross-slot
+    sends ride the shm ring to the destination slot (pipe fallback on
+    overflow), and only per-pair word aggregates — plus the few frames that
+    could not be routed — return to the driver.  ``routing`` keys:
+
+    ``"epoch"``   the round index being executed (frames are keyed by it);
+    ``"slot"``    this worker's slot index;
+    ``"map"``     full ``{machine id: (index, slot)}`` routing map when the
+                  driver's map version moved, else ``None`` (keep current);
+    ``"forward"`` frames the driver is forwarding to this slot (pipe
+                  fallbacks of earlier rounds) to merge into pending;
+    ``"drop_inbox"`` the program declared ``reads_inbox=False`` — pending
+                  frames due this round are consumed *and discarded*,
+                  mirroring the driver-side drain of the shipped inboxes;
+    ``"funnel"``  hybrid mode for programs whose *sends* the driver reads
+                  (see ``ResidentSession._route_programs``): held frames
+                  are still served worker-locally into the inboxes, but
+                  the staged sends return on the reply in the legacy shape
+                  for driver-side replay instead of being routed.
+
+    Serving order restores the reference semantics exactly: the shipped
+    driver-side inbox first (those messages are from strictly earlier
+    arrivals — the driver flushes worker-held frames before any driver-side
+    delivery), then this worker's due pending frames sorted by their global
+    ``(epoch, sender_index, seq)`` key.  Only frames with ``epoch <`` the
+    current round are due: a faster peer slot may already have written
+    *this* round's frames into our ring, and those must wait one round,
+    exactly like every other message sent in round ``epoch``.
     """
     state = sessions.get(session_id)
     if state is None:  # open lost to a worker restart — start clean
@@ -219,13 +373,123 @@ def _session_run_round(
 
     program = state.programs[program_key]
     prefixes = program.store_reads
-    results: "list[tuple[str, list[tuple[str, str, Any, int]], Any]]" = []
+    if routing is None:
+        results: "list[tuple[str, list[tuple[str, str, Any, int]], Any]]" = []
+        for machine_id, packed_inbox in batch:
+            store = state.stores.get((machine_id, prefixes), _EMPTY_STORE)
+            ctx = _SizingMachineContext(machine_id, store)
+            delta = program.run(ctx, _unpack_inbox(packed_inbox), shared)
+            results.append((machine_id, ctx.sent, delta))
+        return results
+    return _run_routed(state, program, prefixes, batch, routing)
+
+
+def _run_routed(
+    state: _SessionState,
+    program: SuperstepProgram,
+    prefixes: "tuple[str, ...] | None",
+    batch: "list[tuple[str, Any]]",
+    routing: "dict[str, Any]",
+) -> tuple:
+    """The slot-routed half of :func:`_session_run_round` (see its docstring)."""
+    epoch = routing["epoch"]
+    new_map = routing.get("map")
+    if new_map is not None:
+        state.machine_slots = new_map
+    machine_slots = state.machine_slots
+    _ingest_rings(state)
+    pending = state.pending
+    for frame in routing["forward"]:
+        pending.setdefault(frame[4], []).append(frame)
+    drop_inbox = routing["drop_inbox"]
+    funnel = routing.get("funnel", False)
+
+    # Phase 1 — run every machine; nothing is routed until all succeed, so
+    # a program exception leaves no half-routed round behind.
+    deltas: "list[tuple[str, Any]]" = []
+    staged: "list[list[tuple]]" = []
+    funneled: "list[tuple[str, list[tuple[str, str, Any, int]], Any]]" = []
     for machine_id, packed_inbox in batch:
+        held = pending.get(machine_id)
+        ready: "list[tuple]" = []
+        if held:
+            ready = [f for f in held if f[0] < epoch]
+            if ready:
+                later = [f for f in held if f[0] >= epoch]
+                if later:
+                    pending[machine_id] = later
+                else:
+                    del pending[machine_id]
+        if drop_inbox:
+            inbox: "list[Message]" = []
+        else:
+            inbox = _unpack_inbox(packed_inbox)
+            if ready:
+                ready.sort(key=_frame_sort_key)
+                inbox.extend(_frame_message(f) for f in ready)
         store = state.stores.get((machine_id, prefixes), _EMPTY_STORE)
-        ctx = _SizingMachineContext(machine_id, store)
-        delta = program.run(ctx, _unpack_inbox(packed_inbox), shared)
-        results.append((machine_id, ctx.sent, delta))
-    return results
+        if funnel:
+            # Hybrid: the held frames above were served locally, but this
+            # program's sends go back to the driver in the legacy shape —
+            # the driver reads them before the next worker round could.
+            sctx = _SizingMachineContext(machine_id, store)
+            funneled.append((machine_id, sctx.sent, program.run(sctx, inbox, state.shared)))
+            continue
+        ctx = _RoutingMachineContext(machine_id, store, epoch, machine_slots[machine_id][0])
+        deltas.append((machine_id, program.run(ctx, inbox, state.shared)))
+        staged.append(ctx.sent)
+    if funnel:
+        return ("funneled", funneled)
+
+    # Phase 2 — commit: route every staged frame and aggregate the round
+    # accounting the driver's exchange needs (per-pair words/count/max).
+    my_slot = routing["slot"]
+    rings_out = state.rings_out
+    pairs: "dict[tuple[str, str], list[int]]" = {}
+    local_count = 0
+    ring_frames = 0
+    ring_bytes = 0
+    overflow: "list[tuple[int, tuple]]" = []
+    fallback: "list[tuple]" = []
+    for frames in staged:
+        for frame in frames:
+            receiver = frame[4]
+            words = frame[7]
+            key = (frame[3], receiver)
+            stats = pairs.get(key)
+            if stats is None:
+                pairs[key] = [words, 1, words]
+            else:
+                stats[0] += words
+                stats[1] += 1
+                if words > stats[2]:
+                    stats[2] = words
+            info = machine_slots.get(receiver)
+            if info is None:
+                fallback.append(frame)
+            elif info[1] == my_slot:
+                pending.setdefault(receiver, []).append(frame)
+                local_count += 1
+            else:
+                ring = rings_out.get(info[1])
+                # Sizer-derived quick reject: words bound the marshalled
+                # bytes to within a small constant, so a frame that cannot
+                # possibly fit skips the encode entirely.
+                if ring is not None and words * 8 + FRAME_HEADER <= ring.capacity + 64:
+                    blob = encode_obj(frame)
+                    if ring.write(blob):
+                        ring_frames += 1
+                        ring_bytes += len(blob) + FRAME_HEADER
+                        continue
+                overflow.append((info[1], frame))
+    return (
+        "routed",
+        deltas,
+        [(s, r, v[0], v[1], v[2]) for (s, r), v in pairs.items()],
+        (local_count, ring_frames, ring_bytes, len(overflow)),
+        overflow,
+        fallback,
+    )
 
 
 def _session_migrate(
@@ -247,7 +511,11 @@ def _session_migrate(
 
 def _session_close(sessions: "dict[str, _SessionState]", session_id: str) -> bool:
     """Protocol op 4: release everything the session held in this worker."""
-    return sessions.pop(session_id, None) is not None
+    state = sessions.pop(session_id, None)
+    if state is None:
+        return False
+    state.release_rings()
+    return True
 
 
 def _worker_main(conn: "Connection") -> None:
@@ -263,7 +531,9 @@ def _worker_main(conn: "Connection") -> None:
     sessions: dict[str, _SessionState] = {}
     ops = {
         "open": _session_open,
+        "attach_shm": _session_attach_shm,
         "round": _session_run_round,
+        "flush": _session_flush,
         "migrate": _session_migrate,
         "close": _session_close,
         "sessions": lambda sess: sorted(sess),
@@ -437,6 +707,8 @@ class _SlotState:
         "pending",
         "shipped_programs",
         "store_versions",
+        "map_version",
+        "rings_attached",
     )
 
     def __init__(self) -> None:
@@ -455,6 +727,10 @@ class _SlotState:
         self.shipped_programs: set[int] = set()
         #: (machine id, prefixes) -> storage version epoch last shipped
         self.store_versions: dict[tuple[str, tuple[str, ...] | None], int] = {}
+        #: version of the routing map last shipped to this slot (-1 = never)
+        self.map_version = -1
+        #: whether the cross-slot rings were attached at this worker
+        self.rings_attached = False
 
     def reset_for(self, generation: int) -> None:
         """Forget everything shipped to a previous (dead) worker process.
@@ -471,6 +747,8 @@ class _SlotState:
         self.pending.clear()
         self.shipped_programs.clear()
         self.store_versions.clear()
+        self.map_version = -1
+        self.rings_attached = False
 
 
 class ResidentSession(ExecutionSession):
@@ -494,6 +772,50 @@ class ResidentSession(ExecutionSession):
         #: ``driver_local`` aggregation steps run inline and do not count)
         self.worker_rounds = 0
         self._broken = False
+        # ---- slot-local routing state -------------------------------------
+        #: machine id -> (registration index, worker slot), the routing map
+        #: shipped to workers whenever :attr:`_map_version` moves
+        self._machine_info: dict[str, tuple[int, int]] = {}
+        self._map_count = -1
+        self._map_version = 0
+        #: per slot: receivers with frames held at (or in flight to) that
+        #: slot's worker — who to ask when the driver needs an inbox whole
+        self._remote_pending: "list[set[str]]" = [set() for _ in range(slots)]
+        #: per slot: pipe-fallback frames the driver forwards with that
+        #: slot's next round request (ring overflow takes this path)
+        self._forward: "list[list[tuple]]" = [[] for _ in range(slots)]
+        #: union of receivers with any worker- or driver-held routed frame
+        self._pending_ids: set[str] = set()
+        #: program keys whose frames are currently held away from the driver
+        #: — the blame set when a driver-side read forces a flush
+        self._pending_keys: set[int] = set()
+        #: program key -> False once its routed frames were flushed back for
+        #: a driver-side read.  Routing such a program's sends away from the
+        #: driver is pure loss — the bodies cross the pipe *twice* (stage at
+        #: the worker, then the flush round trip) instead of riding the
+        #: round reply once — so the session adapts: the first wasted round
+        #: pays the lesson and every later round of that program takes the
+        #: legacy funnel.  Worker-consumed programs (the common superstep
+        #: shape) are never flushed and stay routed for the whole session.
+        self._route_programs: dict[int, bool] = {}
+        #: True while round requests are being built under the slot locks —
+        #: the drain() hook must not re-enter the workers then
+        self._suppress_sync = False
+        #: cross-slot shm rings as a [src][dst] matrix; ``None`` = not
+        #: created yet, ``[]`` = shm unavailable (pipe fallback for all)
+        self._rings: "list[list[ShmRing | None]] | None" = None
+        #: session-total wire-path counters (per-round numbers go to the
+        #: metrics ledger through the transport deposit)
+        self.local_messages = 0
+        self.cross_slot_messages = 0
+        self.shm_bytes = 0
+        self.pipe_fallbacks = 0
+        self.shm_frames = 0
+        try:
+            if self.transport.inbox_router is None:
+                self.transport.inbox_router = self
+        except AttributeError:  # pragma: no cover - transport without routing
+            pass
 
     # ------------------------------------------------------------- invalidation
     def touch(self, *keys: str) -> None:
@@ -647,9 +969,40 @@ class ResidentSession(ExecutionSession):
             self.backend.last_superstep_mode = "resident-inline"
             return cluster.exchange()
 
+        ledger = cluster.ledger
+        # Slot-local routing needs the transport's fused (factory-bypassing)
+        # delivery path — a hand-customised record factory must see real
+        # Message streams, and driver-staged sends must not interleave with
+        # worker-routed frames mid-round.  Programs whose sends a driver-side
+        # read previously pulled back (see _route_programs) funnel their
+        # *sends*; frames other programs left at the workers are still served
+        # worker-locally (hybrid "funnel" rounds) when this batch covers
+        # every pending receiver — otherwise exchange delivery behind the
+        # round could slip younger messages into driver inboxes ahead of
+        # older worker-held frames, and we must flush first instead.
+        can_route = ledger.record_policy is not None and not self.transport.has_staged()
+        route_sends = can_route and self._route_programs.get(program_key, True)
+        funnel = (
+            can_route
+            and not route_sends
+            and bool(self._pending_ids)
+            and self._pending_ids <= {m.machine_id for m in targets}
+        )
+        routed = route_sends or funnel
+        if not routed and (self._pending_ids or any(self._forward)):
+            # Downgrading to the legacy path this round: every worker-held
+            # frame must reach its driver inbox before the batch drains it.
+            self._flush_all()
+
         by_slot: "dict[int, list[Machine]]" = {}
         for machine in targets:
             by_slot.setdefault(self._slot_of(machine), []).append(machine)
+
+        epoch = ledger.next_round_index
+        if routed:
+            self._refresh_machine_info()
+            if route_sends and self.slot_count > 1 and self._rings is None:
+                self._ensure_rings()
 
         # Lock the participating slot workers (in slot order — globally
         # consistent, so concurrent drivers cannot deadlock) for the whole
@@ -659,6 +1012,7 @@ class ResidentSession(ExecutionSession):
         slot_workers = [(slot_index, _slot_worker(slot_index)) for slot_index in sorted(by_slot)]
         for _, worker in slot_workers:
             worker.lock.acquire()
+        self._suppress_sync = True
         try:
             # Pipeline phase: every slot gets its request before any reply
             # is awaited, so worker execution overlaps across slots.  Any
@@ -674,16 +1028,43 @@ class ResidentSession(ExecutionSession):
                 for slot_index, worker in slot_workers:
                     slot = self._slots[slot_index]
                     if slot.worker_generation != worker.generation:
+                        if self._remote_pending[slot_index]:
+                            # the old process held undelivered routed frames
+                            raise ResidentWorkerError(
+                                f"resident worker slot {slot_index} was respawned "
+                                f"while holding undelivered slot-routed messages"
+                            )
                         # the slot's process was (re)spawned underneath
                         # this session: nothing previously shipped survives
                         slot.reset_for(worker.generation)
                     request = self._round_request(slot, program, program_key, by_slot[slot_index], shared)
+                    if routed:
+                        request = request + (
+                            self._routing_payload(slot_index, slot, epoch, program, funnel),
+                        )
+                        rp = self._remote_pending[slot_index]
+                        if rp:
+                            # this round's batch consumes the due frames the
+                            # slot holds for its participating machines
+                            for machine in by_slot[slot_index]:
+                                rp.discard(machine.machine_id)
                     entry = [slot_index, worker, 0]
                     active.append(entry)
                     if not slot.opened:
                         worker.request(("open", self.session_id))
                         entry[2] += 1
                         slot.opened = True
+                    if routed and self._rings and not slot.rings_attached:
+                        worker.request(
+                            (
+                                "attach_shm",
+                                self.session_id,
+                                self._ring_specs(slot_index, "in"),
+                                self._ring_specs(slot_index, "out"),
+                            )
+                        )
+                        entry[2] += 1
+                        slot.rings_attached = True
                     worker.request(request)
                     entry[2] += 1
             except BaseException as exc:
@@ -695,6 +1076,7 @@ class ResidentSession(ExecutionSession):
             # Deterministic merge barrier: join every slot (lowest slot's
             # error wins), then merge in target order — as every backend.
             results: "dict[str, tuple[list[tuple[str, str, Any]], Any]]" = {}
+            slot_replies: "list[tuple[int, tuple]]" = []
             error: BaseException | None = None
             for slot_index, worker, expected in active:
                 value: Any = None
@@ -715,13 +1097,41 @@ class ResidentSession(ExecutionSession):
                         # keep draining the remaining replies so the pipe
                         # stays request/reply aligned for the next superstep
                 if not failed:
-                    for machine_id, sent, delta in value:
-                        results[machine_id] = (sent, delta)
+                    if routed:
+                        slot_replies.append((slot_index, value))
+                    else:
+                        for machine_id, sent, delta in value:
+                            results[machine_id] = (sent, delta)
             if error is not None:
+                if routed:
+                    # slots that did run already committed their frames;
+                    # driver and worker pending views may now diverge
+                    self._broken = True
                 raise error
         finally:
+            self._suppress_sync = False
             for _, worker in slot_workers:
                 worker.lock.release()
+
+        if route_sends:
+            return self._finish_routed_round(
+                cluster, program, program_key, targets, shared, slot_replies
+            )
+        if funnel:
+            # Hybrid round: every worker-held frame was consumed in place
+            # (the gate required pending ⊆ targets), and the sends come
+            # back in the legacy shape for driver-side replay below.
+            for _slot_index, value in slot_replies:
+                if not (isinstance(value, tuple) and len(value) == 2 and value[0] == "funneled"):
+                    self._broken = True
+                    raise ResidentWorkerError(
+                        "resident worker returned a malformed funneled-round reply"
+                    )
+                for machine_id, sent, delta in value[1]:
+                    results[machine_id] = (sent, delta)
+            self._recompute_pending_ids()
+            if not self._pending_ids:
+                self._pending_keys = set()
 
         # Bulk replay: workers already sized every send with the exact
         # sizer the transport charges (fast_word_size), so the staged
@@ -747,6 +1157,309 @@ class ResidentSession(ExecutionSession):
         self.worker_rounds += 1
         self.backend.last_superstep_mode = "resident"
         return cluster.exchange()
+
+    # ------------------------------------------------------------ slot routing
+    def _refresh_machine_info(self) -> None:
+        """(Re)build the machine → (index, slot) routing map when stale."""
+        machines = self.cluster.machines_by_id
+        if self._map_count == len(machines):
+            return
+        self._machine_info = {
+            machine_id: (machine.index, self._slot_of(machine))
+            for machine_id, machine in machines.items()
+        }
+        self._map_count = len(machines)
+        self._map_version += 1
+
+    def _routing_payload(
+        self,
+        slot_index: int,
+        slot: _SlotState,
+        epoch: int,
+        program: SuperstepProgram,
+        funnel: bool = False,
+    ) -> "dict[str, Any]":
+        """The ``routing`` element of one slot's round request."""
+        map_update = None
+        if slot.map_version != self._map_version:
+            map_update = self._machine_info
+            slot.map_version = self._map_version
+        forward = self._forward[slot_index]
+        if forward:
+            self._forward[slot_index] = []
+            rp = self._remote_pending[slot_index]
+            for frame in forward:
+                rp.add(frame[4])
+        return {
+            "epoch": epoch,
+            "slot": slot_index,
+            "map": map_update,
+            "forward": forward,
+            "drop_inbox": not program.reads_inbox,
+            "funnel": funnel,
+        }
+
+    def _ring_capacity(self) -> int:
+        """Bytes per cross-slot ring: explicit override or sized from ``S``.
+
+        A slot's per-round egress is bounded by its machines' I/O budgets —
+        ``S`` words per sender — so rings are pre-sized from the same
+        quantity the ``fast_word_size`` sizer charges against: ``S`` times
+        the machines per slot, at a generous bytes-per-word multiple,
+        clamped to [64 KiB, 4 MiB].  Overflow falls back to the pipe, so
+        this is purely a performance choice.
+        """
+        config = self.cluster.config
+        override = config.resident_shm_ring_bytes
+        if override is not None:
+            return override
+        machines = max(1, len(self.cluster.machines_by_id))
+        per_slot = (machines + self.slot_count - 1) // self.slot_count
+        sized = 16 * config.machine_memory * per_slot
+        return max(1 << 16, min(1 << 22, sized))
+
+    def _ensure_rings(self) -> None:
+        """Create the cross-slot shm ring matrix (once; failure ⇒ pipe)."""
+        if self._rings is not None:
+            return
+        capacity = self._ring_capacity()
+        count = self.slot_count
+        rings: "list[list[ShmRing | None]]" = [[None] * count for _ in range(count)]
+        try:
+            for src in range(count):
+                for dst in range(count):
+                    if src != dst:
+                        rings[src][dst] = ShmRing.create(capacity)
+        except Exception:  # pragma: no cover - shm unavailable on this host
+            for row in rings:
+                for ring in row:
+                    if ring is not None:
+                        ring.close()
+                        ring.unlink()
+            self._rings = []
+            return
+        self._rings = rings
+
+    def _ring_specs(self, slot_index: int, direction: str) -> "list[tuple[int, str]]":
+        """``(peer slot, shm name)`` pairs for one slot's attach request."""
+        rings = self._rings
+        specs: "list[tuple[int, str]]" = []
+        if not rings:
+            return specs
+        for other in range(self.slot_count):
+            if other == slot_index:
+                continue
+            ring = rings[other][slot_index] if direction == "in" else rings[slot_index][other]
+            if ring is not None:
+                specs.append((other, ring.name))
+        return specs
+
+    def _finish_routed_round(
+        self,
+        cluster: "Cluster",
+        program: SuperstepProgram,
+        program_key: int,
+        targets: "list[Machine]",
+        shared: "dict[str, Any]",
+        slot_replies: "list[tuple[int, tuple]]",
+    ) -> "RoundRecord":
+        """Merge routed-round replies and deposit the round at the transport.
+
+        Message *bodies* stayed in the workers (or their rings); only the
+        per-(sender, receiver) word aggregates cross the pipe, and the
+        transport rebuilds the identical :class:`RoundRecord` from them.
+        """
+        info = self._machine_info
+        pair_totals: "dict[tuple[str, str], list[int]]" = {}
+        local_count = ring_frames = ring_bytes = overflow_count = 0
+        fallback: "list[tuple]" = []
+        deltas: "dict[str, Any]" = {}
+        for slot_index, reply in slot_replies:
+            if not (isinstance(reply, tuple) and reply and reply[0] == "routed"):
+                self._broken = True
+                raise ResidentWorkerError(
+                    f"resident worker slot {slot_index} replied out of protocol "
+                    f"to a routed round request"
+                )
+            _, slot_deltas, pair_list, traffic, overflow, slot_fallback = reply
+            for machine_id, delta in slot_deltas:
+                deltas[machine_id] = delta
+            for sender, receiver, words, count, max_words in pair_list:
+                stats = pair_totals.get((sender, receiver))
+                if stats is None:
+                    pair_totals[(sender, receiver)] = [words, count, max_words]
+                else:
+                    stats[0] += words
+                    stats[1] += count
+                    if max_words > stats[2]:
+                        stats[2] = max_words
+            local_count += traffic[0]
+            ring_frames += traffic[1]
+            ring_bytes += traffic[2]
+            overflow_count += traffic[3]
+            fallback.extend(slot_fallback)
+            for dst_slot, frame in overflow:
+                self._forward[dst_slot].append(frame)
+        fallback.sort(key=_frame_sort_key)
+        for _, receiver in pair_totals:
+            slot_info = info.get(receiver)
+            if slot_info is not None:
+                self._remote_pending[slot_info[1]].add(receiver)
+        self._recompute_pending_ids()
+        if local_count or ring_frames or overflow_count:
+            # this round's frames are held away from the driver; if a
+            # driver-side read flushes them back, this key takes the blame
+            self._pending_keys.add(program_key)
+
+        # The same barrier as every backend: all runs happened, now all
+        # applies in target order, then one exchange.
+        for machine in targets:
+            program.apply(shared, machine.machine_id, deltas[machine.machine_id])
+        self._queue_replay(program, program_key, [(m, deltas[m.machine_id]) for m in targets])
+        self.rounds_run += 1
+        self.worker_rounds += 1
+        self.local_messages += local_count
+        self.cross_slot_messages += ring_frames + overflow_count
+        self.shm_bytes += ring_bytes
+        self.pipe_fallbacks += overflow_count
+        self.shm_frames += ring_frames
+        self.backend.last_superstep_mode = "resident-routed"
+        self.transport.deposit_worker_round(
+            {
+                "pairs": pair_totals,
+                "fallback": fallback,
+                "traffic": {
+                    "local_messages": local_count,
+                    "cross_slot_messages": ring_frames + overflow_count,
+                    "shm_bytes": ring_bytes,
+                    "pipe_fallbacks": overflow_count,
+                },
+            }
+        )
+        try:
+            return cluster.exchange()
+        except BaseException:
+            # the workers already committed this round's frames; a failed
+            # exchange leaves driver and worker pending views divergent
+            self._broken = True
+            raise
+
+    def _recompute_pending_ids(self) -> None:
+        ids: set[str] = set()
+        for slot_index in range(self.slot_count):
+            ids |= self._remote_pending[slot_index]
+            for frame in self._forward[slot_index]:
+                ids.add(frame[4])
+        self._pending_ids = ids
+
+    def _flush_slot(self, slot_index: int) -> "list[tuple]":
+        """Fetch (and clear) every frame held at or en route to one slot."""
+        slot = self._slots[slot_index]
+        worker = _slot_worker(slot_index)
+        if slot.worker_generation != worker.generation:
+            if slot.worker_generation is not None:
+                # undelivered frames died with the old process
+                self._broken = True
+                _evict_slot_worker(slot_index, None)
+                raise ResidentWorkerError(
+                    f"resident worker slot {slot_index} was respawned while "
+                    f"holding undelivered slot-routed messages"
+                )
+            # first contact: the slot never ran a round, but peer slots may
+            # have written ring frames destined for it
+            slot.reset_for(worker.generation)
+        try:
+            with worker.lock:
+                if not slot.opened:
+                    worker.request(("open", self.session_id))
+                    worker.reply()
+                    slot.opened = True
+                if self._rings and not slot.rings_attached:
+                    worker.request(
+                        (
+                            "attach_shm",
+                            self.session_id,
+                            self._ring_specs(slot_index, "in"),
+                            self._ring_specs(slot_index, "out"),
+                        )
+                    )
+                    worker.reply()
+                    slot.rings_attached = True
+                worker.request(("flush", self.session_id))
+                return worker.reply()
+        except ResidentWorkerError:
+            self._mark_broken(slot_index, worker)
+            raise
+
+    def _flush_all(self) -> None:
+        """Pull every routed frame back into the driver inboxes.
+
+        The global sort key ``(epoch, sender index, staging seq)`` restores
+        the reference delivery order across worker-held, ring-held and
+        driver-forwarded frames alike; because a flush always empties *all*
+        slots, driver inboxes never hold a message younger than one still
+        at a worker — so appending keeps inboxes reference-ordered.
+        """
+        frames: "list[tuple]" = []
+        for slot_index in range(self.slot_count):
+            forwarded = self._forward[slot_index]
+            if forwarded:
+                frames.extend(forwarded)
+                self._forward[slot_index] = []
+            if self._remote_pending[slot_index]:
+                frames.extend(self._flush_slot(slot_index))
+                self._remote_pending[slot_index] = set()
+        self._pending_ids = set()
+        self._pending_keys = set()
+        if not frames:
+            return
+        frames.sort(key=_frame_sort_key)
+        machines = self.cluster.machines_by_id
+        for frame in frames:
+            machine = machines.get(frame[4])
+            if machine is not None:
+                machine.inbox.append(_frame_message(frame))
+
+    def ensure_local(self, machine: "Machine") -> None:
+        """Inbox-router hook: make ``machine``'s driver inbox complete."""
+        if self._suppress_sync or self._broken:
+            return
+        if machine.machine_id in self._pending_ids:
+            # the driver wants these bodies: routing their producers away
+            # from it was wasted motion — funnel them from now on
+            for key in self._pending_keys:
+                self._route_programs[key] = False
+            self._flush_all()
+
+    def flush_for_exchange(self) -> None:
+        """Inbox-router hook: a driver-side delivery wants complete inboxes."""
+        if self._broken:
+            return
+        if self._pending_ids or any(self._forward):
+            for key in self._pending_keys:
+                self._route_programs[key] = False
+            self._flush_all()
+
+    def discard_pending(self) -> None:
+        """Inbox-router hook for ``discard_undelivered``: drop routed frames."""
+        pending = self._remote_pending
+        self._remote_pending = [set() for _ in range(self.slot_count)]
+        self._forward = [[] for _ in range(self.slot_count)]
+        self._pending_ids = set()
+        self._pending_keys = set()
+        if self._broken:
+            return
+        for slot_index in range(self.slot_count):
+            if not pending[slot_index]:
+                continue
+            slot = self._slots[slot_index]
+            worker = _peek_slot_worker(slot_index)
+            if worker is None or slot.worker_generation != worker.generation:
+                continue  # dead or respawned: the frames are already gone
+            try:
+                worker.call(("flush", self.session_id))  # results dropped
+            except ResidentWorkerError:  # pragma: no cover - worker died
+                self._mark_broken(slot_index, worker)
 
     def _mark_broken(self, slot_index: int, worker: "_SlotWorker | None" = None) -> None:
         """A worker died: its resident state is gone.  Stop claiming residency
@@ -781,6 +1494,13 @@ class ResidentSession(ExecutionSession):
         stores on next use at the new slot.  The shared slice is symmetric
         at every slot and needs no migration.
         """
+        # Worker-held routed frames are addressed by the *old* locality:
+        # pull them all back into driver inboxes before the map changes
+        # (they re-ship with the next round's batches).  Physical slot
+        # indices identify the workers, so flushing after the transport
+        # switched plans is safe.
+        self._flush_all()
+        self._map_count = -1  # force a routing-map rebuild + re-ship
         cluster = self.cluster
         moved: set[str] = set()
         drops: "dict[int, set[str]]" = {}
@@ -820,7 +1540,25 @@ class ResidentSession(ExecutionSession):
 
     # ------------------------------------------------------------------ closing
     def close(self) -> None:
-        self.backend.last_session_worker_rounds = self.worker_rounds
+        backend = self.backend
+        backend.last_session_worker_rounds = self.worker_rounds
+        backend.last_session_shm_frames = self.shm_frames
+        backend.last_session_traffic = {
+            "local_messages": self.local_messages,
+            "cross_slot_messages": self.cross_slot_messages,
+            "shm_bytes": self.shm_bytes,
+            "pipe_fallbacks": self.pipe_fallbacks,
+        }
+        if not self._broken:
+            # Undelivered routed frames must outlive the session — drivers
+            # legitimately drain inboxes after the round loop closes it.
+            try:
+                self._flush_all()
+            except ResidentWorkerError:  # pragma: no cover - worker died
+                pass
+        transport = self.transport
+        if getattr(transport, "inbox_router", None) is self:
+            transport.inbox_router = None
         for slot_index, slot in enumerate(self._slots):
             if not slot.opened:
                 continue
@@ -832,6 +1570,13 @@ class ResidentSession(ExecutionSession):
                 worker.call(("close", self.session_id))
             except ResidentWorkerError:  # pragma: no cover - worker died
                 _evict_slot_worker(slot_index, worker)
+        if self._rings:
+            for row in self._rings:
+                for ring in row:
+                    if ring is not None:
+                        ring.close()
+                        ring.unlink()
+        self._rings = None
 
 
 @register_backend
@@ -851,19 +1596,31 @@ class ResidentBackend(ProcessBackend):
     #: observability/testing aid (proves residency was exercised), never
     #: consulted by the simulation.
     last_session_worker_rounds: int | None = None
+    #: cross-slot frames the most recently closed session moved over
+    #: shared-memory rings — proves the shm wire path was exercised.
+    last_session_shm_frames: int | None = None
+    #: wire-path counter totals of the most recently closed session
+    #: (``local_messages`` / ``cross_slot_messages`` / ``shm_bytes`` /
+    #: ``pipe_fallbacks``) — observability only, never simulation input.
+    last_session_traffic: "dict[str, int] | None" = None
 
     @property
     def worker_slots(self) -> int:
         """How many resident worker slots a session on this backend uses.
 
-        Bounded by ``max_workers``, the shard count *and the real CPU
-        parallelism of the host*: unlike a pool size (where oversubscribed
-        processes merely timeshare), every extra resident slot costs two
-        context switches per superstep, so slots beyond the hardware's
-        parallelism are pure overhead.  One slot is perfectly meaningful —
-        residency is about state locality (stores shipped once, deltas
-        replayed), not about the width of the fan-out.
+        ``config.resident_slots`` pins the count explicitly (still clamped
+        to the shard count — a slot with no shards would idle).  The
+        default is bounded by ``max_workers``, the shard count *and the
+        real CPU parallelism of the host*: unlike a pool size (where
+        oversubscribed processes merely timeshare), every extra resident
+        slot costs two context switches per superstep, so slots beyond the
+        hardware's parallelism are pure overhead.  One slot is perfectly
+        meaningful — residency is about state locality (stores shipped
+        once, deltas replayed), not about the width of the fan-out.
         """
+        override = self.config.resident_slots
+        if override is not None:
+            return max(1, min(override, self.plan.shard_count))
         return max(1, min(self.max_workers, self.plan.shard_count, os.cpu_count() or 1))
 
     def open_session(self, cluster: "Cluster", shared: "dict[str, Any]") -> ExecutionSession:

@@ -178,7 +178,16 @@ class ShardedTransport(Transport):
     fused delivery loop.
     """
 
-    __slots__ = ("plan", "_staged", "_shard_cache", "_sample_every", "_shard_words", "_machine_words")
+    __slots__ = (
+        "plan",
+        "_staged",
+        "_shard_cache",
+        "_sample_every",
+        "_shard_words",
+        "_machine_words",
+        "inbox_router",
+        "_worker_round",
+    )
 
     message_sizer = staticmethod(fast_word_size)
 
@@ -190,6 +199,13 @@ class ShardedTransport(Transport):
         self._sample_every = sample_every
         self._shard_words = [0] * plan.shard_count
         self._machine_words: dict[str, int] = {}
+        #: slot-routing hook (see :attr:`Transport.inbox_router`); shadowed
+        #: into a slot because resident sessions flip it per session.
+        self.inbox_router = None
+        #: pre-aggregated round deposited by a slot-routed worker superstep,
+        #: consumed by the next :meth:`exchange` (see
+        #: :meth:`deposit_worker_round`).
+        self._worker_round: "dict | None" = None
 
     def shard_of(self, machine: "Machine") -> int:
         """Memoised :meth:`ShardPlan.shard_of` (plans are pure; machines are hot)."""
@@ -201,6 +217,10 @@ class ShardedTransport(Transport):
 
     def note_staged(self, machine: "Machine") -> None:
         self._staged[self.shard_of(machine)].add(machine)
+
+    def has_staged(self) -> bool:
+        """Whether any machine staged a driver-side message since the last round."""
+        return any(self._staged)
 
     def shard_load(self) -> tuple[int, ...]:
         """Words sent per shard since the last re-plan — the balance diagnostic.
@@ -236,7 +256,44 @@ class ShardedTransport(Transport):
         """
         return dict(self._machine_words)
 
+    def deposit_worker_round(self, stats: dict) -> None:
+        """Hand the next :meth:`exchange` a slot-routed round's aggregates.
+
+        A resident session that routed all of a superstep's messages at the
+        workers cannot funnel them through the driver's staged-sender path —
+        the whole point is that most never reached the driver.  Instead the
+        workers return, per send, the same quantities the fused delivery
+        loop would have accumulated: per-(sender, receiver) word totals /
+        counts / maxima (sized once by the reference-equal ``fast_word_size``
+        at staging time), plus the few frames that must be driver-delivered
+        (receivers outside the worker map).  ``stats`` keys:
+
+        ``"pairs"``
+            ``{(sender, receiver): (words, count, max_words)}`` over every
+            message of the round, whichever physical path it took;
+        ``"fallback"``
+            frames to deliver into driver inboxes, already in reference
+            delivery order;
+        ``"traffic"``
+            the wire-path counters for :meth:`MetricsLedger.record_traffic`.
+        """
+        if self._worker_round is not None:
+            raise ProtocolError("a slot-routed round is already deposited and undelivered")
+        self._worker_round = stats
+
     def exchange(self) -> "RoundRecord":
+        deposit = self._worker_round
+        if deposit is not None:
+            self._worker_round = None
+            return self._deliver_deposit(deposit)
+        router = self.inbox_router
+        if router is not None and any(self._staged):
+            # Driver code staged real messages while workers may still hold
+            # routed ones for the same receivers: pull every worker-held
+            # message into the driver inboxes first, so this exchange
+            # appends behind them in arrival order (worker-held messages
+            # are always from strictly earlier rounds).
+            router.flush_for_exchange()
         per_shard = []
         for staged in self._staged:
             if staged:
@@ -348,8 +405,95 @@ class ShardedTransport(Transport):
         )
         return ledger.append_round(record)
 
+    def _deliver_deposit(self, deposit: dict) -> "RoundRecord":
+        """Record a slot-routed round from worker aggregates; deliver fallbacks.
+
+        The accounting twin of :meth:`_deliver_fused`: identical round
+        record (words were sized by the same ``fast_word_size`` at staging),
+        identical shard/machine load bookkeeping, identical validation and
+        cap semantics — only the message *bodies* of worker-held pairs never
+        crossed into the driver.
+        """
+        from repro.mpc.message import Message
+        from repro.mpc.metrics import RoundRecord
+
+        cluster = self.cluster
+        machines = cluster.machines_by_id
+        ledger = cluster.ledger
+        if any(self._staged):
+            raise ProtocolError(
+                "slot-routed round deposited while driver-side messages are staged"
+            )
+        if ledger.record_policy is None:
+            raise ProtocolError(
+                "slot-routed rounds require the backend accounting policy; "
+                "a hand-customised round_record_factory must take the driver path"
+            )
+        round_index = ledger.next_round_index
+        sample_every = self._sample_every
+        sampled = sample_every > 0 and round_index % sample_every == 0
+        enforce = cluster.enforce_io_cap
+        shard_words = self._shard_words
+        per_machine = self._machine_words
+
+        active: set[str] = set()
+        total = 0
+        count = 0
+        largest = 0
+        pair_words: dict[tuple[str, str], int] = {}
+        sent_words: dict[str, int] = {}
+        received_words: dict[str, int] = {}
+        for (sender, receiver), (words, messages, max_words) in deposit["pairs"].items():
+            if receiver not in machines:
+                raise UnknownMachineError(
+                    f"message from {sender!r} addressed to unknown machine {receiver!r}"
+                )
+            active.add(sender)
+            active.add(receiver)
+            total += words
+            count += messages
+            if max_words > largest:
+                largest = max_words
+            if sampled:
+                pair_words[(sender, receiver)] = pair_words.get((sender, receiver), 0) + words
+            sent_words[sender] = sent_words.get(sender, 0) + words
+            received_words[receiver] = received_words.get(receiver, 0) + words
+
+        for sender, words in sent_words.items():
+            shard_words[self.shard_of(machines[sender])] += words
+            per_machine[sender] = per_machine.get(sender, 0) + words
+
+        if enforce:
+            cap = cluster.config.machine_memory
+            for machine_id in sorted(sent_words, key=lambda m: machines[m].index):
+                words = sent_words[machine_id]
+                if words > cap:
+                    raise MessageSizeExceeded(machine_id, "send", words, cap)
+            for machine_id in sorted(received_words, key=lambda m: machines[m].index):
+                words = received_words[machine_id]
+                if words > cap:
+                    raise MessageSizeExceeded(machine_id, "receive", words, cap)
+
+        for frame in deposit["fallback"]:
+            machines[frame[4]].inbox.append(
+                Message(sender=frame[3], receiver=frame[4], tag=frame[5], payload=frame[6], words=frame[7])
+            )
+
+        record = RoundRecord(
+            round_index=round_index,
+            active_machines=len(active),
+            total_words=total,
+            message_count=count,
+            max_message_words=largest,
+            pair_words=pair_words,
+        )
+        record = ledger.append_round(record)
+        ledger.record_traffic(**deposit["traffic"])
+        return record
+
     def discard_undelivered(self) -> None:
         super().discard_undelivered()
+        self._worker_round = None
         for staged in self._staged:
             staged.clear()
 

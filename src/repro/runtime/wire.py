@@ -1,0 +1,256 @@
+"""Wire codec and shared-memory ring buffers for worker transports.
+
+Two process-crossing backends ship per-round data between the driver and
+long-lived helper processes: the ``process`` backend (shard jobs through a
+pool) and the ``resident`` backend (persistent slot workers over pipes and,
+since the slot-routing work, ``multiprocessing.shared_memory`` rings for
+cross-slot traffic).  This module is their common wire layer:
+
+:func:`encode_obj` / :func:`decode_obj`
+    the marshal-first codec: per-round traffic is dominated by large flat
+    structures of builtin scalars — message field tuples, per-send word
+    counts — for which :mod:`marshal` encodes and decodes several times
+    faster than pickle.  Anything marshal cannot take (program-defined
+    payload objects, shipped exceptions) falls back to pickle
+    transparently; a one-byte prefix routes decoding.  Driver and workers
+    are always the same interpreter (spawned from this binary), so
+    marshal's version-lock is moot.
+:func:`pack_inbox` / :func:`unpack_inbox`
+    flatten drained :class:`~repro.mpc.message.Message` objects to field
+    tuples for the wire and rebuild them on the far side — a frozen
+    dataclass pickles as class reference plus attribute dict per instance;
+    plain tuples are a fraction of the bytes and the encode time.
+:class:`ShmRing`
+    a single-producer single-consumer ring buffer over a shared-memory
+    block, carrying length-prefixed, checksummed frames.  Cross-slot
+    resident traffic rides these instead of pickled pipe frames; the
+    request/reply barrier of the worker pipes provides the happens-before
+    edge (a reader only ingests after every writer's round replied), so
+    the cursors need no atomics — just monotone 64-bit counters.
+"""
+
+from __future__ import annotations
+
+import marshal
+import pickle
+import struct
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from multiprocessing.shared_memory import SharedMemory
+
+    from repro.mpc.message import Message
+
+__all__ = [
+    "encode_obj",
+    "decode_obj",
+    "pack_inbox",
+    "unpack_inbox",
+    "ShmRing",
+    "TornFrameError",
+    "FRAME_HEADER",
+]
+
+_PICKLE = pickle.HIGHEST_PROTOCOL
+
+
+def encode_obj(obj: Any) -> bytes:
+    """Encode ``obj`` with marshal when possible, else pickle (prefix-routed)."""
+    try:
+        return b"M" + marshal.dumps(obj)
+    except ValueError:
+        return b"P" + pickle.dumps(obj, protocol=_PICKLE)
+
+
+def decode_obj(blob: bytes) -> Any:
+    if blob[:1] == b"M":
+        return marshal.loads(blob[1:])
+    return pickle.loads(blob[1:])
+
+
+def pack_inbox(inbox: "Iterable[Message]") -> "list[tuple[str, str, str, Any, int]]":
+    """Flatten drained messages to ``(sender, receiver, tag, payload, words)``.
+
+    The receiving worker rebuilds real :class:`Message` objects (programs
+    read ``msg.tag`` / ``msg.payload`` / ``msg.sender``), words included —
+    no re-sizing.
+    """
+    return [m.as_fields() for m in inbox]
+
+
+def unpack_inbox(packed: "Iterable[tuple[str, str, str, Any, int]]") -> "list[Message]":
+    from repro.mpc.message import Message
+
+    return [Message.from_fields(fields) for fields in packed]
+
+
+# ------------------------------------------------------------------ shm ring
+#: bytes per frame header: u32 body length + u32 checksum.
+FRAME_HEADER = 8
+#: bytes reserved at the start of the block for the two u64 cursors.
+_CURSORS = 16
+#: length sentinel marking "rest of the ring is padding, wrap to offset 0".
+_WRAP = 0xFFFFFFFF
+
+
+def _frame_check(length: int) -> int:
+    """Cheap header checksum: catches torn/misaligned headers loudly."""
+    return (length * 0x9E3779B1 ^ 0x5A5A5A5A) & 0xFFFFFFFF
+
+
+class TornFrameError(RuntimeError):
+    """A ring frame header failed validation — the ring is corrupt.
+
+    With the pipe barrier providing happens-before, a torn frame can only
+    mean a protocol bug (reader ran concurrently with its writer, or the
+    cursors were clobbered); failing loudly beats delivering garbage into
+    a bit-identical simulation.
+    """
+
+
+class ShmRing:
+    """SPSC frame ring over a shared buffer (shared memory or local bytes).
+
+    Layout: ``[tail u64][head u64][data x capacity]``.  ``tail`` (total
+    bytes written) is owned by the single writer, ``head`` (total bytes
+    read) by the single reader; both are monotone, so ``tail - head`` is
+    the backlog and ``capacity - (tail - head)`` the free space.  Frames
+    are never split across the wrap: a writer that would split pads to the
+    end (emitting a wrap marker when the tail gap still fits a header) and
+    restarts at offset 0, and the reader skips the same padding.
+
+    :meth:`write` returns ``False`` instead of blocking when a frame does
+    not fit — the caller falls back to the pipe path (counted as a
+    ``pipe_fallback``), because a bounded ring must never deadlock the
+    round barrier.
+    """
+
+    __slots__ = ("shm", "capacity", "_view", "_data")
+
+    def __init__(self, buf: Any, shm: "SharedMemory | None" = None) -> None:
+        view = memoryview(buf)
+        if len(view) <= _CURSORS + FRAME_HEADER:
+            raise ValueError("ring buffer too small for cursors plus one frame")
+        self.shm = shm
+        self.capacity = len(view) - _CURSORS
+        self._view = view
+        self._data = view[_CURSORS:]
+
+    # -------------------------------------------------------------- lifecycle
+    @classmethod
+    def create(cls, capacity: int) -> "ShmRing":
+        """Driver side: allocate a fresh shared-memory block for the ring."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=_CURSORS + capacity)
+        shm.buf[:_CURSORS] = b"\x00" * _CURSORS
+        return cls(shm.buf, shm)
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmRing":
+        """Worker side: map an existing ring by shared-memory name.
+
+        On this interpreter every ``SharedMemory.__init__`` registers the
+        segment with the resource tracker, attaches included — which is
+        fine here: resident workers are spawned children sharing the
+        driver's tracker process, so the attach-time register is an
+        idempotent re-add of the same name and the driver's ``unlink``
+        retires it exactly once.  (Unregistering on attach instead would
+        strip the *driver's* registration from the shared tracker and make
+        the later unlink double-unregister, noisily.)
+        """
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm.buf, shm)
+
+    @property
+    def name(self) -> str | None:
+        """Shared-memory block name (``None`` for local test buffers)."""
+        return self.shm.name if self.shm is not None else None
+
+    def close(self) -> None:
+        """Release the local mapping (both sides); idempotent."""
+        if self._view is None:
+            return
+        self._data.release()
+        self._view.release()
+        self._view = None
+        self._data = None
+        if self.shm is not None:
+            self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the backing block — creator (driver) side only."""
+        if self.shm is not None:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    # ---------------------------------------------------------------- cursors
+    def _load(self, offset: int) -> int:
+        return int.from_bytes(self._view[offset : offset + 8], "little")
+
+    def _store(self, offset: int, value: int) -> None:
+        self._view[offset : offset + 8] = value.to_bytes(8, "little")
+
+    @property
+    def backlog(self) -> int:
+        """Bytes written but not yet read (diagnostics/testing aid)."""
+        return self._load(0) - self._load(8)
+
+    # ------------------------------------------------------------------ frames
+    def write(self, body: bytes) -> bool:
+        """Append one frame; ``False`` (not blocking) when it does not fit."""
+        cap = self.capacity
+        need = FRAME_HEADER + len(body)
+        if need > cap:
+            return False
+        tail = self._load(0)
+        head = self._load(8)
+        pos = tail % cap
+        room = cap - pos
+        pad = room if need > room else 0
+        if cap - (tail - head) < pad + need:
+            return False
+        data = self._data
+        if pad:
+            if room >= FRAME_HEADER:
+                struct.pack_into("<II", data, pos, _WRAP, _frame_check(_WRAP))
+            tail += pad
+            pos = 0
+        struct.pack_into("<II", data, pos, len(body), _frame_check(len(body)))
+        data[pos + FRAME_HEADER : pos + need] = body
+        self._store(0, tail + need)
+        return True
+
+    def read_all(self) -> list[bytes]:
+        """Consume every complete frame currently in the ring, in write order."""
+        cap = self.capacity
+        tail = self._load(0)
+        head = self._load(8)
+        data = self._data
+        out: list[bytes] = []
+        while head < tail:
+            pos = head % cap
+            room = cap - pos
+            if room < FRAME_HEADER:
+                head += room  # tail gap too small for a wrap marker: skip
+                continue
+            length, check = struct.unpack_from("<II", data, pos)
+            if length == _WRAP and check == _frame_check(_WRAP):
+                head += room
+                continue
+            if (
+                check != _frame_check(length)
+                or length > cap - FRAME_HEADER
+                or head + FRAME_HEADER + length > tail
+            ):
+                raise TornFrameError(
+                    f"torn ring frame at offset {pos} (length={length}, backlog={tail - head})"
+                )
+            out.append(bytes(data[pos + FRAME_HEADER : pos + FRAME_HEADER + length]))
+            head += FRAME_HEADER + length
+        self._store(8, head)
+        return out

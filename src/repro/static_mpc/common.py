@@ -82,6 +82,8 @@ def build_static_cluster(
     max_workers: int | None = None,
     process_chunk_machines: int | None = None,
     replan_every: int | None = None,
+    resident_slots: int | None = None,
+    resident_shm_ring_bytes: int | None = None,
 ) -> StaticMPCSetup:
     """Create a cluster for a static baseline and load ``graph`` onto it.
 
@@ -92,10 +94,10 @@ def build_static_cluster(
     fully *accounted*, which is what the benchmarks compare.
 
     ``backend`` / ``shard_count`` / ``max_workers`` /
-    ``process_chunk_machines`` / ``replan_every`` select and tune the
-    execution backend (:mod:`repro.runtime`) the baseline runs on; ``None``
-    defers to the usual resolution chain (``REPRO_BACKEND``, then
-    ``reference``).
+    ``process_chunk_machines`` / ``replan_every`` / ``resident_slots`` /
+    ``resident_shm_ring_bytes`` select and tune the execution backend
+    (:mod:`repro.runtime`) the baseline runs on; ``None`` defers to the
+    usual resolution chain (``REPRO_BACKEND``, then ``reference``).
     """
     n = max(1, graph.num_vertices)
     m = graph.num_edges
@@ -108,6 +110,8 @@ def build_static_cluster(
         max_workers=max_workers,
         process_chunk_machines=process_chunk_machines,
         replan_every=replan_every,
+        resident_slots=resident_slots,
+        resident_shm_ring_bytes=resident_shm_ring_bytes,
     )
     cluster = Cluster(config, enforce_io_cap=False)
     workers = num_workers if num_workers is not None else config.num_worker_machines

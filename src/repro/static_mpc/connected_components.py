@@ -130,6 +130,8 @@ class StaticConnectedComponents:
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
         replan_every: int | None = None,
+        resident_slots: int | None = None,
+        resident_shm_ring_bytes: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -140,6 +142,8 @@ class StaticConnectedComponents:
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
             replan_every=replan_every,
+            resident_slots=resident_slots,
+            resident_shm_ring_bytes=resident_shm_ring_bytes,
         )
         self.cluster = self.setup.cluster
         self.max_rounds = max_rounds if max_rounds is not None else 4 * max(4, graph.num_vertices)

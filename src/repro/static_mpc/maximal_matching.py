@@ -110,23 +110,44 @@ class MatchingProposeProgram(VertexProgram):
 
 
 class MatchingAnnounceProgram(VertexProgram):
-    """Newly matched vertices announce their status to their neighbours' owners."""
+    """Newly matched vertices announce their status to their neighbours' owners.
+
+    The delta lists the announcing vertices: once a vertex has told its
+    neighbourhood it is matched, its own free-neighbour set is dead weight,
+    so ``apply`` clears it — historically a driver-side epilogue scan over
+    every vertex after the superstep, now an owner-scoped delta merged at
+    the round barrier (driver and owning worker alike), which keeps the
+    whole round driver-free on slot-routing backends.
+    """
 
     shared_reads = ("free_adj", "matched")
     #: announcements are derived from shared state alone; the inbox (stale
     #: proposals already drained by the driver) is never read
     reads_inbox = False
+    #: owner scope: machine m's delta clears free-neighbour sets of vertices
+    #: m owns, and only m's own later runs (propose/announce over owned
+    #: vertices) read them — same locality argument as the propose pruning.
+    delta_scope = "owner"
 
-    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> None:
+    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> list[int]:
         free_adj = shared["free_adj"]
         matched = shared["matched"]
         announcements: dict[str, list[int]] = {}
+        announced: list[int] = []
         for v in self.owned[ctx.machine_id]:
             if v in matched and free_adj[v]:
+                announced.append(v)
                 for w in sorted(free_adj[v]):
                     announcements.setdefault(self.owner(w), []).append(v)
         for target, vertices in announcements.items():
             ctx.send(target, "matched-status", vertices)
+        return announced
+
+    def apply(self, shared: MutableMapping[str, Any], machine_id: str, delta: list[int]) -> None:
+        if delta:
+            free_adj = shared["free_adj"]
+            for v in delta:
+                free_adj[v] = set()
 
 
 class StaticMaximalMatching:
@@ -144,6 +165,8 @@ class StaticMaximalMatching:
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
         replan_every: int | None = None,
+        resident_slots: int | None = None,
+        resident_shm_ring_bytes: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -154,6 +177,8 @@ class StaticMaximalMatching:
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
             replan_every=replan_every,
+            resident_slots=resident_slots,
+            resident_shm_ring_bytes=resident_shm_ring_bytes,
         )
         self.cluster = self.setup.cluster
         self.seed = seed
@@ -190,11 +215,11 @@ class StaticMaximalMatching:
 
         # Session scope for resident backends.  This driver *does* mutate
         # shared state outside program.apply — the acceptance phase marks
-        # vertices matched, and the round epilogue clears their adjacency
-        # sets — so each such mutation is reported with session.touch
-        # before the next superstep reads the key (the delta-replay
-        # contract); free_adj pruning via the propose program's own deltas
-        # needs no reporting, replay covers it.
+        # vertices matched — so that mutation is reported with
+        # session.touch before the next superstep reads the key (the
+        # delta-replay contract); every free_adj mutation travels via the
+        # programs' own deltas (propose prunes, announce clears), which
+        # replay covers without any re-shipping.
         with cluster.update(label), cluster.session(state) as session:
             rounds = 0
             while rounds < self.max_rounds and has_free_edge():
@@ -234,17 +259,10 @@ class StaticMaximalMatching:
                 session.touch("matched")
 
                 # Phase 3: announce new statuses so machines prune dead edges
-                # at the start of the next round.
+                # at the start of the next round.  The announcers' own
+                # free-neighbour sets are cleared by the program's delta at
+                # the barrier — no driver epilogue, no touch, no re-ship.
                 cluster.superstep(announce, machines=worker_ids, shared=state)
-                cleared = False
-                for v in list(free_adj):
-                    if v in matched and free_adj[v]:
-                        free_adj[v] = set()
-                        cleared = True
-                if cleared:
-                    # only an actual clear is an out-of-band mutation worth
-                    # re-shipping the map for (re-clearing empty sets is not)
-                    session.touch("free_adj")
             self.rounds_used = rounds
 
         self.matching = matching

@@ -99,6 +99,8 @@ class StaticBoruvkaMST:
         max_workers: int | None = None,
         process_chunk_machines: int | None = None,
         replan_every: int | None = None,
+        resident_slots: int | None = None,
+        resident_shm_ring_bytes: int | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -109,6 +111,8 @@ class StaticBoruvkaMST:
             max_workers=max_workers,
             process_chunk_machines=process_chunk_machines,
             replan_every=replan_every,
+            resident_slots=resident_slots,
+            resident_shm_ring_bytes=resident_shm_ring_bytes,
         )
         self.cluster = self.setup.cluster
         self.max_phases = max_phases if max_phases is not None else 2 * max(2, graph.num_vertices.bit_length() + 1)

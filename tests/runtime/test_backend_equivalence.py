@@ -4,8 +4,11 @@ The execution-backend contract (:mod:`repro.runtime.base`) is that backends
 may change *how* a simulation executes but never *what* it computes: the
 maintained solutions, the per-update round counts and the word accounting
 must be identical under every backend.  These tests drive the same graphs
-and update streams through the reference, fast, sharded, parallel and
-process backends and compare everything the algorithms expose.
+and update streams through the reference, fast, sharded, parallel, process
+and resident backends — the latter twice: once with its default slot
+count and once pinned to two slots (``resident-shm``), where cross-slot
+messages ride the shared-memory rings — and compare everything the
+algorithms expose.
 
 The sharded/parallel/process/resident configurations deliberately use a
 ``shard_count`` that does **not** divide the machine counts these workloads
@@ -35,25 +38,37 @@ from repro.graph.generators import gnm_random_graph, random_weighted_graph
 from repro.graph.streams import mixed_stream
 from repro.static_mpc import StaticBoruvkaMST, StaticConnectedComponents, StaticMaximalMatching
 
-BACKENDS = ("reference", "fast", "sharded", "parallel", "process", "resident")
+#: the seventh way, ``resident-shm``, is the resident backend pinned to two
+#: worker slots — the configuration where cross-slot messages genuinely ride
+#: the shared-memory rings (one slot routes everything worker-locally).
+BACKENDS = ("reference", "fast", "sharded", "parallel", "process", "resident", "resident-shm")
 
 #: deliberately odd so it does not divide typical machine counts
 SHARD_COUNT = 3
 MAX_WORKERS = 2
 
+_RESIDENT_FAMILY = ("resident", "resident-shm")
+
+
+def real_backend(backend: str) -> str:
+    """Registry name behind a test-matrix entry (``resident-shm`` is a config)."""
+    return "resident" if backend == "resident-shm" else backend
+
 
 def backend_overrides(backend: str) -> dict:
     """Per-backend config extras: odd shard count, real worker pools."""
     extra: dict = {}
-    if backend in ("sharded", "parallel", "process", "resident"):
+    if backend in ("sharded", "parallel", "process", *_RESIDENT_FAMILY):
         extra["shard_count"] = SHARD_COUNT
-    if backend in ("parallel", "process", "resident"):
+    if backend in ("parallel", "process", *_RESIDENT_FAMILY):
         extra["max_workers"] = MAX_WORKERS
+    if backend == "resident-shm":
+        extra["resident_slots"] = 2
     return extra
 
 
 def make_config(n: int, m: int, backend: str) -> DMPCConfig:
-    return DMPCConfig.for_graph(n, m, backend=backend, **backend_overrides(backend))
+    return DMPCConfig.for_graph(n, m, backend=real_backend(backend), **backend_overrides(backend))
 
 
 def per_update_rounds(algorithm) -> list[tuple[str, int]]:
@@ -174,10 +189,12 @@ class TestStaticAlgorithmEquivalence:
     per-machine ``used_words`` must be identical to the reference.
     """
 
-    def run_static(self, cls, graph, **kwargs):
+    def run_static(self, cls, graph, *, expect_shm=True, **kwargs):
         runs = {}
         for backend in BACKENDS:
-            algorithm = cls(graph, backend=backend, **backend_overrides(backend), **kwargs)
+            algorithm = cls(
+                graph, backend=real_backend(backend), **backend_overrides(backend), **kwargs
+            )
             algorithm.run()
             runs[backend] = algorithm
         # The process rows must have genuinely crossed the process boundary —
@@ -187,9 +204,25 @@ class TestStaticAlgorithmEquivalence:
         # routed through one live worker session, with more than one round
         # actually crossing into the persistent workers (state was kept
         # resident and *reused*, not re-shipped per round).
-        resident_backend = runs["resident"].cluster.backend
-        assert resident_backend.last_superstep_mode in ("resident", "resident-inline")
-        assert resident_backend.last_session_worker_rounds >= 2
+        for backend in _RESIDENT_FAMILY:
+            resident_backend = runs[backend].cluster.backend
+            assert resident_backend.last_superstep_mode in (
+                "resident",
+                "resident-routed",
+                "resident-inline",
+            )
+            assert resident_backend.last_session_worker_rounds >= 2
+        # The shm row must be non-vacuous: with two slots on these
+        # message-heavy workloads at least one cross-slot frame must have
+        # ridden a shared-memory ring (otherwise the equivalence claim for
+        # the shm wire path tests nothing).  Workloads whose only superstep
+        # program is driver-read get adaptively funneled after their first
+        # routed round (``expect_shm=False``); for those the weaker claim
+        # holds — slot routing ran at least once.
+        traffic = runs["resident-shm"].cluster.backend.last_session_traffic
+        if expect_shm:
+            assert runs["resident-shm"].cluster.backend.last_session_shm_frames >= 1
+        assert traffic["local_messages"] + traffic["cross_slot_messages"] >= 1
         return runs
 
     def assert_cluster_parity(self, runs):
@@ -220,7 +253,10 @@ class TestStaticAlgorithmEquivalence:
 
     def test_boruvka_mst_equivalent(self):
         graph = random_weighted_graph(45, 110, seed=19)
-        runs = self.run_static(StaticBoruvkaMST, graph)
+        # Borůvka's single superstep program feeds the driver-local
+        # contraction step, so its sends funnel after round 1 — no shm
+        # frames expected, but routing itself must still have engaged.
+        runs = self.run_static(StaticBoruvkaMST, graph, expect_shm=False)
         assert_all_equal(runs, lambda a: sorted(a.forest), "forest")
         assert_all_equal(runs, lambda a: a.phases_used, "phases used")
         reference = runs["reference"].forest_weight()
