@@ -1,0 +1,158 @@
+"""Layout A/B microbenchmark: dict vs CSR on the static Table 1 workloads.
+
+Runs each static baseline (connected components, maximal matching, Borůvka
+MST) under both state layouts on the ``fast`` execution backend, asserts
+the runs are observably identical (solutions, per-update round counts,
+total words — the layout contract), and records the median wall-clock per
+layout plus the CSR speedup in ``BENCH_layout_ab.json``.
+
+Run directly::
+
+    python benchmarks/bench_layout_ab.py
+    python benchmarks/bench_layout_ab.py --n 192 --repeat 3   # quicker
+"""
+
+from __future__ import annotations
+
+import argparse
+import gc
+import os
+import sys
+import time
+from statistics import median
+
+if __package__ in (None, ""):  # script mode: make `repro` and runner importable
+    _here = os.path.dirname(os.path.abspath(__file__))
+    _src = os.path.abspath(os.path.join(_here, "..", "src"))
+    for _path in (_src, _here):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+from runner import REPO_ROOT, emit_bench_json, numpy_provenance
+
+from repro.graph.generators import gnm_random_graph, random_weighted_graph
+from repro.mpc.layout import STATIC_LAYOUTS
+from repro.static_mpc import StaticBoruvkaMST, StaticConnectedComponents, StaticMaximalMatching
+
+
+def _workloads(n: int, seed: int):
+    """The three static Table 1 workloads as ``(name, make(layout), solution)``."""
+    cc_graph = gnm_random_graph(n, 3 * n, seed=seed)
+    mm_graph = gnm_random_graph(n, 3 * n, seed=seed + 1)
+    mst_graph = random_weighted_graph(n, 3 * n, seed=seed + 2)
+    return (
+        (
+            "static-connectivity",
+            lambda layout: StaticConnectedComponents(cc_graph, backend="fast", layout=layout),
+            lambda alg: (alg.labels, sorted(alg.spanning_forest())),
+        ),
+        (
+            "static-matching",
+            lambda layout: StaticMaximalMatching(mm_graph, seed=seed, backend="fast", layout=layout),
+            lambda alg: sorted(alg.matching),
+        ),
+        (
+            "static-mst",
+            lambda layout: StaticBoruvkaMST(mst_graph, backend="fast", layout=layout),
+            lambda alg: (sorted(alg.forest), round(alg.forest_weight(), 9)),
+        ),
+    )
+
+
+def compare_layouts(*, n: int = 512, seed: int = 2019, repeats: int = 5, warmup: int = 1) -> dict:
+    """Time every workload under both layouts; assert equivalence, record speedups."""
+    workloads: dict[str, dict] = {}
+    csr_wins = 0
+    for name, make, solution in _workloads(n, seed):
+        samples: dict[str, list[float]] = {layout: [] for layout in STATIC_LAYOUTS}
+        observed: dict[str, tuple] = {}
+        # Interleave the repeats across layouts so host-speed drift hits
+        # both sample sets alike (same policy as compare_backends), and
+        # alternate the pair order per iteration — with a fixed order the
+        # second layout of every pair systematically absorbs the GC of the
+        # first one's construction garbage.  The collect below evicts that
+        # garbage outside the timed region for the same reason.
+        for iteration in range(-max(0, warmup), max(1, repeats)):
+            order = tuple(STATIC_LAYOUTS) if iteration % 2 == 0 else tuple(reversed(STATIC_LAYOUTS))
+            for layout in order:
+                algorithm = make(layout)
+                gc.collect()
+                start = time.perf_counter()
+                algorithm.run(name)
+                elapsed = time.perf_counter() - start
+                ledger = algorithm.cluster.ledger
+                key = (
+                    solution(algorithm),
+                    [(u.label, u.num_rounds) for u in ledger.updates],
+                    ledger.summary().total_words,
+                )
+                previous = observed.setdefault(layout, key)
+                if key != previous:
+                    raise AssertionError(f"{name}: layout {layout!r} nondeterministic across repeats")
+                if iteration >= 0:
+                    samples[layout].append(elapsed)
+        if observed["csr"] != observed["dict"]:
+            raise AssertionError(f"{name}: CSR layout diverged from the dict layout")
+        dict_s = median(samples["dict"])
+        csr_s = median(samples["csr"])
+        speedup = round(dict_s / max(csr_s, 1e-9), 2)
+        csr_wins += speedup > 1.0
+        _, rounds, words = observed["csr"]
+        workloads[name] = {
+            "dict_wall_clock_s": round(dict_s, 6),
+            "csr_wall_clock_s": round(csr_s, 6),
+            "wall_clock_stat": f"median-of-{len(samples['csr'])}",
+            "dict_samples": [round(s, 6) for s in samples["dict"]],
+            "csr_samples": [round(s, 6) for s in samples["csr"]],
+            "speedup_csr_vs_dict": speedup,
+            "rounds_total": sum(r for _, r in rounds),
+            "words_total": words,
+            "equivalent": True,
+        }
+    return {
+        "bench": "layout_ab",
+        "backend": "fast",
+        "layout": "dict-vs-csr",
+        "numpy": numpy_provenance(),
+        "n": n,
+        "repeats": repeats,
+        "warmup": warmup,
+        "workloads": workloads,
+        "csr_wins": csr_wins,
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--n", type=int, default=512, help="number of vertices per workload")
+    parser.add_argument("--repeat", type=int, default=5, help="timing repeats (median recorded)")
+    parser.add_argument("--warmup", type=int, default=1, help="discarded warm-up iterations")
+    parser.add_argument("--seed", type=int, default=2019)
+    parser.add_argument(
+        "--min-wins",
+        type=int,
+        default=None,
+        metavar="K",
+        help="fail unless CSR beats dict on at least K of the 3 workloads",
+    )
+    args = parser.parse_args(argv)
+    report = compare_layouts(n=args.n, seed=args.seed, repeats=args.repeat, warmup=args.warmup)
+    header = f"{'workload':<22} {'dict':>9} {'csr':>9} {'speedup':>8}"
+    print(header)
+    print("-" * len(header))
+    for name, row in report["workloads"].items():
+        print(
+            f"{name:<22} {row['dict_wall_clock_s']:>8.3f}s {row['csr_wall_clock_s']:>8.3f}s "
+            f"{row['speedup_csr_vs_dict']:>7.2f}x"
+        )
+    path = emit_bench_json("layout_ab", report)
+    print(f"\nCSR wins {report['csr_wins']}/3; wrote {os.path.relpath(path, REPO_ROOT)}")
+    if args.min_wins is not None and report["csr_wins"] < args.min_wins:
+        print(f"FAIL: CSR beat dict on {report['csr_wins']} workloads, required {args.min_wins}")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -159,9 +159,33 @@ def active_backend_name() -> str:
     return os.environ.get("REPRO_BACKEND") or "reference"
 
 
+def active_layout_name() -> str:
+    """The static state layout benchmark runs resolve (for the JSON record)."""
+    from repro.mpc.layout import resolve_static_layout
+
+    return resolve_static_layout()
+
+
+def numpy_provenance() -> str | None:
+    """numpy version the vectorized kernels ran against, ``None`` on fallback."""
+    from repro.mpc.layout import numpy_or_none
+
+    np = numpy_or_none()
+    return getattr(np, "__version__", None) if np is not None else None
+
+
 # ----------------------------------------------------------------- JSON output
 def emit_bench_json(name: str, payload: dict, directory: str | None = None) -> str:
-    """Write a machine-readable ``BENCH_<name>.json`` record; return its path."""
+    """Write a machine-readable ``BENCH_<name>.json`` record; return its path.
+
+    Every record carries layout/numpy provenance: a perf number measured
+    under the dict layout (or without numpy) is not comparable to a CSR
+    one, and the JSON must say which it was.  Records that sweep layouts
+    themselves set ``layout`` explicitly and are left alone.
+    """
+    payload = dict(payload)
+    payload.setdefault("layout", active_layout_name())
+    payload.setdefault("numpy", numpy_provenance())
     path = os.path.join(directory or REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

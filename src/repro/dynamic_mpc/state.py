@@ -36,9 +36,15 @@ from repro.exceptions import ProtocolError
 from repro.graph.graph import DynamicGraph, normalize_edge
 from repro.mpc.cluster import Cluster
 from repro.mpc.coordinator import Coordinator, HistoryEntry, UpdateHistory
+from repro.mpc.layout import StatsTable, StatsTableHandle
 from repro.mpc.partition import RangePartition
 
 __all__ = ["VertexStats", "MatchingFabric"]
+
+#: the single machine-store key each statistics machine keeps its flat
+#: struct-of-arrays vertex table under (previously one ``("st", v)`` key and
+#: one ``VertexStats`` object per vertex).
+STATS_KEY = "stats"
 
 
 @dataclass
@@ -122,26 +128,59 @@ class MatchingFabric:
         return self._allocate_machine(light=True)
 
     # ------------------------------------------------------------------ stats
-    def stats_of(self, v: int) -> VertexStats:
+    def _stats_table(self, machine_id: str) -> StatsTable:
+        """The stats machine's flat vertex table (fresh and empty if never
+        committed — reads of blanks must not allocate storage)."""
+        handle: StatsTableHandle | None = self.cluster.machine(machine_id).load(STATS_KEY)
+        if handle is not None:
+            return handle.table
+        block = self.partition.vertices_on(machine_id)
+        return StatsTable(block.start, len(block))
+
+    def _commit_stats(self, machine_id: str, table: StatsTable) -> None:
+        """Persist ``table`` under a *fresh* frozen-charge handle.
+
+        A new handle per commit is what keeps the storage accounting
+        identical across backends: both the live-sizing reference storage
+        and the charge-caching fast storage release the previous handle's
+        frozen words and charge the new one (see
+        :class:`repro.mpc.layout.StatsTableHandle`).
+        """
+        self.cluster.machine(machine_id).store(STATS_KEY, StatsTableHandle(table))
+
+    @staticmethod
+    def _write_record(record, stats) -> None:
+        """Copy one stats record onto another (both sides duck-typed)."""
+        record.degree = stats.degree
+        record.mate = stats.mate
+        record.heavy = stats.heavy
+        record.alive_machine = stats.alive_machine
+        record.suspended_machines = list(stats.suspended_machines)
+        record.free_neighbors = stats.free_neighbors
+
+    def stats_of(self, v: int):
         """Read ``v``'s statistics *locally* (driver-side view of the stats machine).
 
         **Read-only contract**: for a vertex with no stored record this
         returns a fresh blank :class:`VertexStats` that is *not* persisted,
         so mutating the returned object does not write through — the change
         is silently lost unless the caller follows up with
-        :meth:`store_stats`.  Callers that need read-modify-write semantics
-        should use :meth:`mutate_stats`, which persists on exit for stored
-        and unseen vertices alike.
+        :meth:`store_stats`.  (For a *stored* vertex the returned record is
+        a live write-through view of the flat table, exactly as the old
+        per-vertex layout returned the live stored object.)  Callers that
+        need read-modify-write semantics should use :meth:`mutate_stats`,
+        which persists on exit for stored and unseen vertices alike.
         """
-        machine = self.cluster.machine(self.partition.machine_for(v))
-        stats = machine.load(("st", v))
-        if stats is None:
-            stats = VertexStats()
-        return stats
+        record = self._stats_table(self.partition.machine_for(v)).view(v)
+        return record if record is not None else VertexStats()
 
-    def store_stats(self, v: int, stats: VertexStats) -> None:
-        machine = self.cluster.machine(self.partition.machine_for(v))
-        machine.store(("st", v), stats)
+    def store_stats(self, v: int, stats) -> None:
+        machine_id = self.partition.machine_for(v)
+        table = self._stats_table(machine_id)
+        record = table.ensure(v)
+        if record is not stats:
+            self._write_record(record, stats)
+        self._commit_stats(machine_id, table)
 
     @contextmanager
     def mutate_stats(self, v: int) -> Iterator[VertexStats]:
@@ -151,14 +190,12 @@ class MatchingFabric:
         freshly created) record back to the statistics machine, so
         mutations to an unseen vertex's statistics cannot be lost.
         """
-        machine = self.cluster.machine(self.partition.machine_for(v))
-        stats = machine.load(("st", v))
-        if stats is None:
-            stats = VertexStats()
+        machine_id = self.partition.machine_for(v)
+        table = self._stats_table(machine_id)
         try:
-            yield stats
+            yield table.ensure(v)
         finally:
-            machine.store(("st", v), stats)
+            self._commit_stats(machine_id, table)
 
     def is_heavy(self, v: int) -> bool:
         return self.stats_of(v).degree >= self.threshold
@@ -170,10 +207,11 @@ class MatchingFabric:
         """The maintained matching (assembled from the statistics machines)."""
         edges: set[tuple[int, int]] = set()
         for machine in self.cluster.machines(role="stats"):
-            for key, value in machine.items():
-                if isinstance(key, tuple) and key[0] == "st" and isinstance(value, VertexStats):
-                    if value.mate is not None:
-                        edges.add(normalize_edge(key[1], value.mate))
+            handle: StatsTableHandle | None = machine.load(STATS_KEY)
+            if handle is None:
+                continue
+            for vertex, mate in handle.table.matched_pairs():
+                edges.add(normalize_edge(vertex, mate))
         return edges
 
     # ---------------------------------------------------------------- history
@@ -260,10 +298,13 @@ class MatchingFabric:
         replies: dict[int, VertexStats] = {}
         for machine_id in targets:
             machine = self.cluster.machine(machine_id)
+            table = self._stats_table(machine_id)
             for msg in machine.drain("stats-query"):
                 payload = []
                 for v in msg.payload:
-                    stats = machine.load(("st", v), VertexStats())
+                    stats = table.view(v)
+                    if stats is None:
+                        stats = VertexStats()
                     payload.append((v, stats))
                     replies[v] = stats
                 machine.send(self.coordinator.machine_id, "stats-reply", [(v, s.as_payload()) for v, s in payload])
@@ -283,8 +324,12 @@ class MatchingFabric:
         for machine_id, items in targets.items():
             machine = self.cluster.machine(machine_id)
             machine.drain("stats-write")
+            table = self._stats_table(machine_id)
             for v, stats in items:
-                machine.store(("st", v), stats)
+                record = table.ensure(v)
+                if record is not stats:
+                    self._write_record(record, stats)
+            self._commit_stats(machine_id, table)
 
     def refresh_machine(self, machine_id: str) -> None:
         """Coordinator ships pending history to one edge machine (1 round)."""

@@ -303,8 +303,8 @@ class ContractCheckContext(MachineContext):
             return default
         return self._inner.load(key, default)
 
-    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
-        self._inner.send(receiver, tag, payload)
+    def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> None:
+        self._inner.send(receiver, tag, payload, words=words)
 
 
 class GuardedInbox(list):

@@ -1,0 +1,623 @@
+"""Flat array state layouts: CSR adjacency, interning, struct-of-arrays stats.
+
+The machine stores of the static baselines were dict-of-objects — an
+``("adj", v)`` list and a ``("weights", v)`` dict per vertex — and the
+dynamic matching fabric kept one :class:`VertexStats` object per ``("st",
+v)`` key.  Every superstep paid python-dict overhead twice: once walking the
+per-vertex entries, once re-serializing the same keys for the
+process/resident wire.  This module owns the flat replacements:
+
+:class:`VertexInterner`
+    the dense vertex-ID map built once per static cluster — vertex ids in
+    payloads stay raw (bit-identical messages), dense positions index the
+    driver-side kernel caches.
+:class:`MachineCSR`
+    one machine's owned adjacency as contiguous ``array('q')``/``array('d')``
+    buffers (``verts``/``indptr``/``indices``/``weights``) plus two
+    materialized pure functions of them: per-entry partition owners
+    (``owner_pos``) and the static per-target entry grouping the CC kernel
+    sends along.  Stored under the single ``"csr"`` key behind the ordinary
+    :class:`~repro.runtime.base.MachineStorage` seam, so every backend ships
+    it like any other store value (one pickle buffer, no per-key framing).
+:class:`AliveTable`
+    the matching kernels' shared edge-liveness bitmap: one ``bytearray``
+    over CSR entries per machine.  Class-wrapped on purpose — marshal
+    silently corrupts naked buffers (decodes ``bytearray`` as ``bytes``),
+    and a class instance forces the wire codec onto its buffer-lifted path
+    (see :func:`repro.runtime.wire.register_wire_type`).
+:class:`StatsTable` / :class:`StatsView` / :class:`StatsTableHandle`
+    the dynamic fabric's vertex statistics as struct-of-arrays per stats
+    machine, stored as one handle per machine instead of one object per
+    vertex.  The handle freezes its word charge at construction
+    (``dmpc_words`` returns a constant), because the two storage accounting
+    disciplines disagree about live mutation: the reference storage re-sizes
+    the *current* value on overwrite while the cached storage releases the
+    charge it recorded at store time.  A fresh frozen handle per seam commit
+    makes both release the previous frozen charge and add the new one —
+    identical totals on every backend, tracking the live table size in O(1).
+
+NumPy acceleration is optional everywhere: kernels consult
+:data:`HAVE_NUMPY` and fall back to pure-python loops with identical
+results; buffers are always ``array``/``bytearray`` (never numpy scalars —
+``np.int64`` is not an ``int`` subclass and would corrupt both the word
+sizer and the marshal wire), with zero-copy ``np.frombuffer`` views built
+lazily per process and ``.tolist()`` conversions at every payload boundary.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Any, Callable, Iterable
+
+from repro.mpc.partition import hash_partition
+from repro.runtime.wire import register_wire_type
+
+try:  # pragma: no cover - exercised via both branches in CI images
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy-less fallback container
+    _np = None
+
+__all__ = [
+    "HAVE_NUMPY",
+    "numpy_or_none",
+    "resolve_static_layout",
+    "STATIC_LAYOUTS",
+    "VertexInterner",
+    "MachineCSR",
+    "build_machine_csr",
+    "AliveTable",
+    "StatsTable",
+    "StatsView",
+    "OverflowStats",
+    "StatsTableHandle",
+]
+
+#: whether the vectorized kernel paths are available in this interpreter.
+HAVE_NUMPY = _np is not None
+
+#: layouts :func:`resolve_static_layout` accepts.
+STATIC_LAYOUTS = ("dict", "csr")
+
+#: environment override for the default static layout.
+LAYOUT_ENV_VAR = "REPRO_STATIC_LAYOUT"
+
+
+def numpy_or_none():
+    """The numpy module when importable, else ``None`` (kernel guard)."""
+    return _np
+
+
+def resolve_static_layout(layout: "str | None" = None) -> str:
+    """Resolve the static state layout: argument, env var, default ``csr``.
+
+    Mirrors the backend resolution chain: an explicit argument wins, then
+    ``REPRO_STATIC_LAYOUT``, then the CSR default.  Unknown names fail
+    loudly — a typo silently running the slow layout would invalidate every
+    benchmark comparison downstream.
+    """
+    if layout is None:
+        layout = os.environ.get(LAYOUT_ENV_VAR, "").strip() or "csr"
+    if layout not in STATIC_LAYOUTS:
+        raise ValueError(f"unknown static layout {layout!r}; expected one of {STATIC_LAYOUTS}")
+    return layout
+
+
+# ---------------------------------------------------------------- interning
+class VertexInterner:
+    """Dense position per vertex id, fixed at cluster build time.
+
+    Message payloads stay in raw vertex-id space (bit-identity with the
+    dict layout); the dense side indexes driver-side kernel state like the
+    matched bitmap of the matching driver.
+    """
+
+    __slots__ = ("vertices", "index")
+
+    def __init__(self, vertices: "Iterable[int]") -> None:
+        #: dense position -> vertex id, in the graph's vertex order
+        self.vertices: list[int] = list(vertices)
+        #: vertex id -> dense position
+        self.index: dict[int, int] = {v: i for i, v in enumerate(self.vertices)}
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+    def dense(self, vertex: int) -> int:
+        return self.index[vertex]
+
+    def vertex(self, position: int) -> int:
+        return self.vertices[position]
+
+
+# --------------------------------------------------------------------- CSR
+def _array_words(buf: "array | None") -> int:
+    if buf is None:
+        return 0
+    return (len(buf) * buf.itemsize + 7) // 8 or 1
+
+
+class MachineCSR:
+    """One machine's owned adjacency in CSR form.
+
+    ``verts[i]`` is the ``i``-th owned vertex (owned order — the order the
+    dict layout iterated), its neighbors are ``indices[indptr[i]:
+    indptr[i+1]]`` in ascending order (the dict layout stored sorted
+    adjacency, so per-row order is identical), with parallel ``weights``
+    when the graph is weighted.  ``owner_pos[e]`` is the
+    :func:`~repro.mpc.partition.hash_partition` owner of ``indices[e]`` as
+    an index into the cluster's worker-id list, hoisted out of the per-round
+    loops; ``groups`` is the static first-appearance grouping of entries by
+    owner the CC kernel batches its proposals with.  Both are pure functions
+    of ``(indices, worker ids)`` — materialized ownership, not extra state —
+    so ``dmpc_words`` charges only the four data buffers (plus a framing
+    word), mirroring what the dict layout's per-vertex values represented.
+    """
+
+    __slots__ = ("verts", "indptr", "indices", "weights", "owner_pos", "groups", "_np_cache", "_list_cache")
+
+    def __init__(
+        self,
+        verts: array,
+        indptr: array,
+        indices: array,
+        weights: "array | None",
+        owner_pos: array,
+        groups: "tuple[tuple[int, array], ...]",
+    ) -> None:
+        self.verts = verts
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.owner_pos = owner_pos
+        self.groups = groups
+        self._np_cache: "dict[str, Any] | None" = None
+        self._list_cache: "dict[str, Any] | None" = None
+
+    # ------------------------------------------------------------- accounting
+    def dmpc_words(self) -> int:
+        return (
+            1
+            + _array_words(self.verts)
+            + _array_words(self.indptr)
+            + _array_words(self.indices)
+            + _array_words(self.weights)
+        )
+
+    # ------------------------------------------------------------------ views
+    @property
+    def num_rows(self) -> int:
+        return len(self.verts)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.indices)
+
+    def row_bounds(self, row: int) -> "tuple[int, int]":
+        return self.indptr[row], self.indptr[row + 1]
+
+    def np_views(self) -> "dict[str, Any]":
+        """Zero-copy numpy views over the buffers (built lazily per process).
+
+        Keys: ``verts``/``indptr``/``indices`` (+ ``weights`` when present)
+        as ``np.frombuffer`` views, ``degrees`` per row, and ``rows`` — the
+        row position of every entry.  Never pickled (see ``__getstate__``);
+        requires numpy (guard with :data:`HAVE_NUMPY`).
+        """
+        cache = self._np_cache
+        if cache is None:
+            indptr = _np.frombuffer(self.indptr, dtype=_np.int64)
+            degrees = _np.diff(indptr)
+            cache = {
+                "verts": _np.frombuffer(self.verts, dtype=_np.int64) if self.verts else _np.empty(0, _np.int64),
+                "indptr": indptr,
+                "indices": _np.frombuffer(self.indices, dtype=_np.int64)
+                if self.indices
+                else _np.empty(0, _np.int64),
+                "degrees": degrees,
+                "rows": _np.repeat(_np.arange(len(self.verts), dtype=_np.int64), degrees),
+            }
+            if self.weights is not None and len(self.weights):
+                cache["weights"] = _np.frombuffer(self.weights, dtype=_np.float64)
+            self._np_cache = cache
+        return cache
+
+    def entry_lists(self) -> "dict[str, Any]":
+        """Plain-list materializations of the buffers, lazily cached.
+
+        Keys: ``verts``/``indptr``/``indices`` as python lists and
+        ``weights`` (a list, or ``None`` for unweighted rows).  One bulk
+        ``array.tolist()`` conversion per process buys C-speed list
+        indexing/slicing for kernels whose inner loop stays in python
+        (per-machine rows are tens-to-hundreds of entries here, too small
+        for per-call numpy dispatch to pay off — the MST root walk is the
+        canonical client).  Never pickled, and numpy-free by design so the
+        fallback path benefits equally.
+        """
+        cache = self._list_cache
+        if cache is None:
+            cache = self._list_cache = {
+                "verts": self.verts.tolist(),
+                "indptr": self.indptr.tolist(),
+                "indices": self.indices.tolist(),
+                "weights": self.weights.tolist() if self.weights is not None else None,
+            }
+        return cache
+
+    # ------------------------------------------------------------ serialization
+    def _state(self) -> tuple:
+        return (self.verts, self.indptr, self.indices, self.weights, self.owner_pos, list(self.groups))
+
+    def __getstate__(self) -> tuple:
+        return self._state()
+
+    def __setstate__(self, state: tuple) -> None:
+        verts, indptr, indices, weights, owner_pos, groups = state
+        self.__init__(verts, indptr, indices, weights, owner_pos, tuple(tuple(g) for g in groups))
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, MachineCSR):
+            return NotImplemented
+        return self._state() == other._state()
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("MachineCSR is mutable buffer state; not hashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MachineCSR(rows={self.num_rows}, entries={self.num_entries}, "
+            f"weighted={self.weights is not None})"
+        )
+
+
+def build_machine_csr(
+    owned: "list[int]",
+    neighbors: "Callable[[int], list[int]]",
+    weight: "Callable[[int, int], float] | None",
+    worker_ids: "list[str]",
+) -> MachineCSR:
+    """Build one machine's CSR from its owned vertices.
+
+    ``neighbors(v)`` must return the neighbor list in the exact order the
+    dict layout stored it (sorted — bit-identity of every kernel depends on
+    per-row order); ``weight`` is ``None`` for unweighted workloads, which
+    drops the weights buffer entirely.
+    """
+    verts = array("q", owned)
+    indptr = array("q", [0])
+    indices = array("q")
+    weights: "array | None" = array("d") if weight is not None else None
+    for v in owned:
+        row = neighbors(v)
+        indices.extend(row)
+        if weights is not None:
+            weights.extend(weight(v, w) for w in row)
+        indptr.append(len(indices))
+    position = {machine_id: pos for pos, machine_id in enumerate(worker_ids)}
+    owner_pos = array("q", (position[hash_partition(w, worker_ids)] for w in indices))
+    # Static per-target grouping, first appearance over the row-major entry
+    # scan — exactly the order the dict layout's per-vertex loops appended
+    # proposals in.
+    order: "list[int]" = []
+    selections: "dict[int, array]" = {}
+    for entry, pos in enumerate(owner_pos):
+        sel = selections.get(pos)
+        if sel is None:
+            sel = selections[pos] = array("q")
+            order.append(pos)
+        sel.append(entry)
+    groups = tuple((pos, selections[pos]) for pos in order)
+    return MachineCSR(verts, indptr, indices, weights, owner_pos, groups)
+
+
+# -------------------------------------------------------------- alive table
+class AliveTable:
+    """Per-machine edge-liveness bitmaps for the CSR matching kernels.
+
+    ``rows[machine_id][e]`` is 1 while CSR entry ``e`` of that machine is
+    still a live (free) edge slot — the flat equivalent of membership in the
+    dict layout's ``free_adj[v]`` sets.  Lives in superstep shared state;
+    the class wrapper (rather than naked bytearrays) is what routes
+    resident ``shared_init`` frames onto the wire codec's buffer-lifted
+    path instead of marshal's silent bytearray→bytes corruption.
+    """
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows: "dict[str, bytearray] | None" = None) -> None:
+        self.rows: dict[str, bytearray] = rows if rows is not None else {}
+
+    def dmpc_words(self) -> int:
+        return 1 + len(self.rows) + sum((len(row) + 7) // 8 or 1 for row in self.rows.values())
+
+    def __eq__(self, other: Any) -> bool:
+        if not isinstance(other, AliveTable):
+            return NotImplemented
+        return self.rows == other.rows
+
+    def __hash__(self) -> None:  # type: ignore[override]
+        raise TypeError("AliveTable is mutable buffer state; not hashable")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        live = sum(sum(row) for row in self.rows.values())
+        return f"AliveTable(machines={len(self.rows)}, live={live})"
+
+
+# -------------------------------------------------------------- stats table
+#: per-vertex word parity with the dict layout: a stored ``("st", v)`` key
+#: cost 3 words (tuple framing + tag + id) and a ``VertexStats`` value
+#: ``6 + len(suspended)`` — the flat table charges the same 9 words per
+#: occupied slot plus one per suspended entry.
+_STATS_WORDS_PER_VERTEX = 9
+
+
+class StatsTable:
+    """Struct-of-arrays vertex statistics for one stats machine's range.
+
+    One flat slot per vertex of the machine's contiguous range partition
+    block: ``present`` marks occupancy, ``degree``/``mate``/
+    ``free_neighbors`` are ``array('q')`` columns (``mate`` uses ``-1`` for
+    "unmatched"), ``heavy`` a bitmap, ``alive`` the per-slot edge-machine
+    id (``None`` when absent), and ``suspended`` a sparse per-slot list —
+    only heavy vertices ever hold one, so a dense column would be waste.
+
+    The range partition wraps vertex ids past its sizing capacity back onto
+    a machine while keeping the original id, so a machine can legitimately
+    be asked about a vertex outside its dense block; those land in the
+    sparse ``overflow`` dict with the same per-vertex record shape.
+    """
+
+    __slots__ = (
+        "base",
+        "size",
+        "present",
+        "degree",
+        "mate",
+        "heavy",
+        "free_neighbors",
+        "alive",
+        "suspended",
+        "occupied",
+        "overflow",
+    )
+
+    def __init__(self, base: int, size: int) -> None:
+        self.base = base
+        self.size = size
+        self.present = bytearray(size)
+        self.degree = array("q", bytes(8 * size))
+        self.mate = array("q", bytes(8 * size))
+        for slot in range(size):
+            self.mate[slot] = -1
+        self.heavy = bytearray(size)
+        self.free_neighbors = array("q", bytes(8 * size))
+        self.alive: "list[str | None]" = [None] * size
+        self.suspended: "dict[int, list[str]]" = {}
+        self.occupied = 0
+        self.overflow: "dict[int, OverflowStats]" = {}
+
+    # ------------------------------------------------------------------ slots
+    def has(self, vertex: int) -> bool:
+        offset = vertex - self.base
+        if 0 <= offset < self.size:
+            return bool(self.present[offset])
+        return vertex in self.overflow
+
+    def ensure(self, vertex: int) -> "StatsView | OverflowStats":
+        """The live record for ``vertex``, occupying its slot if fresh."""
+        offset = vertex - self.base
+        if not 0 <= offset < self.size:
+            record = self.overflow.get(vertex)
+            if record is None:
+                record = self.overflow[vertex] = OverflowStats()
+            return record
+        if not self.present[offset]:
+            self.present[offset] = 1
+            self.occupied += 1
+        return StatsView(self, offset)
+
+    def view(self, vertex: int) -> "StatsView | OverflowStats | None":
+        """The live record for ``vertex``, or ``None`` when never stored."""
+        offset = vertex - self.base
+        if not 0 <= offset < self.size:
+            return self.overflow.get(vertex)
+        if self.present[offset]:
+            return StatsView(self, offset)
+        return None
+
+    def matched_pairs(self) -> "list[tuple[int, int]]":
+        """``(vertex, mate)`` for every stored vertex with a mate set."""
+        base = self.base
+        mate = self.mate
+        pairs = [
+            (base + offset, mate[offset])
+            for offset, present in enumerate(self.present)
+            if present and mate[offset] != -1
+        ]
+        pairs.extend(
+            (vertex, record.mate) for vertex, record in self.overflow.items() if record.mate is not None
+        )
+        return pairs
+
+    def live_words(self) -> int:
+        """Current word footprint, same charging as the dict layout's keys."""
+        suspended_total = sum(len(entries) for entries in self.suspended.values())
+        total = _STATS_WORDS_PER_VERTEX * (self.occupied + len(self.overflow)) + suspended_total
+        return total + sum(len(record.suspended_machines) for record in self.overflow.values())
+
+
+class StatsView:
+    """Write-through view of one :class:`StatsTable` slot.
+
+    Duck-typed to :class:`repro.dynamic_mpc.state.VertexStats`: same
+    attribute names, same payload dict, same word charge — callers mutate
+    it exactly like the live per-vertex objects the dict layout's
+    ``stats_of`` returned, and every mutation lands in the flat columns.
+    """
+
+    __slots__ = ("_table", "_slot")
+
+    def __init__(self, table: StatsTable, slot: int) -> None:
+        self._table = table
+        self._slot = slot
+
+    @property
+    def vertex(self) -> int:
+        return self._table.base + self._slot
+
+    # ------------------------------------------------------------- attributes
+    @property
+    def degree(self) -> int:
+        return self._table.degree[self._slot]
+
+    @degree.setter
+    def degree(self, value: int) -> None:
+        self._table.degree[self._slot] = value
+
+    @property
+    def mate(self) -> "int | None":
+        value = self._table.mate[self._slot]
+        return None if value == -1 else value
+
+    @mate.setter
+    def mate(self, value: "int | None") -> None:
+        self._table.mate[self._slot] = -1 if value is None else value
+
+    @property
+    def heavy(self) -> bool:
+        return bool(self._table.heavy[self._slot])
+
+    @heavy.setter
+    def heavy(self, value: bool) -> None:
+        self._table.heavy[self._slot] = 1 if value else 0
+
+    @property
+    def free_neighbors(self) -> int:
+        return self._table.free_neighbors[self._slot]
+
+    @free_neighbors.setter
+    def free_neighbors(self, value: int) -> None:
+        self._table.free_neighbors[self._slot] = value
+
+    @property
+    def alive_machine(self) -> "str | None":
+        return self._table.alive[self._slot]
+
+    @alive_machine.setter
+    def alive_machine(self, value: "str | None") -> None:
+        self._table.alive[self._slot] = value
+
+    @property
+    def suspended_machines(self) -> "list[str]":
+        return self._table.suspended.setdefault(self._slot, [])
+
+    @suspended_machines.setter
+    def suspended_machines(self, value: "list[str]") -> None:
+        self._table.suspended[self._slot] = list(value)
+
+    # ------------------------------------------------------------ conversions
+    def dmpc_words(self) -> int:
+        suspended = self._table.suspended.get(self._slot)
+        return 6 + (len(suspended) if suspended else 0)
+
+    def as_payload(self) -> "dict[str, Any]":
+        """Same wire dict as ``VertexStats.as_payload`` (payload parity)."""
+        table = self._table
+        slot = self._slot
+        suspended = table.suspended.get(slot)
+        return {
+            "degree": table.degree[slot],
+            "mate": table.mate[slot],
+            "heavy": bool(table.heavy[slot]),
+            "alive": table.alive[slot] or "",
+            "suspended": list(suspended) if suspended else [],
+            "free_neighbors": table.free_neighbors[slot],
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"StatsView(v={self.vertex}, degree={self.degree}, mate={self.mate}, "
+            f"heavy={self.heavy}, free={self.free_neighbors})"
+        )
+
+
+class OverflowStats:
+    """Sparse record for a vertex outside its table's dense block.
+
+    Same attribute surface, payload dict and word charge as
+    :class:`StatsView` / ``VertexStats`` — callers never observe which of
+    the three they hold.
+    """
+
+    __slots__ = ("degree", "mate", "heavy", "alive_machine", "suspended_machines", "free_neighbors")
+
+    def __init__(self) -> None:
+        self.degree = 0
+        self.mate: "int | None" = None
+        self.heavy = False
+        self.alive_machine: "str | None" = None
+        self.suspended_machines: list[str] = []
+        self.free_neighbors = 0
+
+    def dmpc_words(self) -> int:
+        return 6 + len(self.suspended_machines)
+
+    def as_payload(self) -> "dict[str, Any]":
+        return {
+            "degree": self.degree,
+            "mate": self.mate if self.mate is not None else -1,
+            "heavy": self.heavy,
+            "alive": self.alive_machine or "",
+            "suspended": list(self.suspended_machines),
+            "free_neighbors": self.free_neighbors,
+        }
+
+
+class StatsTableHandle:
+    """The stored value committed at every stats seam mutation.
+
+    Freezes the table's word charge at construction so the reference
+    storage (which re-sizes the live value) and the cached storage (which
+    releases the charge recorded at store time) account every commit
+    identically — see the module docstring.  A fresh handle per commit is
+    mandatory: re-storing the *same* object would skip sizing entirely on
+    the cached backend while the reference backend re-measured it.
+    """
+
+    __slots__ = ("table", "_words")
+
+    def __init__(self, table: StatsTable) -> None:
+        self.table = table
+        # the stored key ("stats") costs its own word; keep the machine
+        # total at exactly live_words() + 1 word of key, minimum 2.
+        self._words = max(1, table.live_words())
+
+    def dmpc_words(self) -> int:
+        return self._words
+
+    def __getstate__(self) -> tuple:
+        return (self.table, self._words)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.table, self._words = state
+
+
+# ------------------------------------------------------------ wire registry
+def _csr_to_wire(csr: MachineCSR) -> tuple:
+    return csr._state()
+
+
+def _csr_from_wire(payload: tuple) -> MachineCSR:
+    verts, indptr, indices, weights, owner_pos, groups = payload
+    return MachineCSR(verts, indptr, indices, weights, owner_pos, tuple(tuple(g) for g in groups))
+
+
+def _alive_to_wire(table: AliveTable) -> list:
+    return list(table.rows.items())
+
+def _alive_from_wire(payload: list) -> AliveTable:
+    return AliveTable({machine_id: row for machine_id, row in payload})
+
+
+register_wire_type(MachineCSR, "csr", _csr_to_wire, _csr_from_wire)
+register_wire_type(AliveTable, "alv", _alive_to_wire, _alive_from_wire)

@@ -132,8 +132,16 @@ class MachineContext(abc.ABC):
         """Read the machine's local store.  The value must not be mutated."""
 
     @abc.abstractmethod
-    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
-        """Stage a message for the next round (sized by the transport policy)."""
+    def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> None:
+        """Stage a message for the next round.
+
+        ``words`` pre-sizes the message explicitly; ``None`` defers to the
+        transport's sizing policy.  Programs whose payloads have a closed-form
+        size (the CSR kernels: ``k`` proposal tuples cost ``3 + 4k`` words)
+        pass it to skip the per-element sizing walk — the value must equal
+        what the sizer would have charged, which the layout A/B equivalence
+        tests pin down.
+        """
 
 
 class LiveMachineContext(MachineContext):
@@ -151,17 +159,18 @@ class LiveMachineContext(MachineContext):
     def load(self, key: Any, default: Any = None) -> Any:
         return self._machine.load(key, default)
 
-    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
-        self._machine.send(receiver, tag, payload)
+    def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> None:
+        self._machine.send(receiver, tag, payload, words=words)
 
 
 class WorkerMachineContext(MachineContext):
     """Worker-process view: loads from a shipped store snapshot, records sends.
 
-    The recorded ``(receiver, tag, payload)`` triples are replayed through
-    :meth:`Machine.send` driver-side, in recording order, so the staged
-    messages — content, order, charged words — are identical to the ones a
-    :class:`LiveMachineContext` would have staged directly.
+    The recorded ``(receiver, tag, payload, words)`` tuples are replayed
+    through :meth:`Machine.send` driver-side, in recording order, so the
+    staged messages — content, order, charged words — are identical to the
+    ones a :class:`LiveMachineContext` would have staged directly (``words``
+    is ``None`` unless the program pre-sized the send explicitly).
     """
 
     __slots__ = ("_machine_id", "_store", "sent")
@@ -170,7 +179,7 @@ class WorkerMachineContext(MachineContext):
         self._machine_id = machine_id
         self._store = store
         #: recorded sends, in staging order
-        self.sent: list[tuple[str, str, Any]] = []
+        self.sent: list[tuple[str, str, Any, int | None]] = []
 
     @property
     def machine_id(self) -> str:
@@ -179,8 +188,8 @@ class WorkerMachineContext(MachineContext):
     def load(self, key: Any, default: Any = None) -> Any:
         return self._store.get(key, default)
 
-    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
-        self.sent.append((receiver, tag, payload))
+    def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> None:
+        self.sent.append((receiver, tag, payload, words))
 
 
 class SuperstepProgram(abc.ABC):

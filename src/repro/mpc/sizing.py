@@ -23,6 +23,7 @@ bounds are asymptotic, and over-counting keeps the enforcement of the
 from __future__ import annotations
 
 import math
+from array import array
 from typing import Any
 
 __all__ = ["word_size", "fast_word_size"]
@@ -40,8 +41,12 @@ def word_size(payload: Any) -> int:
         return 1
     if isinstance(payload, str):
         return max(1, math.ceil(len(payload) / 8))
-    if isinstance(payload, bytes):
+    if isinstance(payload, (bytes, bytearray)):
         return max(1, math.ceil(len(payload) / 8))
+    if isinstance(payload, array):
+        # Flat buffers (the CSR layouts) are charged by their raw byte
+        # length, same rule as bytes: a word per 8 bytes, at least 1.
+        return max(1, math.ceil(len(payload) * payload.itemsize / 8))
     if hasattr(payload, "dmpc_words"):
         words = payload.dmpc_words()
         if not isinstance(words, int) or words < 1:
@@ -76,8 +81,10 @@ def fast_word_size(payload: Any) -> int:
         kind = type(item)
         if kind is int or kind is float or kind is bool or item is None:
             total += 1
-        elif kind is str or kind is bytes:
+        elif kind is str or kind is bytes or kind is bytearray:
             total += (len(item) + 7) // 8 or 1
+        elif kind is array:
+            total += (len(item) * item.itemsize + 7) // 8 or 1
         elif kind is dict:
             total += 1
             for key, value in item.items():

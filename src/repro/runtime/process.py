@@ -281,8 +281,8 @@ class ProcessBackend(ParallelBackend):
             raise error
 
         for machine in targets:
-            for receiver, tag, payload in results[machine.machine_id][0]:
-                machine.send(receiver, tag, payload)
+            for receiver, tag, payload, words in results[machine.machine_id][0]:
+                machine.send(receiver, tag, payload, words=words)
         for machine in targets:
             program.apply(shared, machine.machine_id, results[machine.machine_id][1])
         self.last_superstep_mode = "pool"

@@ -202,8 +202,10 @@ class _SizingMachineContext(WorkerMachineContext):
 
     __slots__ = ()
 
-    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
-        self.sent.append((receiver, tag, payload, fast_word_size(tag) + fast_word_size(payload)))
+    def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> None:
+        if words is None:
+            words = fast_word_size(tag) + fast_word_size(payload)
+        self.sent.append((receiver, tag, payload, words))
 
 
 class _RoutingMachineContext(WorkerMachineContext):
@@ -227,7 +229,9 @@ class _RoutingMachineContext(WorkerMachineContext):
         self._epoch = epoch
         self._index = index
 
-    def send(self, receiver: str, tag: str, payload: Any = None) -> None:
+    def send(self, receiver: str, tag: str, payload: Any = None, *, words: int | None = None) -> None:
+        if words is None:
+            words = fast_word_size(tag) + fast_word_size(payload)
         sent = self.sent
         sent.append(
             (
@@ -238,7 +242,7 @@ class _RoutingMachineContext(WorkerMachineContext):
                 receiver,
                 tag,
                 payload,
-                fast_word_size(tag) + fast_word_size(payload),
+                words,
             )
         )
 

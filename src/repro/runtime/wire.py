@@ -11,10 +11,22 @@ cross-slot traffic).  This module is their common wire layer:
     structures of builtin scalars — message field tuples, per-send word
     counts — for which :mod:`marshal` encodes and decodes several times
     faster than pickle.  Anything marshal cannot take (program-defined
-    payload objects, shipped exceptions) falls back to pickle
-    transparently; a one-byte prefix routes decoding.  Driver and workers
-    are always the same interpreter (spawned from this binary), so
+    payload objects, shipped exceptions) falls back to a *buffer-lifting*
+    pass first: registered wire types (the flat CSR layouts of
+    :mod:`repro.mpc.layout`), ``array.array`` and ``bytearray`` values are
+    rewritten into marshal-safe sentinel tuples whose buffers ride as raw
+    bytes — one buffer copy, no per-element encoding — and only a frame the
+    lift cannot make marshallable falls all the way back to pickle.  A
+    one-byte prefix (``M``/``A``/``P``) routes decoding.  Driver and
+    workers are always the same interpreter (spawned from this binary), so
     marshal's version-lock is moot.
+
+    The lift is mandatory for correctness, not just speed: marshal
+    silently *buffers* ``bytearray`` and ``array.array`` values — they
+    encode fine and decode as ``bytes``, corrupting the type — so any
+    frame carrying them must take the lifted path.  Naked buffers never
+    appear in frames today (layout state is class-wrapped, which marshal
+    loudly rejects), and :func:`register_wire_type` keeps it that way.
 :func:`pack_inbox` / :func:`unpack_inbox`
     flatten drained :class:`~repro.mpc.message.Message` objects to field
     tuples for the wire and rebuild them on the far side — a frozen
@@ -34,7 +46,8 @@ from __future__ import annotations
 import marshal
 import pickle
 import struct
-from typing import TYPE_CHECKING, Any, Iterable
+from array import array
+from typing import TYPE_CHECKING, Any, Callable, Iterable
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.shared_memory import SharedMemory
@@ -44,6 +57,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 __all__ = [
     "encode_obj",
     "decode_obj",
+    "register_wire_type",
     "pack_inbox",
     "unpack_inbox",
     "ShmRing",
@@ -53,18 +67,122 @@ __all__ = [
 
 _PICKLE = pickle.HIGHEST_PROTOCOL
 
+# ------------------------------------------------------------- buffer lifting
+#: first element of every lifted sentinel tuple.  An application tuple that
+#: happens to start with the marker is escaped (tag ``"esc"``), so the lift
+#: is unambiguous on arbitrary input.
+_WIRE_MARK = "__wire__"
+
+#: exact type -> (tag, to_wire) for registered layout classes.
+_WIRE_TYPES: "dict[type, tuple[str, Callable[[Any], Any]]]" = {}
+#: tag -> from_wire for decoding lifted frames.
+_WIRE_TAGS: "dict[str, Callable[[Any], Any]]" = {}
+
+
+def register_wire_type(
+    cls: type, tag: str, to_wire: "Callable[[Any], Any]", from_wire: "Callable[[Any], Any]"
+) -> None:
+    """Register a class for buffer-lifted frames.
+
+    ``to_wire(obj)`` must return a structure of builtins/buffers (it is
+    lifted recursively, so nested ``array``/``bytearray`` values are fine);
+    ``from_wire(payload)`` rebuilds the instance.  Registration is exact
+    type, latest wins (idempotent re-imports re-register identically).
+    """
+    if tag in ("arr", "bya", "esc"):
+        raise ValueError(f"wire tag {tag!r} is reserved")
+    _WIRE_TYPES[cls] = (tag, to_wire)
+    _WIRE_TAGS[tag] = from_wire
+
+
+def _lift(obj: Any) -> "tuple[Any, bool]":
+    """Rewrite buffers and registered types into marshal-safe sentinels.
+
+    Returns ``(converted, changed)``; untouched subtrees are returned
+    as-is, so a frame with no buffers costs one traversal and no copies.
+    """
+    kind = type(obj)
+    if kind is bytearray:
+        return (_WIRE_MARK, "bya", bytes(obj)), True
+    if kind is array:
+        return (_WIRE_MARK, "arr", obj.typecode, obj.tobytes()), True
+    registered = _WIRE_TYPES.get(kind)
+    if registered is not None:
+        tag, to_wire = registered
+        payload, _ = _lift(to_wire(obj))
+        return (_WIRE_MARK, tag, payload), True
+    if kind is tuple:
+        items = [_lift(item) for item in obj]
+        if obj and obj[0] == _WIRE_MARK:
+            return (_WIRE_MARK, "esc", tuple(item for item, _ in items)), True
+        if any(changed for _, changed in items):
+            return tuple(item for item, _ in items), True
+        return obj, False
+    if kind is list:
+        items = [_lift(item) for item in obj]
+        if any(changed for _, changed in items):
+            return [item for item, _ in items], True
+        return obj, False
+    if kind is dict:
+        items = [(_lift(key), _lift(value)) for key, value in obj.items()]
+        if any(kc or vc for (_, kc), (_, vc) in items):
+            return {key: value for (key, _), (value, _) in items}, True
+        return obj, False
+    # sets hold only hashable (hence buffer-free) members; scalars are inert.
+    return obj, False
+
+
+def _lower(obj: Any) -> Any:
+    """Inverse of :func:`_lift` (applied to a decoded lifted frame)."""
+    kind = type(obj)
+    if kind is tuple:
+        if obj and obj[0] == _WIRE_MARK:
+            tag = obj[1]
+            if tag == "bya":
+                return bytearray(obj[2])
+            if tag == "arr":
+                buf = array(obj[2])
+                buf.frombytes(obj[3])
+                return buf
+            if tag == "esc":
+                return tuple(_lower(item) for item in obj[2])
+            from_wire = _WIRE_TAGS.get(tag)
+            if from_wire is None:
+                # A worker can decode a lifted frame before the module that
+                # registered the type was imported on its side.
+                import repro.mpc.layout  # noqa: F401 - import registers
+
+                from_wire = _WIRE_TAGS[tag]
+            return from_wire(_lower(obj[2]))
+        return tuple(_lower(item) for item in obj)
+    if kind is list:
+        return [_lower(item) for item in obj]
+    if kind is dict:
+        return {key: _lower(value) for key, value in obj.items()}
+    return obj
+
 
 def encode_obj(obj: Any) -> bytes:
-    """Encode ``obj`` with marshal when possible, else pickle (prefix-routed)."""
+    """Encode ``obj``: marshal, then buffer-lifted marshal, then pickle."""
     try:
         return b"M" + marshal.dumps(obj)
     except ValueError:
-        return b"P" + pickle.dumps(obj, protocol=_PICKLE)
+        pass
+    lifted, changed = _lift(obj)
+    if changed:
+        try:
+            return b"A" + marshal.dumps(lifted)
+        except ValueError:
+            pass
+    return b"P" + pickle.dumps(obj, protocol=_PICKLE)
 
 
 def decode_obj(blob: bytes) -> Any:
-    if blob[:1] == b"M":
+    prefix = blob[:1]
+    if prefix == b"M":
         return marshal.loads(blob[1:])
+    if prefix == b"A":
+        return _lower(marshal.loads(blob[1:]))
     return pickle.loads(blob[1:])
 
 

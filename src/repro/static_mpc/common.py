@@ -1,10 +1,24 @@
 """Shared scaffolding for the static MPC baselines.
 
 All three baselines operate on *vertex-partitioned* data: every worker
-machine owns a set of vertices and stores, for each owned vertex, its
-current algorithm state and its adjacency list.  The partition is the
-stateless hash partition so drivers and machines agree on ownership without
-any directory traffic.
+machine owns a set of vertices and stores its state and adjacency in one of
+two interchangeable layouts:
+
+``"csr"`` (the default)
+    one :class:`~repro.mpc.layout.MachineCSR` per machine under the single
+    ``"csr"`` key — contiguous ``array('q')``/``array('d')`` buffers the
+    vectorized kernels walk directly, with per-entry partition owners
+    hoisted out of the round loops.  A :class:`~repro.mpc.layout.VertexInterner`
+    built once here gives the drivers a dense vertex-ID map for their own
+    kernel caches; message payloads stay in raw vertex-id space.
+``"dict"``
+    the historical per-vertex ``("adj", v)`` list / ``("weights", v)`` dict
+    stores.
+
+Both layouts produce bit-identical rounds, messages and solutions on every
+backend (property-tested in ``tests/static_mpc/test_layout_ab.py``); the
+partition is the stateless hash partition either way, so drivers and
+machines agree on ownership without any directory traffic.
 
 The baselines are *superstep-style* algorithms: each round every machine
 runs the same local code over its owned vertices.  That code is expressed
@@ -24,6 +38,7 @@ from dataclasses import dataclass, field
 from repro.config import DMPCConfig
 from repro.graph.graph import DynamicGraph
 from repro.mpc.cluster import Cluster
+from repro.mpc.layout import MachineCSR, VertexInterner, build_machine_csr, resolve_static_layout
 from repro.mpc.partition import hash_partition
 from repro.mpc.program import SuperstepProgram
 
@@ -58,19 +73,40 @@ class StaticMPCSetup:
     cluster: Cluster
     worker_ids: list[str]
     graph: DynamicGraph
-    #: machine id -> owned vertices, precomputed once so the per-round
-    #: superstep handlers don't rescan the whole vertex set per machine.
+    #: machine id -> owned vertices, authoritative: populated in full by
+    #: :func:`build_static_cluster` (every worker gets an entry, possibly
+    #: empty), so lookups never fall back to rescanning the vertex set.
     owned: dict[str, list[int]] = field(default_factory=dict)
+    #: which state layout the machine stores use ("csr" or "dict").
+    layout: str = "csr"
+    #: dense vertex-ID map, built once at cluster build time (CSR layout
+    #: drivers index their kernel caches with it; ``None`` under "dict").
+    interner: VertexInterner | None = None
 
     def owner(self, vertex: int) -> str:
         """The machine owning ``vertex``'s state and adjacency list."""
         return hash_partition(vertex, self.worker_ids)
 
     def owned_vertices(self, machine_id: str) -> list[int]:
-        """All vertices owned by ``machine_id``."""
-        if machine_id in self.owned:
+        """All vertices owned by ``machine_id`` (authoritative cache).
+
+        Raises ``KeyError`` for a machine that is not part of this setup —
+        the cache is populated for every worker at build time, so a miss is
+        a caller bug, not a reason to rescan the graph.
+        """
+        try:
             return self.owned[machine_id]
-        return [v for v in self.graph.vertices if self.owner(v) == machine_id]
+        except KeyError:
+            raise KeyError(
+                f"{machine_id!r} is not a worker machine of this static setup"
+            ) from None
+
+    def machine_csr(self, machine_id: str) -> MachineCSR:
+        """Driver-side view of ``machine_id``'s CSR store (CSR layout only)."""
+        csr = self.cluster.machine(machine_id).load("csr")
+        if csr is None:
+            raise KeyError(f"{machine_id!r} has no CSR store (layout={self.layout!r})")
+        return csr
 
 
 def build_static_cluster(
@@ -84,6 +120,8 @@ def build_static_cluster(
     replan_every: int | None = None,
     resident_slots: int | None = None,
     resident_shm_ring_bytes: int | None = None,
+    layout: str | None = None,
+    weighted: bool = True,
 ) -> StaticMPCSetup:
     """Create a cluster for a static baseline and load ``graph`` onto it.
 
@@ -98,7 +136,14 @@ def build_static_cluster(
     ``resident_shm_ring_bytes`` select and tune the execution backend
     (:mod:`repro.runtime`) the baseline runs on; ``None`` defers to the
     usual resolution chain (``REPRO_BACKEND``, then ``reference``).
+
+    ``layout`` selects the machine-store layout (``None`` defers to
+    ``REPRO_STATIC_LAYOUT``, then ``"csr"``).  ``weighted=False`` declares
+    that the workload never reads edge weights (connectivity, matching), so
+    neither layout materializes them: the dict layout skips the
+    ``("weights", v)`` stores and the CSR layout drops its weights buffer.
     """
+    layout = resolve_static_layout(layout)
     n = max(1, graph.num_vertices)
     m = graph.num_edges
     config = DMPCConfig(
@@ -118,14 +163,27 @@ def build_static_cluster(
     worker_machines = cluster.add_machines("w", max(2, workers), role="worker")
     worker_ids = [m_.machine_id for m_ in worker_machines]
 
-    setup = StaticMPCSetup(cluster=cluster, worker_ids=worker_ids, graph=graph)
+    setup = StaticMPCSetup(cluster=cluster, worker_ids=worker_ids, graph=graph, layout=layout)
     owned: dict[str, list[int]] = {mid: [] for mid in worker_ids}
     for v in graph.vertices:
         owned[setup.owner(v)].append(v)
     setup.owned = owned
-    for machine_id, vertices in owned.items():
-        machine = cluster.machine(machine_id)
-        for v in vertices:
-            machine.store(("adj", v), sorted(graph.neighbors(v)))
-            machine.store(("weights", v), {w: graph.weight(v, w) for w in graph.neighbors(v)})
+    if layout == "csr":
+        setup.interner = VertexInterner(graph.vertices)
+        weight = (lambda v, w: float(graph.weight(v, w))) if weighted else None
+        for machine_id, vertices in owned.items():
+            csr = build_machine_csr(
+                vertices,
+                lambda v: sorted(graph.neighbors(v)),
+                weight,
+                worker_ids,
+            )
+            cluster.machine(machine_id).store("csr", csr)
+    else:
+        for machine_id, vertices in owned.items():
+            machine = cluster.machine(machine_id)
+            for v in vertices:
+                machine.store(("adj", v), sorted(graph.neighbors(v)))
+                if weighted:
+                    machine.store(("weights", v), {w: graph.weight(v, w) for w in graph.neighbors(v)})
     return setup

@@ -33,7 +33,7 @@ from repro.graph.graph import DynamicGraph, normalize_edge
 from repro.mpc.program import MachineContext
 from repro.static_mpc.common import StaticMPCSetup, VertexProgram, build_static_cluster
 
-__all__ = ["StaticBoruvkaMST", "MSTCandidateProgram"]
+__all__ = ["StaticBoruvkaMST", "MSTCandidateProgram", "CSRMSTCandidateProgram"]
 
 
 class MSTCandidateProgram(VertexProgram):
@@ -85,6 +85,101 @@ class MSTCandidateProgram(VertexProgram):
         shared["candidate_counts"][machine_id] = delta
 
 
+class CSRMSTCandidateProgram(VertexProgram):
+    """The CSR recut of :class:`MSTCandidateProgram`.
+
+    Walks the machine's flat ``indices``/``weights`` buffers instead of
+    per-vertex weight dicts, with a per-run root memo in front of ``find``:
+    no merges happen during a scan, so every root is stable for the whole
+    phase and each distinct vertex pays for at most one union-find walk per
+    machine (the memo also does less path compression than the dict
+    program's repeated walks — the sanctioned semantically-invisible
+    difference: roots, and therefore every candidate and message, are
+    identical).  The scan deliberately stays in python over the cached
+    ``entry_lists`` materialization: per-machine rows are tens-to-hundreds
+    of entries at Table-1 scale, where per-call numpy dispatch costs more
+    than it saves, while bulk ``tolist`` + list slicing beats both
+    per-index ``array`` access and the dict program's per-vertex
+    ``ctx.load``.  Candidates surface in ``best_local`` insertion order —
+    first appearance of each component over the row-major scan — exactly
+    the dict program's emission order.  Candidate messages are a constant
+    7 words (tag 2 + 4-tuple framing 5), equal to the self-sized charge
+    (pinned in the layout A/B tests).
+    """
+
+    shared_reads = ("component",)
+    shared_writes = ("candidate_counts",)
+    store_reads = ("csr",)
+    #: driver scope: candidate counts feed the driver's termination check
+    #: only — no run ever reads them, so worker replay is skipped entirely.
+    delta_scope = "driver"
+    #: the inbox holds the previous phase's merge broadcast, already
+    #: reflected in the shared component map — never read
+    reads_inbox = False
+
+    def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> int:
+        component = shared["component"]
+
+        def find(v: int) -> int:
+            while component[v] != v:
+                component[v] = component[component[v]]
+                v = component[v]
+            return v
+
+        csr = ctx.load("csr")
+        if csr is None or not csr.num_rows:
+            return 0
+        lists = csr.entry_lists()
+        indptr = lists["indptr"]
+        indices = lists["indices"]
+        weights = lists["weights"]
+        if weights is None:
+            weights = [1.0] * len(indices)
+        infinity = float("inf")
+        roots: dict[int, int] = {}
+        roots_get = roots.get
+        best_local: dict[int, tuple[float, int, int]] = {}
+        best_local_get = best_local.get
+        start = 0
+        for row, v in enumerate(lists["verts"]):
+            stop = indptr[row + 1]
+            comp_v = roots_get(v)
+            if comp_v is None:
+                comp_v = roots[v] = find(v)
+            # Scalar best-so-far instead of per-candidate tuples: the
+            # (weight, v, w) lexicographic compare is unrolled with a cheap
+            # ``weight > best`` early-out, so the common cross entry costs
+            # one float compare and no allocation.
+            best = best_local_get(comp_v)
+            if best is None:
+                best_weight, best_v, best_w = infinity, -1, -1
+            else:
+                best_weight, best_v, best_w = best
+            changed = False
+            for w, weight in zip(indices[start:stop], weights[start:stop]):
+                comp_w = roots_get(w)
+                if comp_w is None:
+                    comp_w = roots[w] = find(w)
+                if comp_w == comp_v or weight > best_weight:
+                    continue
+                if (
+                    weight < best_weight
+                    or v < best_v
+                    or (v == best_v and w < best_w)
+                ):
+                    best_weight, best_v, best_w = weight, v, w
+                    changed = True
+            if changed:
+                best_local[comp_v] = (best_weight, best_v, best_w)
+            start = stop
+        for comp_label, (weight, v, w) in best_local.items():
+            ctx.send(self.owner(comp_label), "mst-candidate", (comp_label, weight, v, w), words=7)
+        return len(best_local)
+
+    def apply(self, shared: MutableMapping[str, Any], machine_id: str, delta: int) -> None:
+        shared["candidate_counts"][machine_id] = delta
+
+
 class StaticBoruvkaMST:
     """Borůvka's algorithm on the simulator (exact minimum spanning forest)."""
 
@@ -101,6 +196,7 @@ class StaticBoruvkaMST:
         replan_every: int | None = None,
         resident_slots: int | None = None,
         resident_shm_ring_bytes: int | None = None,
+        layout: str | None = None,
     ) -> None:
         self.graph = graph
         self.setup: StaticMPCSetup = build_static_cluster(
@@ -113,6 +209,7 @@ class StaticBoruvkaMST:
             replan_every=replan_every,
             resident_slots=resident_slots,
             resident_shm_ring_bytes=resident_shm_ring_bytes,
+            layout=layout,
         )
         self.cluster = self.setup.cluster
         self.max_phases = max_phases if max_phases is not None else 2 * max(2, graph.num_vertices.bit_length() + 1)
@@ -133,7 +230,10 @@ class StaticBoruvkaMST:
         component: dict[int, int] = state["component"]
         candidate_counts: dict[str, int] = state["candidate_counts"]
         forest: set[tuple[int, int]] = set()
-        report_candidates = MSTCandidateProgram(setup.owned, worker_ids)
+        if setup.layout == "csr":
+            report_candidates: VertexProgram = CSRMSTCandidateProgram(setup.owned, worker_ids)
+        else:
+            report_candidates = MSTCandidateProgram(setup.owned, worker_ids)
 
         def find(v: int) -> int:
             while component[v] != v:
@@ -179,10 +279,16 @@ class StaticBoruvkaMST:
                 if merges:
                     session.touch("component")
                 # Broadcast the merge decisions (constant words per merge) so
-                # every machine can update its local component view.
+                # every machine can update its local component view.  The
+                # charge is pre-sized with the closed form for a list of k
+                # 2-tuples — tag 2 + list framing 1 + 3k — pinned equal to
+                # the sizer in the layout A/B tests; recursively sizing the
+                # same broadcast payload once per receiver dominated the
+                # whole phase before.
+                merge_words = 3 + 3 * len(merges)
                 leader = cluster.machine(worker_ids[0])
                 for machine_id in worker_ids[1:]:
-                    leader.send(machine_id, "mst-merges", merges)
+                    leader.send(machine_id, "mst-merges", merges, words=merge_words)
                 cluster.exchange()
                 self.phases_used = phase + 1
             for machine_id in worker_ids[1:]:

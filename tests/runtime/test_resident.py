@@ -55,12 +55,15 @@ def run_label_propagation(graph, *, backend, plans=None, replan_every=None, on_r
     Returns everything a bit-identity comparison needs plus the session and
     the observed migrations.
     """
+    # The hand-built round loop below uses the dict-layout programs, so pin
+    # the layout regardless of the REPRO_STATIC_LAYOUT default.
     setup = build_static_cluster(
         graph,
         backend=backend,
         shard_count=SHARD_COUNT,
         max_workers=MAX_WORKERS,
         replan_every=replan_every,
+        layout="dict",
     )
     cluster = setup.cluster
     worker_ids = setup.worker_ids
@@ -307,7 +310,7 @@ class TestWorkerSessionProtocol:
         and a *fresh* session on the same workers still runs bit-identically."""
         graph = gnm_random_graph(30, 60, seed=29)
         setup = build_static_cluster(
-            graph, backend="resident", shard_count=SHARD_COUNT, max_workers=MAX_WORKERS
+            graph, backend="resident", shard_count=SHARD_COUNT, max_workers=MAX_WORKERS, layout="dict"
         )
         cluster = setup.cluster
         worker_ids = setup.worker_ids

@@ -361,8 +361,15 @@ def run_matching(graph, seed=31, **kwargs):
 def run_label_propagation(graph, *, backend, plans=None, **cluster_kwargs):
     """The StaticConnectedComponents round loop with re-plan injection —
     self-contained (test modules are not importable from each other)."""
+    # The hand-built round loop below uses the dict-layout programs, so pin
+    # the layout regardless of the REPRO_STATIC_LAYOUT default.
     setup = build_static_cluster(
-        graph, backend=backend, shard_count=SHARD_COUNT, max_workers=MAX_WORKERS, **cluster_kwargs
+        graph,
+        backend=backend,
+        shard_count=SHARD_COUNT,
+        max_workers=MAX_WORKERS,
+        layout="dict",
+        **cluster_kwargs,
     )
     cluster = setup.cluster
     worker_ids = setup.worker_ids

@@ -16,15 +16,49 @@ from repro.static_mpc import StaticBoruvkaMST, StaticConnectedComponents, Static
 
 
 class TestSetup:
-    def test_build_static_cluster_places_all_adjacency(self):
+    def test_build_static_cluster_places_all_adjacency_csr(self):
         graph = gnm_random_graph(20, 40, seed=1)
-        setup = build_static_cluster(graph)
+        setup = build_static_cluster(graph)  # default layout: csr
+        assert setup.layout == "csr"
+        placed = 0
+        for machine_id in setup.worker_ids:
+            csr = setup.machine_csr(machine_id)
+            assert list(csr.verts) == setup.owned_vertices(machine_id)
+            assert len(csr.weights) == csr.num_entries
+            placed += csr.num_entries
+        assert placed == 2 * graph.num_edges
+        assert len(setup.interner) == graph.num_vertices
+
+    def test_build_static_cluster_places_all_adjacency_dict(self):
+        graph = gnm_random_graph(20, 40, seed=1)
+        setup = build_static_cluster(graph, layout="dict")
+        assert setup.layout == "dict"
         placed = 0
         for machine_id in setup.worker_ids:
             machine = setup.cluster.machine(machine_id)
             for v in setup.owned_vertices(machine_id):
                 placed += len(machine.load(("adj", v), []))
         assert placed == 2 * graph.num_edges
+
+    def test_unweighted_setup_skips_weight_stores(self):
+        graph = gnm_random_graph(12, 20, seed=2)
+        dict_setup = build_static_cluster(graph, layout="dict", weighted=False)
+        for machine_id in dict_setup.worker_ids:
+            machine = dict_setup.cluster.machine(machine_id)
+            for v in dict_setup.owned_vertices(machine_id):
+                assert machine.load(("weights", v)) is None
+        csr_setup = build_static_cluster(graph, layout="csr", weighted=False)
+        for machine_id in csr_setup.worker_ids:
+            assert csr_setup.machine_csr(machine_id).weights is None
+
+    def test_owned_vertices_is_authoritative(self):
+        graph = gnm_random_graph(10, 15, seed=3)
+        setup = build_static_cluster(graph)
+        assert sorted(v for mid in setup.worker_ids for v in setup.owned_vertices(mid)) == sorted(
+            graph.vertices
+        )
+        with pytest.raises(KeyError):
+            setup.owned_vertices("not-a-machine")
 
 
 class TestStaticConnectedComponents:
