@@ -166,6 +166,20 @@ def active_layout_name() -> str:
     return resolve_static_layout()
 
 
+def active_dynamic_layout_name() -> str:
+    """The dynamic state layout benchmark runs resolve (for the JSON record)."""
+    from repro.mpc.layout import resolve_dynamic_layout
+
+    return resolve_dynamic_layout()
+
+
+def active_coalesce_flag() -> bool:
+    """Whether update-stream coalescing is on for benchmark runs (for the JSON record)."""
+    from repro.graph.updates import resolve_coalesce
+
+    return resolve_coalesce()
+
+
 def numpy_provenance() -> str | None:
     """numpy version the vectorized kernels ran against, ``None`` on fallback."""
     from repro.mpc.layout import numpy_or_none
@@ -185,6 +199,8 @@ def emit_bench_json(name: str, payload: dict, directory: str | None = None) -> s
     """
     payload = dict(payload)
     payload.setdefault("layout", active_layout_name())
+    payload.setdefault("dynamic_layout", active_dynamic_layout_name())
+    payload.setdefault("coalesce", active_coalesce_flag())
     payload.setdefault("numpy", numpy_provenance())
     path = os.path.join(directory or REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
@@ -219,7 +235,7 @@ def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
 
     def run(
         backend, shard_count, max_workers, process_chunk_machines=None, replan_every=None,
-        resident_slots=None,
+        resident_slots=None, layout=None, coalesce=None,
     ) -> RunResult:
         config = DMPCConfig.for_graph(
             n,
@@ -231,11 +247,19 @@ def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
             replan_every=replan_every,
             resident_slots=resident_slots,
         )
-        algorithm = algorithm_cls(config, **algorithm_kwargs)
+        algorithm = algorithm_cls(config, layout=layout, coalesce=coalesce, **algorithm_kwargs)
         algorithm.preprocess(graph.copy())
         start = time.perf_counter()
-        for update in stream:
-            algorithm.apply(update)
+        if coalesce:
+            # Coalescing acts on batches, so the coalesced comparison runs
+            # the batched ingestion path (chunks of 16, the bench default).
+            from repro.graph import batched
+
+            for chunk in batched(stream, 16):
+                algorithm.apply_batch(chunk)
+        else:
+            for update in stream:
+                algorithm.apply(update)
         elapsed = time.perf_counter() - start
         return RunResult(
             solution=solution(algorithm),
@@ -302,8 +326,10 @@ def _static_runner(make_algorithm, solution, label: str):
 
     def run(
         backend, shard_count, max_workers, process_chunk_machines=None, replan_every=None,
-        resident_slots=None,
+        resident_slots=None, layout=None, coalesce=None,
     ) -> RunResult:
+        # layout / coalesce are dynamic-stack knobs; static recomputation
+        # accepts and ignores them so compare_backends has one run signature.
         algorithm = make_algorithm(
             backend=backend,
             shard_count=shard_count,
@@ -362,6 +388,42 @@ def _static_mst_workload(n: int, updates: int, seed: int):
     )
 
 
+def profile_top_entries(fn: Callable[[], Any], *, top: int = 20) -> list[dict]:
+    """Run ``fn`` under cProfile; return the top entries by cumulative time.
+
+    Each entry carries ``function`` (``file:line:name``), ``ncalls``,
+    ``tottime_s`` and ``cumtime_s`` — enough for a BENCH record to show
+    *where* a workload spent its time without shipping the whole pstats
+    dump.  This is how the dynamic hot spots that motivated the recut
+    (recursive payload sizing, per-vertex tour re-stores) were found.
+    """
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        fn()
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    entries: list[dict] = []
+    for func in stats.fcn_list[:top]:
+        _cc, ncalls, tottime, cumtime, _callers = stats.stats[func]
+        filename, lineno, name = func
+        location = name if lineno == 0 else f"{os.path.basename(filename)}:{lineno}:{name}"
+        entries.append(
+            {
+                "function": location,
+                "ncalls": ncalls,
+                "tottime_s": round(tottime, 6),
+                "cumtime_s": round(cumtime, 6),
+            }
+        )
+    return entries
+
+
 #: workload name -> builder(n, updates, seed) -> run(backend, shard_count, max_workers, chunk)
 WORKLOADS: dict[str, Callable] = {
     "connectivity": _connectivity_workload,
@@ -388,6 +450,9 @@ def compare_backends(
     process_chunk_machines: int | None = None,
     replan_every: int | None = None,
     resident_slots: int | None = None,
+    layout: str | None = None,
+    coalesce: bool | None = None,
+    profile: bool = False,
 ) -> dict:
     """Run one workload under each backend; verify equivalence, measure speedup.
 
@@ -428,7 +493,7 @@ def compare_backends(
         for backend in backends:
             result = run(
                 backend, shard_count, max_workers, process_chunk_machines, replan_every,
-                resident_slots,
+                resident_slots, layout, coalesce,
             )
             last = lasts.get(backend)
             if last is not None and (
@@ -457,6 +522,15 @@ def compare_backends(
             # messages stayed worker-local vs crossed a shm ring vs fell
             # back to the pipe.  Driver-delivered backends record nothing.
             results[backend]["traffic"] = dict(last.traffic)
+        if profile:
+            # One extra (untimed) run per backend under cProfile; the top
+            # cumulative entries become part of the perf record's provenance.
+            results[backend]["profile_top"] = profile_top_entries(
+                lambda: run(
+                    backend, shard_count, max_workers, process_chunk_machines, replan_every,
+                    resident_slots, layout, coalesce,
+                )
+            )
     baseline = backends[0]
     for backend in backends[1:]:
         if solutions[backend] != solutions[baseline]:
@@ -490,6 +564,9 @@ def compare_backends(
         "round_counts_identical": True,
         # provenance: perf records are only comparable on like-for-like runs
         "warmup": warmup,
+        "profiled": profile,
+        "dynamic_layout": layout or active_dynamic_layout_name(),
+        "coalesce": active_coalesce_flag() if coalesce is None else coalesce,
         "cpu_count": os.cpu_count(),
         "python_version": platform.python_version(),
     }
@@ -565,6 +642,23 @@ def main(argv: list[str] | None = None) -> int:
         help="pin the resident backend's worker-slot count; >= 2 exercises the "
         "cross-slot shm rings and the traffic counters land in the BENCH json",
     )
+    parser.add_argument(
+        "--layout",
+        choices=("dict", "csr"),
+        default=None,
+        help="dynamic state layout for the dynamic workloads (default: REPRO_DYNAMIC_LAYOUT or csr)",
+    )
+    parser.add_argument(
+        "--coalesce",
+        action="store_true",
+        help="coalesce each update batch before application (dynamic workloads; default off)",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="run one extra pass per backend under cProfile and record the top-20 "
+        "cumulative entries in the BENCH json",
+    )
     parser.add_argument("--quick", action="store_true", help="small smoke-test sizes (used by CI)")
     parser.add_argument(
         "--min-speedup",
@@ -590,6 +684,9 @@ def main(argv: list[str] | None = None) -> int:
         process_chunk_machines=args.chunk,
         replan_every=args.replan_every,
         resident_slots=args.resident_slots,
+        layout=args.layout,
+        coalesce=args.coalesce or None,
+        profile=args.profile,
     )
     print(format_comparison(report))
     path = emit_bench_json(f"table1_{args.workload}_backends", report)

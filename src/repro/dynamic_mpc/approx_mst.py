@@ -32,8 +32,12 @@ from repro.dynamic_mpc.connectivity import DMPCConnectivity
 from repro.exceptions import InvariantViolation
 from repro.graph.graph import DynamicGraph, normalize_edge
 from repro.graph.validation import is_spanning_forest, minimum_spanning_forest_weight
+from repro.mpc.sizing import closed_form_words, register_closed_form
 
 __all__ = ["DMPCApproxMST"]
+
+# The per-machine path-maximum offer is always a (weight, v, w) triple.
+register_closed_form("path-max-offer", lambda payload: 4)
 
 
 class DMPCApproxMST(DMPCConnectivity):
@@ -41,10 +45,18 @@ class DMPCApproxMST(DMPCConnectivity):
 
     kind = "approx-mst"
 
-    def __init__(self, config: DMPCConfig, *, epsilon: float = 0.1, check_invariants: bool = False) -> None:
+    def __init__(
+        self,
+        config: DMPCConfig,
+        *,
+        epsilon: float = 0.1,
+        check_invariants: bool = False,
+        layout: str | None = None,
+        coalesce: bool | None = None,
+    ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
-        super().__init__(config, check_invariants=check_invariants)
+        super().__init__(config, check_invariants=check_invariants, layout=layout, coalesce=coalesce)
         self.epsilon = epsilon
 
     # ----------------------------------------------------------------- weights
@@ -160,13 +172,10 @@ class DMPCApproxMST(DMPCConnectivity):
 
         for machine in self.cluster.machines(role="worker"):
             best: tuple[float, int, int] | None = None
-            for key, state in machine.items():
-                if not (isinstance(key, tuple) and key[0] == "tour") or state["comp"] != comp:
-                    continue
-                v = key[1]
-                f_v = min(state["indexes"], default=0)
-                l_v = max(state["indexes"], default=0)
-                for w, record in machine.load(("edges", v), {}).items():
+            for v, indexes, edge_row in self._tours.path_scan_items(machine, comp):
+                f_v = min(indexes, default=0)
+                l_v = max(indexes, default=0)
+                for w, record in edge_row.items():
                     if not record.get("tree") or record.get("indexes") is None:
                         continue
                     i1, i2 = record["indexes"]
@@ -182,7 +191,12 @@ class DMPCApproxMST(DMPCConnectivity):
                     if best is None or candidate > best:
                         best = candidate
             if best is not None:
-                machine.send(self.aggregator_id, "path-max-offer", best)
+                machine.send(
+                    self.aggregator_id,
+                    "path-max-offer",
+                    best,
+                    words=closed_form_words("path-max-offer", best),
+                )
         self.cluster.exchange()
         agg = self.cluster.machine(self.aggregator_id)
         offers = [msg.payload for msg in agg.drain("path-max-offer")]

@@ -6,8 +6,15 @@ import abc
 
 from repro.config import DMPCConfig
 from repro.graph.graph import DynamicGraph
-from repro.graph.updates import GraphUpdate, UpdateSequence
+from repro.graph.updates import (
+    GraphUpdate,
+    UpdateSequence,
+    coalesce_updates,
+    group_updates_by_owner,
+    resolve_coalesce,
+)
 from repro.mpc.cluster import Cluster
+from repro.mpc.layout import resolve_dynamic_layout
 from repro.mpc.metrics import MetricsLedger, UpdateSummary
 
 __all__ = ["DynamicMPCAlgorithm"]
@@ -40,11 +47,29 @@ class DynamicMPCAlgorithm(abc.ABC):
     #: label prefix used in the metrics ledger for updates of this algorithm
     kind: str = "dmpc"
 
-    def __init__(self, config: DMPCConfig, *, check_invariants: bool = False) -> None:
+    def __init__(
+        self,
+        config: DMPCConfig,
+        *,
+        check_invariants: bool = False,
+        layout: str | None = None,
+        coalesce: bool | None = None,
+    ) -> None:
         self.config = config
         self.cluster = Cluster(config)
         self.check_invariants = check_invariants
+        self.layout = resolve_dynamic_layout(layout)
+        self.coalesce = resolve_coalesce(coalesce)
         self._preprocessed = False
+        #: stats of the most recent coalescing pass (None until one runs)
+        self.last_coalesce_stats: dict[str, int] | None = None
+        #: running totals across all coalesced batches, for bench provenance
+        self.coalesce_totals: dict[str, int] = {
+            "input": 0,
+            "output": 0,
+            "cancelled_pairs": 0,
+            "deduped": 0,
+        }
 
     # ------------------------------------------------------------------ hooks
     @abc.abstractmethod
@@ -80,7 +105,12 @@ class DynamicMPCAlgorithm(abc.ABC):
         if self.check_invariants:
             self.verify_invariants()
 
-    def apply_batch(self, updates: UpdateSequence | list[GraphUpdate]) -> None:
+    def apply_batch(
+        self,
+        updates: UpdateSequence | list[GraphUpdate],
+        *,
+        coalesce: bool | None = None,
+    ) -> None:
         """Process a batch of pending updates, recording it as one ledger batch.
 
         The batch is semantically equivalent to applying the updates in
@@ -88,16 +118,47 @@ class DynamicMPCAlgorithm(abc.ABC):
         overriding :meth:`_apply_batch` merge the communication of
         compatible updates so a batch of ``k`` updates can cost far fewer
         rounds than ``k`` separate applications.
+
+        With ``coalesce`` on (per-call argument > constructor/env toggle,
+        default off) the batch is first normalized by
+        :func:`~repro.graph.updates.coalesce_updates` — insert/delete pairs on
+        the same edge cancel, structural no-ops dedupe — and the survivors are
+        grouped by owning machine when the algorithm exposes ``owner()``.  The
+        final graph is unchanged; round records may only shrink (asserted
+        against sequential replay of the same normalized stream in
+        ``tests/dynamic_mpc``).
         """
         updates = list(updates)
         if not updates:
             return
         if not self._preprocessed:
             self.preprocess(DynamicGraph())
+        do_coalesce = self.coalesce if coalesce is None else coalesce
+        if do_coalesce:
+            updates, stats = self.normalize_batch(updates)
+            self.last_coalesce_stats = stats
+            for key in self.coalesce_totals:
+                self.coalesce_totals[key] += stats[key]
+            if not updates:
+                return
         with self.cluster.batch():
             self._apply_batch(updates)
         if self.check_invariants:
             self.verify_invariants()
+
+    def normalize_batch(self, updates: UpdateSequence | list[GraphUpdate]) -> tuple[list[GraphUpdate], dict]:
+        """The exact update list a ``coalesce=True`` batch applies, plus stats.
+
+        Exposed so benchmarks and tests can replay the normalized stream
+        sequentially and assert bit-identity against the batched run: the
+        survivors of :func:`~repro.graph.updates.coalesce_updates`, grouped
+        by owning machine when the algorithm exposes ``owner()``.
+        """
+        updates, stats = coalesce_updates(list(updates))
+        owner = getattr(self, "owner", None)
+        if owner is not None and updates:
+            updates = group_updates_by_owner(updates, owner)
+        return updates, stats
 
     def _apply_batch(self, updates: list[GraphUpdate]) -> None:
         """Batch hook; the default applies the updates sequentially.

@@ -15,6 +15,23 @@ vertex ``v`` a machine stores
 * its incident edges, each tagged as tree / non-tree, with the tour index
   pair associated with the edge (for tree edges) and the edge weight.
 
+Two storage layouts implement that contract behind the ``_TourStore`` seam
+(selected by ``layout=`` / ``REPRO_DYNAMIC_LAYOUT``, default ``csr``):
+
+``dict``
+    the seed layout — one ``("tour", v)`` dict and one ``("edges", v)`` dict
+    per vertex.  Every index rewrite re-stores (and therefore re-sizes)
+    per-vertex dicts, which is what profiles showed dominating the update
+    hot path.
+``csr``
+    one flat :class:`~repro.mpc.layout.TourShard` per machine, mutated in
+    place behind frozen-charge handles, with an incrementally maintained
+    component→members index (``by_comp``).  Scalar-broadcast application,
+    replacement-edge scans and the MST path-maximum scan iterate exactly the
+    touched component's members instead of every key on the machine, and the
+    index persists across batches — it is invalidated only by the structural
+    change (link / cut) itself.
+
 Update mechanism
 ----------------
 Inserting or deleting an edge broadcasts a **constant number of scalars**
@@ -32,16 +49,424 @@ them as a tree edge.
 
 from __future__ import annotations
 
+from typing import Any, Callable, Iterator
+
 from repro.config import DMPCConfig
 from repro.dynamic_mpc.base import DynamicMPCAlgorithm
 from repro.exceptions import InvariantViolation
 from repro.graph.graph import DynamicGraph, normalize_edge
 from repro.graph.updates import GraphUpdate
 from repro.graph.validation import connected_components, same_partition
+from repro.mpc.layout import TourShard, TourShardHandle
 from repro.mpc.machine import Machine
 from repro.mpc.partition import hash_partition
+from repro.mpc.sizing import closed_form_words, register_closed_form
 
 __all__ = ["DMPCConnectivity"]
+
+#: storage key of a machine's flat tour shard under the ``csr`` layout
+TOUR_SHARD_KEY = "tours"
+
+# Closed forms for this protocol's constant-shape sends (see
+# repro.mpc.sizing): endpoint-info ships a tuple of vertex ids, the ack is
+# always None.  Pinned equal to the recursive sizer in tests/dynamic_mpc.
+register_closed_form("endpoint-info", lambda payload: 1 + len(payload))
+register_closed_form("endpoint-ack", lambda payload: 1)
+
+
+def _shift_edge_row(row: "dict[int, dict[str, Any]]", shift: "Callable[[int], int]") -> None:
+    """Apply an index transformation to a row of in-place-mutable edge records.
+
+    Rerooting can flip an edge's parent/child orientation, in which case the
+    transformed pair comes out reversed; storing it sorted keeps the "pair
+    brackets the child's subtree" reading used by the MST path queries valid.
+    """
+    for record in row.values():
+        indexes = record.get("indexes")
+        if indexes is not None and record.get("tree"):
+            a, b = shift(indexes[0]), shift(indexes[1])
+            record["indexes"] = (a, b) if a <= b else (b, a)
+
+
+class _DictTourStore:
+    """The seed per-vertex-key layout: ``("tour", v)`` / ``("edges", v)`` dicts.
+
+    Every method body is the seed implementation verbatim — the dict layout
+    is the bit-identity baseline the flat layout is property-tested against.
+    """
+
+    layout = "dict"
+
+    def __init__(self, algo: "DMPCConnectivity") -> None:
+        self.algo = algo
+
+    def _machine(self, v: int) -> Machine:
+        return self.algo.cluster.machine(self.algo.owner(v))
+
+    # ------------------------------------------------------------------ tours
+    def load_state(self, v: int) -> "dict | None":
+        return self._machine(v).load(("tour", v))
+
+    def create_vertex(self, v: int, comp: int) -> None:
+        machine = self._machine(v)
+        machine.store(("tour", v), {"comp": comp, "indexes": set()})
+        machine.store(("edges", v), {})
+
+    def place_vertex(self, v: int, comp: int, indexes: "set[int]", records: "dict[int, dict]") -> None:
+        machine = self._machine(v)
+        machine.store(("tour", v), {"comp": comp, "indexes": indexes})
+        machine.store(("edges", v), records)
+
+    # ------------------------------------------------------------------ edges
+    def edges_of(self, v: int) -> dict:
+        return self._machine(v).load(("edges", v), {})
+
+    def store_edge_record(self, v: int, w: int, record: "dict[str, Any]") -> None:
+        machine = self._machine(v)
+        records = dict(machine.load(("edges", v), {}))
+        records[w] = record
+        machine.store(("edges", v), records)
+
+    def remove_edge_record(self, v: int, w: int) -> None:
+        machine = self._machine(v)
+        records = dict(machine.load(("edges", v), {}))
+        records.pop(w, None)
+        machine.store(("edges", v), records)
+
+    # ------------------------------------------------------------- global reads
+    def components(self) -> "list[set[int]]":
+        groups: dict[int, set[int]] = {}
+        for machine in self.algo.cluster.machines(role="worker"):
+            for key, value in machine.items():
+                if isinstance(key, tuple) and key[0] == "tour":
+                    groups.setdefault(value["comp"], set()).add(key[1])
+        return list(groups.values())
+
+    def spanning_forest(self) -> "set[tuple[int, int]]":
+        forest: set[tuple[int, int]] = set()
+        for machine in self.algo.cluster.machines(role="worker"):
+            for key, value in machine.items():
+                if isinstance(key, tuple) and key[0] == "edges":
+                    v = key[1]
+                    for w, record in value.items():
+                        if record.get("tree"):
+                            forest.add(normalize_edge(v, w))
+        return forest
+
+    def tour_groups(self) -> "dict[int, list[set[int]]]":
+        groups: dict[int, list[set[int]]] = {}
+        for machine in self.algo.cluster.machines(role="worker"):
+            for key, state in machine.items():
+                if isinstance(key, tuple) and key[0] == "tour":
+                    groups.setdefault(state["comp"], []).append(set(state["indexes"]))
+        return groups
+
+    # ------------------------------------------------------- local application
+    def apply_link_locally(self, machine: Machine, scalars: dict) -> None:
+        comp_x, comp_y = scalars["comp_x"], scalars["comp_y"]
+        f_x, l_y, len_y = scalars["f_x"], scalars["l_y"], scalars["len_y"]
+        reroot = scalars.get("reroot", True)
+        x, y = scalars["x"], scalars["y"]
+
+        def shift_y(i: int) -> int:
+            if reroot and len_y > 0:
+                i = ((i - l_y) % len_y) + 1
+            return i + f_x + 2
+
+        def shift_x(i: int) -> int:
+            return i + len_y + 4 if i > f_x else i
+
+        for key, state in list(machine.items()):
+            if not (isinstance(key, tuple) and key[0] == "tour"):
+                continue
+            vertex = key[1]
+            indexes = state["indexes"]
+            if state["comp"] == comp_y:
+                new_indexes = {shift_y(i) for i in indexes}
+                if vertex == y:
+                    new_indexes.update({f_x + 2, f_x + len_y + 3})
+                machine.store(key, {"comp": comp_x, "indexes": new_indexes})
+                self._shift_edge_indexes(machine, vertex, shift_y)
+            elif state["comp"] == comp_x:
+                new_indexes = {shift_x(i) for i in indexes}
+                if vertex == x:
+                    new_indexes.update({f_x + 1, f_x + len_y + 4})
+                machine.store(key, {"comp": comp_x, "indexes": new_indexes})
+                self._shift_edge_indexes(machine, vertex, shift_x)
+
+    def apply_cut_locally(self, machine: Machine, scalars: dict) -> None:
+        comp, new_comp = scalars["comp"], scalars["new_comp"]
+        f_y, l_y = scalars["f_y"], scalars["l_y"]
+        x, y = scalars["x"], scalars["y"]
+        shift = (l_y - f_y + 1) + 2
+
+        def shift_any(i: int) -> int:
+            if f_y <= i <= l_y:
+                return i - f_y
+            if i > l_y + 1:
+                return i - shift
+            return i
+
+        for key, state in list(machine.items()):
+            if not (isinstance(key, tuple) and key[0] == "tour"):
+                continue
+            if state["comp"] != comp:
+                continue
+            vertex = key[1]
+            indexes = set(state["indexes"])
+            if vertex == x:
+                indexes -= {f_y - 1, l_y + 1}
+            if vertex == y:
+                indexes -= {f_y, l_y}
+            first = min(indexes, default=0)
+            last = max(indexes, default=0)
+            in_subtree = vertex == y or (bool(indexes) and f_y <= first and last <= l_y)
+            new_indexes = {shift_any(i) for i in indexes}
+            machine.store(key, {"comp": new_comp if in_subtree else comp, "indexes": new_indexes})
+            self._shift_edge_indexes(machine, vertex, shift_any)
+
+    @staticmethod
+    def _shift_edge_indexes(machine: Machine, vertex: int, shift) -> None:
+        """Apply an index transformation to the tour pairs cached on ``vertex``'s edge records."""
+        records = machine.load(("edges", vertex))
+        if not records:
+            return
+        changed = False
+        new_records = {}
+        for w, record in records.items():
+            indexes = record.get("indexes")
+            if record.get("tree") and indexes is not None:
+                record = dict(record)
+                a, b = shift(indexes[0]), shift(indexes[1])
+                record["indexes"] = (a, b) if a <= b else (b, a)
+                changed = True
+            new_records[w] = record
+        if changed:
+            machine.store(("edges", vertex), new_records)
+
+    # ------------------------------------------------------------------ scans
+    def replacement_offers(self, machine: Machine, comps: "set[int]") -> "list[tuple[int, int, int, float]]":
+        offers: list[tuple[int, int, int, float]] = []
+        for key, state in machine.items():
+            if not (isinstance(key, tuple) and key[0] == "tour"):
+                continue
+            if state["comp"] not in comps:
+                continue
+            v = key[1]
+            for w, record in machine.load(("edges", v), {}).items():
+                if record.get("tree"):
+                    continue
+                offers.append((state["comp"], v, w, float(record.get("weight", 1.0))))
+        return offers
+
+    def path_scan_items(self, machine: Machine, comp: int) -> "Iterator[tuple[int, set[int], dict]]":
+        for key, state in machine.items():
+            if not (isinstance(key, tuple) and key[0] == "tour"):
+                continue
+            if state["comp"] != comp:
+                continue
+            v = key[1]
+            yield v, state["indexes"], machine.load(("edges", v), {})
+
+
+class _ShardTourStore:
+    """The flat layout: one in-place :class:`TourShard` per worker machine.
+
+    Mutations edit the shard directly and commit a fresh frozen-charge
+    :class:`TourShardHandle` (the :class:`StatsTableHandle` discipline), so
+    index rewrites cost no recursive sizing on any backend and the word
+    totals stay in dict-layout parity.
+    """
+
+    layout = "csr"
+
+    def __init__(self, algo: "DMPCConnectivity") -> None:
+        self.algo = algo
+
+    def _shard(self, machine: Machine) -> TourShard:
+        handle = machine.load(TOUR_SHARD_KEY)
+        if handle is None:
+            shard = TourShard()
+            machine.store(TOUR_SHARD_KEY, TourShardHandle(shard))
+            return shard
+        return handle.shard
+
+    def _peek(self, machine: Machine) -> "TourShard | None":
+        handle = machine.load(TOUR_SHARD_KEY)
+        return None if handle is None else handle.shard
+
+    def _commit(self, machine: Machine, shard: TourShard) -> None:
+        machine.store(TOUR_SHARD_KEY, TourShardHandle(shard))
+
+    def _machine(self, v: int) -> Machine:
+        return self.algo.cluster.machine(self.algo.owner(v))
+
+    # ------------------------------------------------------------------ tours
+    def load_state(self, v: int) -> "dict | None":
+        shard = self._peek(self._machine(v))
+        if shard is None or v not in shard.comp:
+            return None
+        return {"comp": shard.comp[v], "indexes": shard.indexes[v]}
+
+    def create_vertex(self, v: int, comp: int) -> None:
+        machine = self._machine(v)
+        shard = self._shard(machine)
+        shard.add_vertex(v, comp)
+        self._commit(machine, shard)
+
+    def place_vertex(self, v: int, comp: int, indexes: "set[int]", records: "dict[int, dict]") -> None:
+        machine = self._machine(v)
+        shard = self._shard(machine)
+        shard.add_vertex(v, comp, indexes)
+        for w, record in records.items():
+            shard.set_edge(v, w, record)
+        self._commit(machine, shard)
+
+    # ------------------------------------------------------------------ edges
+    def edges_of(self, v: int) -> dict:
+        shard = self._peek(self._machine(v))
+        if shard is None:
+            return {}
+        return shard.edge_row(v)
+
+    def store_edge_record(self, v: int, w: int, record: "dict[str, Any]") -> None:
+        machine = self._machine(v)
+        shard = self._shard(machine)
+        shard.set_edge(v, w, record)
+        self._commit(machine, shard)
+
+    def remove_edge_record(self, v: int, w: int) -> None:
+        machine = self._machine(v)
+        shard = self._shard(machine)
+        shard.pop_edge(v, w)
+        self._commit(machine, shard)
+
+    # ------------------------------------------------------------- global reads
+    def components(self) -> "list[set[int]]":
+        groups: dict[int, set[int]] = {}
+        for machine in self.algo.cluster.machines(role="worker"):
+            shard = self._peek(machine)
+            if shard is None:
+                continue
+            for comp, members in shard.by_comp.items():
+                groups.setdefault(comp, set()).update(members)
+        return list(groups.values())
+
+    def spanning_forest(self) -> "set[tuple[int, int]]":
+        forest: set[tuple[int, int]] = set()
+        for machine in self.algo.cluster.machines(role="worker"):
+            shard = self._peek(machine)
+            if shard is None:
+                continue
+            for v, row in shard.edges.items():
+                for w, record in row.items():
+                    if record.get("tree"):
+                        forest.add(normalize_edge(v, w))
+        return forest
+
+    def tour_groups(self) -> "dict[int, list[set[int]]]":
+        groups: dict[int, list[set[int]]] = {}
+        for machine in self.algo.cluster.machines(role="worker"):
+            shard = self._peek(machine)
+            if shard is None:
+                continue
+            for comp, members in shard.by_comp.items():
+                bucket = groups.setdefault(comp, [])
+                for v in members:
+                    bucket.append(set(shard.indexes[v]))
+        return groups
+
+    # ------------------------------------------------------- local application
+    def apply_link_locally(self, machine: Machine, scalars: dict) -> None:
+        shard = self._peek(machine)
+        if shard is None:
+            return
+        comp_x, comp_y = scalars["comp_x"], scalars["comp_y"]
+        f_x, l_y, len_y = scalars["f_x"], scalars["l_y"], scalars["len_y"]
+        reroot = scalars.get("reroot", True)
+        x, y = scalars["x"], scalars["y"]
+
+        def shift_y(i: int) -> int:
+            if reroot and len_y > 0:
+                i = ((i - l_y) % len_y) + 1
+            return i + f_x + 2
+
+        def shift_x(i: int) -> int:
+            return i + len_y + 4 if i > f_x else i
+
+        # Snapshot both member lists first: retouring the comp_y members
+        # moves them into by_comp[comp_x], and they must not be shifted twice.
+        members_y = list(shard.by_comp.get(comp_y, ()))
+        members_x = list(shard.by_comp.get(comp_x, ()))
+        if not members_y and not members_x:
+            return
+        for vertex in members_y:
+            new_indexes = {shift_y(i) for i in shard.indexes[vertex]}
+            if vertex == y:
+                new_indexes.update({f_x + 2, f_x + len_y + 3})
+            shard.retour(vertex, comp_x, new_indexes)
+            _shift_edge_row(shard.edges[vertex], shift_y)
+        for vertex in members_x:
+            new_indexes = {shift_x(i) for i in shard.indexes[vertex]}
+            if vertex == x:
+                new_indexes.update({f_x + 1, f_x + len_y + 4})
+            shard.set_indexes(vertex, new_indexes)
+            _shift_edge_row(shard.edges[vertex], shift_x)
+        self._commit(machine, shard)
+
+    def apply_cut_locally(self, machine: Machine, scalars: dict) -> None:
+        shard = self._peek(machine)
+        if shard is None:
+            return
+        comp, new_comp = scalars["comp"], scalars["new_comp"]
+        f_y, l_y = scalars["f_y"], scalars["l_y"]
+        x, y = scalars["x"], scalars["y"]
+        shift = (l_y - f_y + 1) + 2
+
+        def shift_any(i: int) -> int:
+            if f_y <= i <= l_y:
+                return i - f_y
+            if i > l_y + 1:
+                return i - shift
+            return i
+
+        members = list(shard.by_comp.get(comp, ()))
+        if not members:
+            return
+        for vertex in members:
+            indexes = set(shard.indexes[vertex])
+            if vertex == x:
+                indexes -= {f_y - 1, l_y + 1}
+            if vertex == y:
+                indexes -= {f_y, l_y}
+            first = min(indexes, default=0)
+            last = max(indexes, default=0)
+            in_subtree = vertex == y or (bool(indexes) and f_y <= first and last <= l_y)
+            new_indexes = {shift_any(i) for i in indexes}
+            shard.retour(vertex, new_comp if in_subtree else comp, new_indexes)
+            _shift_edge_row(shard.edges[vertex], shift_any)
+        self._commit(machine, shard)
+
+    # ------------------------------------------------------------------ scans
+    def replacement_offers(self, machine: Machine, comps: "set[int]") -> "list[tuple[int, int, int, float]]":
+        shard = self._peek(machine)
+        if shard is None:
+            return []
+        offers: list[tuple[int, int, int, float]] = []
+        for comp in comps:
+            for v in shard.by_comp.get(comp, ()):
+                for w, record in shard.edges[v].items():
+                    if record.get("tree"):
+                        continue
+                    offers.append((comp, v, w, float(record.get("weight", 1.0))))
+        return offers
+
+    def path_scan_items(self, machine: Machine, comp: int) -> "Iterator[tuple[int, set[int], dict]]":
+        shard = self._peek(machine)
+        if shard is None:
+            return
+        for v in shard.by_comp.get(comp, ()):
+            yield v, shard.indexes[v], shard.edges[v]
 
 
 class DMPCConnectivity(DynamicMPCAlgorithm):
@@ -49,13 +474,21 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
 
     kind = "connectivity"
 
-    def __init__(self, config: DMPCConfig, *, check_invariants: bool = False) -> None:
-        super().__init__(config, check_invariants=check_invariants)
+    def __init__(
+        self,
+        config: DMPCConfig,
+        *,
+        check_invariants: bool = False,
+        layout: str | None = None,
+        coalesce: bool | None = None,
+    ) -> None:
+        super().__init__(config, check_invariants=check_invariants, layout=layout, coalesce=coalesce)
         workers = self.cluster.add_machines("w", max(2, config.num_worker_machines), role="worker")
         self.worker_ids = [m.machine_id for m in workers]
         self.aggregator_id = self.worker_ids[0]
         self._next_comp = 0
         self._comp_length: dict[int, int] = {}
+        self._tours = _ShardTourStore(self) if self.layout == "csr" else _DictTourStore(self)
         #: driver-side mirror of the input graph, used only for invariant checks
         self.shadow = DynamicGraph()
 
@@ -65,13 +498,11 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         return hash_partition(v, self.worker_ids)
 
     def _vertex_state(self, v: int, *, create: bool = False) -> dict | None:
-        machine = self.cluster.machine(self.owner(v))
-        state = machine.load(("tour", v))
+        state = self._tours.load_state(v)
         if state is None and create:
             comp = self._new_component(0)
-            state = {"comp": comp, "indexes": set()}
-            machine.store(("tour", v), state)
-            machine.store(("edges", v), {})
+            self._tours.create_vertex(v, comp)
+            state = self._tours.load_state(v)
         return state
 
     def _new_component(self, length: int) -> int:
@@ -81,8 +512,7 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         return comp
 
     def _edges_of(self, v: int) -> dict:
-        machine = self.cluster.machine(self.owner(v))
-        return machine.load(("edges", v), {})
+        return self._tours.edges_of(v)
 
     # -------------------------------------------------------------- accessors
     def component_of(self, v: int) -> int:
@@ -101,27 +531,14 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
 
     def components(self) -> list[set[int]]:
         """All connected components (assembled from the worker machines)."""
-        groups: dict[int, set[int]] = {}
-        for machine in self.cluster.machines(role="worker"):
-            for key, value in machine.items():
-                if isinstance(key, tuple) and key[0] == "tour":
-                    groups.setdefault(value["comp"], set()).add(key[1])
-        return list(groups.values())
+        return self._tours.components()
 
     def num_components(self) -> int:
         return len(self.components())
 
     def spanning_forest(self) -> set[tuple[int, int]]:
         """The maintained spanning forest (tree-flagged edge records)."""
-        forest: set[tuple[int, int]] = set()
-        for machine in self.cluster.machines(role="worker"):
-            for key, value in machine.items():
-                if isinstance(key, tuple) and key[0] == "edges":
-                    v = key[1]
-                    for w, record in value.items():
-                        if record.get("tree"):
-                            forest.add(normalize_edge(v, w))
-        return forest
+        return self._tours.spanning_forest()
 
     # ---------------------------------------------------------- preprocessing
     def _preprocess(self, graph: DynamicGraph) -> None:
@@ -162,8 +579,6 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
             if old not in comp_map:
                 comp_map[old] = self._new_component(forest.tour_length(v))
         for v in graph.vertices:
-            machine = self.cluster.machine(self.owner(v))
-            machine.store(("tour", v), {"comp": comp_map[forest.component_of(v)], "indexes": set(forest.state(v).indexes)})
             records = {}
             for w in graph.neighbors(v):
                 edge = normalize_edge(v, w)
@@ -174,7 +589,9 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
                     f_c, l_c = child_state.first, child_state.last
                     record["indexes"] = (f_c, l_c) if v == child else (f_c - 1, l_c + 1)
                 records[w] = record
-            machine.store(("edges", v), records)
+            self._tours.place_vertex(
+                v, comp_map[forest.component_of(v)], set(forest.state(v).indexes), records
+            )
         # One round of placement traffic (constant words per worker machine).
         agg = self.cluster.machine(self.aggregator_id)
         for machine_id in self.worker_ids:
@@ -380,7 +797,7 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
     def _commit_link(self, scalars: dict, *, weight: float) -> None:
         """Apply a broadcast link packet: local rewrites + edge records."""
         for machine in self.cluster.machines(role="worker"):
-            self._apply_link_locally(machine, scalars)
+            self._tours.apply_link_locally(machine, scalars)
         x, y = scalars["x"], scalars["y"]
         comp_x, comp_y = scalars["comp_x"], scalars["comp_y"]
         f_x, len_y = scalars["f_x"], scalars["len_y"]
@@ -446,7 +863,7 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
     def _commit_cut(self, scalars: dict) -> None:
         """Apply a broadcast cut packet: local rewrites + component lengths."""
         for machine in self.cluster.machines(role="worker"):
-            self._apply_cut_locally(machine, scalars)
+            self._tours.apply_cut_locally(machine, scalars)
         comp, new_comp = scalars["comp"], scalars["new_comp"]
         span = scalars["l_y"] - scalars["f_y"] + 1
         self._comp_length[new_comp] = span - 2
@@ -457,15 +874,15 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         """The endpoints' owners exchange constant-size scalars (2 rounds)."""
         owner_x, owner_y = self.owner(x), self.owner(y)
         mx, my = self.cluster.machine(owner_x), self.cluster.machine(owner_y)
-        mx.send(self.aggregator_id, "endpoint-info", (x,))
+        mx.send(self.aggregator_id, "endpoint-info", (x,), words=closed_form_words("endpoint-info", (x,)))
         if owner_y != owner_x:
-            my.send(self.aggregator_id, "endpoint-info", (y,))
+            my.send(self.aggregator_id, "endpoint-info", (y,), words=closed_form_words("endpoint-info", (y,)))
         self.cluster.exchange()
         agg = self.cluster.machine(self.aggregator_id)
         agg.drain("endpoint-info")
-        agg.send(owner_x, "endpoint-ack", None)
+        agg.send(owner_x, "endpoint-ack", None, words=closed_form_words("endpoint-ack", None))
         if owner_y != owner_x:
-            agg.send(owner_y, "endpoint-ack", None)
+            agg.send(owner_y, "endpoint-ack", None, words=closed_form_words("endpoint-ack", None))
         self.cluster.exchange()
         mx.drain("endpoint-ack")
         my.drain("endpoint-ack")
@@ -489,7 +906,7 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         agg = self.cluster.machine(self.aggregator_id)
         agg.drain("endpoint-info")
         for owner_id in by_owner:
-            agg.send(owner_id, "endpoint-ack", None)
+            agg.send(owner_id, "endpoint-ack", None, words=closed_form_words("endpoint-ack", None))
         self.cluster.exchange()
         for owner_id in by_owner:
             self.cluster.machine(owner_id).drain("endpoint-ack")
@@ -522,115 +939,12 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         for machine_id in self.worker_ids:
             self.cluster.machine(machine_id).drain("tour-scalars")
 
-    # ------------------------------------------------------- local application
-    @staticmethod
-    def _apply_link_locally(machine: Machine, scalars: dict) -> None:
-        """Rewrite the machine's local tour indexes for a link broadcast.
-
-        Both the per-vertex index sets and the tour index pairs cached on
-        tree-edge records are rewritten with the same arithmetic — this is
-        what lets a machine keep knowing the subtree interval of an edge's
-        child endpoint without ever asking another machine for it.
-        """
-        comp_x, comp_y = scalars["comp_x"], scalars["comp_y"]
-        f_x, l_y, len_y = scalars["f_x"], scalars["l_y"], scalars["len_y"]
-        reroot = scalars.get("reroot", True)
-        x, y = scalars["x"], scalars["y"]
-
-        def shift_y(i: int) -> int:
-            if reroot and len_y > 0:
-                i = ((i - l_y) % len_y) + 1
-            return i + f_x + 2
-
-        def shift_x(i: int) -> int:
-            return i + len_y + 4 if i > f_x else i
-
-        for key, state in list(machine.items()):
-            if not (isinstance(key, tuple) and key[0] == "tour"):
-                continue
-            vertex = key[1]
-            indexes = state["indexes"]
-            if state["comp"] == comp_y:
-                new_indexes = {shift_y(i) for i in indexes}
-                if vertex == y:
-                    new_indexes.update({f_x + 2, f_x + len_y + 3})
-                machine.store(key, {"comp": comp_x, "indexes": new_indexes})
-                DMPCConnectivity._shift_edge_indexes(machine, vertex, shift_y)
-            elif state["comp"] == comp_x:
-                new_indexes = {shift_x(i) for i in indexes}
-                if vertex == x:
-                    new_indexes.update({f_x + 1, f_x + len_y + 4})
-                machine.store(key, {"comp": comp_x, "indexes": new_indexes})
-                DMPCConnectivity._shift_edge_indexes(machine, vertex, shift_x)
-
-    @staticmethod
-    def _apply_cut_locally(machine: Machine, scalars: dict) -> None:
-        """Rewrite the machine's local tour indexes for a cut broadcast."""
-        comp, new_comp = scalars["comp"], scalars["new_comp"]
-        f_y, l_y = scalars["f_y"], scalars["l_y"]
-        x, y = scalars["x"], scalars["y"]
-        shift = (l_y - f_y + 1) + 2
-
-        def shift_any(i: int) -> int:
-            if f_y <= i <= l_y:
-                return i - f_y
-            if i > l_y + 1:
-                return i - shift
-            return i
-
-        for key, state in list(machine.items()):
-            if not (isinstance(key, tuple) and key[0] == "tour"):
-                continue
-            if state["comp"] != comp:
-                continue
-            vertex = key[1]
-            indexes = set(state["indexes"])
-            if vertex == x:
-                indexes -= {f_y - 1, l_y + 1}
-            if vertex == y:
-                indexes -= {f_y, l_y}
-            first = min(indexes, default=0)
-            last = max(indexes, default=0)
-            in_subtree = vertex == y or (bool(indexes) and f_y <= first and last <= l_y)
-            new_indexes = {shift_any(i) for i in indexes}
-            machine.store(key, {"comp": new_comp if in_subtree else comp, "indexes": new_indexes})
-            DMPCConnectivity._shift_edge_indexes(machine, vertex, shift_any)
-
-    @staticmethod
-    def _shift_edge_indexes(machine: Machine, vertex: int, shift) -> None:
-        """Apply an index transformation to the tour pairs cached on ``vertex``'s edge records."""
-        records = machine.load(("edges", vertex))
-        if not records:
-            return
-        changed = False
-        new_records = {}
-        for w, record in records.items():
-            indexes = record.get("indexes")
-            if record.get("tree") and indexes is not None:
-                record = dict(record)
-                # Rerooting can flip the edge's parent/child orientation, in
-                # which case the transformed pair comes out reversed; storing
-                # it sorted keeps the "pair brackets the child's subtree"
-                # reading used by the MST path queries valid.
-                a, b = shift(indexes[0]), shift(indexes[1])
-                record["indexes"] = (a, b) if a <= b else (b, a)
-                changed = True
-            new_records[w] = record
-        if changed:
-            machine.store(("edges", vertex), new_records)
-
     # --------------------------------------------------------- edge records
     def _store_edge_record(self, v: int, w: int, *, tree: bool, weight: float, indexes: tuple[int, int] | None = None) -> None:
-        machine = self.cluster.machine(self.owner(v))
-        records = dict(machine.load(("edges", v), {}))
-        records[w] = {"tree": tree, "weight": float(weight), "indexes": indexes}
-        machine.store(("edges", v), records)
+        self._tours.store_edge_record(v, w, {"tree": tree, "weight": float(weight), "indexes": indexes})
 
     def _remove_edge_record(self, v: int, w: int) -> None:
-        machine = self.cluster.machine(self.owner(v))
-        records = dict(machine.load(("edges", v), {}))
-        records.pop(w, None)
-        machine.store(("edges", v), records)
+        self._tours.remove_edge_record(v, w)
 
     # ------------------------------------------------------- replacement search
     def _find_replacement(self, comp_old: int, comp_new: int) -> tuple[int, int, float] | None:
@@ -642,18 +956,9 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         aggregator keeps exactly the edges with an odd offer count and picks
         one (the minimum-weight one, which is what the MST subclass needs).
         """
+        comps = {comp_new}
         for machine in self.cluster.machines(role="worker"):
-            offers: list[tuple[int, int, float]] = []
-            for key, state in machine.items():
-                if not (isinstance(key, tuple) and key[0] == "tour"):
-                    continue
-                if state["comp"] != comp_new:
-                    continue
-                v = key[1]
-                for w, record in machine.load(("edges", v), {}).items():
-                    if record.get("tree"):
-                        continue
-                    offers.append((v, w, float(record.get("weight", 1.0))))
+            offers = [(v, w, weight) for (_comp, v, w, weight) in self._tours.replacement_offers(machine, comps)]
             if offers:
                 machine.send(self.aggregator_id, "replacement-offer", offers, words=3 * len(offers) + 1)
         self.cluster.exchange()
@@ -688,17 +993,7 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         """
         new_comps = {new_comp for (_old, new_comp) in cuts}
         for machine in self.cluster.machines(role="worker"):
-            offers: list[tuple[int, int, int, float]] = []
-            for key, state in machine.items():
-                if not (isinstance(key, tuple) and key[0] == "tour"):
-                    continue
-                if state["comp"] not in new_comps:
-                    continue
-                v = key[1]
-                for w, record in machine.load(("edges", v), {}).items():
-                    if record.get("tree"):
-                        continue
-                    offers.append((state["comp"], v, w, float(record.get("weight", 1.0))))
+            offers = self._tours.replacement_offers(machine, new_comps)
             if offers:
                 machine.send(self.aggregator_id, "replacement-offer", offers, words=4 * len(offers) + 1)
         self.cluster.exchange()
@@ -730,12 +1025,7 @@ class DMPCConnectivity(DynamicMPCAlgorithm):
         if not same_partition(ours, reference):
             raise InvariantViolation("maintained components diverge from the reference BFS")
         # Tour-structure sanity: every component's index multiset must tile 1..4(k-1).
-        groups: dict[int, list[set[int]]] = {}
-        for machine in self.cluster.machines(role="worker"):
-            for key, state in machine.items():
-                if isinstance(key, tuple) and key[0] == "tour":
-                    groups.setdefault(state["comp"], []).append(set(state["indexes"]))
-        for comp, index_sets in groups.items():
+        for comp, index_sets in self._tours.tour_groups().items():
             total = sorted(i for s in index_sets for i in s)
             expected = list(range(1, 4 * (len(index_sets) - 1) + 1))
             if total != expected:

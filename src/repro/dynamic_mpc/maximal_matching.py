@@ -38,11 +38,23 @@ class DMPCMaximalMatching(DynamicMPCAlgorithm):
 
     kind = "maximal-matching"
 
-    def __init__(self, config: DMPCConfig, *, check_invariants: bool = False) -> None:
-        super().__init__(config, check_invariants=check_invariants)
-        self.fabric = MatchingFabric(self.cluster, config)
+    def __init__(
+        self,
+        config: DMPCConfig,
+        *,
+        check_invariants: bool = False,
+        layout: str | None = None,
+        coalesce: bool | None = None,
+    ) -> None:
+        super().__init__(config, check_invariants=check_invariants, layout=layout, coalesce=coalesce)
+        self.fabric = MatchingFabric(self.cluster, config, layout=self.layout)
         #: driver-side mirror of the input graph, used only for invariant checks
         self.shadow = DynamicGraph()
+
+    # ----------------------------------------------------------------- layout
+    def owner(self, v: int) -> str:
+        """The statistics machine owning ``v`` (coalesced batches group by it)."""
+        return self.fabric.partition.machine_for(v)
 
     # -------------------------------------------------------------- accessors
     def matching(self) -> set[tuple[int, int]]:

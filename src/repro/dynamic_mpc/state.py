@@ -36,15 +36,47 @@ from repro.exceptions import ProtocolError
 from repro.graph.graph import DynamicGraph, normalize_edge
 from repro.mpc.cluster import Cluster
 from repro.mpc.coordinator import Coordinator, HistoryEntry, UpdateHistory
-from repro.mpc.layout import StatsTable, StatsTableHandle
+from repro.mpc.layout import StatsTable, StatsTableHandle, resolve_dynamic_layout
 from repro.mpc.partition import RangePartition
+from repro.mpc.sizing import closed_form_words, register_closed_form, string_words
 
 __all__ = ["VertexStats", "MatchingFabric"]
 
 #: the single machine-store key each statistics machine keeps its flat
-#: struct-of-arrays vertex table under (previously one ``("st", v)`` key and
-#: one ``VertexStats`` object per vertex).
+#: struct-of-arrays vertex table under in the ``csr`` layout (the ``dict``
+#: layout keeps one ``("st", v)`` key and one ``VertexStats`` object per
+#: vertex, exactly as before the flat recut).
 STATS_KEY = "stats"
+
+
+# Closed forms for every fabric message the protocol previously sized by
+# recursing into the payload.  Each form is pure arithmetic on the payload's
+# *shape* and is pinned equal to ``word_size`` on randomized payloads in
+# ``tests/dynamic_mpc``; the messages themselves are unchanged, so round
+# records stay bit-identical whichever path sized the send.
+def _stats_entries_words(entries) -> int:
+    # [(v, stats.as_payload())]: each payload dict costs 14 words of fixed
+    # keys/values plus the alive-machine string and the suspended stack;
+    # the (v, dict) tuple adds 2 more.
+    total = 1
+    for _v, payload in entries:
+        total += 16 + string_words(payload["alive"] or "")
+        for name in payload["suspended"]:
+            total += string_words(name)
+    return total
+
+
+register_closed_form("stats-query", lambda payload: 1 + len(payload))
+register_closed_form("stats-reply", _stats_entries_words)
+register_closed_form("stats-write", _stats_entries_words)
+register_closed_form("vertex-reply", lambda payload: 5 + 3 * len(payload["matched"]))
+register_closed_form("suspended-reply", lambda payload: 1)
+register_closed_form("batch-free-reply", lambda payload: 1 + 3 * len(payload))
+register_closed_form("neighbor-list-reply", lambda payload: 1 + len(payload))
+register_closed_form("counter-delta", lambda payload: 1 + 3 * len(payload))
+register_closed_form("add-edge", lambda payload: 3)
+register_closed_form("move-request", lambda payload: 1)
+register_closed_form("fetch-suspended", lambda payload: 3)
 
 
 @dataclass
@@ -75,10 +107,16 @@ class VertexStats:
 class MatchingFabric:
     """Storage fabric + message protocol shared by the matching algorithms."""
 
-    def __init__(self, cluster: Cluster, config: DMPCConfig) -> None:
+    def __init__(self, cluster: Cluster, config: DMPCConfig, *, layout: str | None = None) -> None:
         self.cluster = cluster
         self.config = config
         self.threshold = config.heavy_threshold
+        #: vertex-statistics storage layout: ``"csr"`` keeps one flat
+        #: struct-of-arrays table per statistics machine (the hot-path
+        #: default), ``"dict"`` keeps one ``("st", v)`` key per vertex (the
+        #: pre-recut layout, retained as the A/B baseline).  Messages and
+        #: round records are identical under both.
+        self.layout = resolve_dynamic_layout(layout)
 
         # Statistics machines and the consecutive-ID partition over them.
         stats_ids = [m.machine_id for m in cluster.add_machines("stats", config.stats_machine_count, role="stats")]
@@ -166,16 +204,35 @@ class MatchingFabric:
         so mutating the returned object does not write through — the change
         is silently lost unless the caller follows up with
         :meth:`store_stats`.  (For a *stored* vertex the returned record is
-        a live write-through view of the flat table, exactly as the old
-        per-vertex layout returned the live stored object.)  Callers that
-        need read-modify-write semantics should use :meth:`mutate_stats`,
-        which persists on exit for stored and unseen vertices alike.
+        a live write-through view — the flat table's slot view under the
+        ``csr`` layout, the stored ``VertexStats`` object itself under the
+        ``dict`` layout.)  Callers that need read-modify-write semantics
+        should use :meth:`mutate_stats`, which persists on exit for stored
+        and unseen vertices alike.
         """
-        record = self._stats_table(self.partition.machine_for(v)).view(v)
+        machine_id = self.partition.machine_for(v)
+        if self.layout == "dict":
+            stats = self.cluster.machine(machine_id).load(("st", v))
+            return stats if stats is not None else VertexStats()
+        record = self._stats_table(machine_id).view(v)
         return record if record is not None else VertexStats()
 
     def store_stats(self, v: int, stats) -> None:
         machine_id = self.partition.machine_for(v)
+        if self.layout == "dict":
+            # Mirror the flat table's semantics exactly: the stored record is
+            # the machine's own object — fields are *copied* from ``stats``,
+            # so later mutations of a caller-held plain ``VertexStats`` do
+            # not write through (a stored record obtained from
+            # :meth:`stats_of`/:meth:`query_stats` still does, like a view).
+            machine = self.cluster.machine(machine_id)
+            record = machine.load(("st", v))
+            if record is None:
+                record = VertexStats()
+            if record is not stats:
+                self._write_record(record, stats)
+            machine.store(("st", v), record)
+            return
         table = self._stats_table(machine_id)
         record = table.ensure(v)
         if record is not stats:
@@ -191,6 +248,16 @@ class MatchingFabric:
         mutations to an unseen vertex's statistics cannot be lost.
         """
         machine_id = self.partition.machine_for(v)
+        if self.layout == "dict":
+            machine = self.cluster.machine(machine_id)
+            stats = machine.load(("st", v))
+            if stats is None:
+                stats = VertexStats()
+            try:
+                yield stats
+            finally:
+                machine.store(("st", v), stats)
+            return
         table = self._stats_table(machine_id)
         try:
             yield table.ensure(v)
@@ -206,6 +273,13 @@ class MatchingFabric:
     def matching(self) -> set[tuple[int, int]]:
         """The maintained matching (assembled from the statistics machines)."""
         edges: set[tuple[int, int]] = set()
+        if self.layout == "dict":
+            for machine in self.cluster.machines(role="stats"):
+                for key, value in machine.items():
+                    if isinstance(key, tuple) and key[0] == "st" and isinstance(value, VertexStats):
+                        if value.mate is not None:
+                            edges.add(normalize_edge(key[1], value.mate))
+            return edges
         for machine in self.cluster.machines(role="stats"):
             handle: StatsTableHandle | None = machine.load(STATS_KEY)
             if handle is None:
@@ -293,21 +367,29 @@ class MatchingFabric:
         for v in vertices:
             targets.setdefault(self.partition.machine_for(v), []).append(v)
         for machine_id, vs in targets.items():
-            coordinator.send(machine_id, "stats-query", sorted(vs))
+            query = sorted(vs)
+            coordinator.send(machine_id, "stats-query", query, words=closed_form_words("stats-query", query))
         self.cluster.exchange()
         replies: dict[int, VertexStats] = {}
+        use_dict = self.layout == "dict"
         for machine_id in targets:
             machine = self.cluster.machine(machine_id)
-            table = self._stats_table(machine_id)
+            table = None if use_dict else self._stats_table(machine_id)
             for msg in machine.drain("stats-query"):
                 payload = []
                 for v in msg.payload:
-                    stats = table.view(v)
+                    stats = machine.load(("st", v)) if use_dict else table.view(v)
                     if stats is None:
                         stats = VertexStats()
                     payload.append((v, stats))
                     replies[v] = stats
-                machine.send(self.coordinator.machine_id, "stats-reply", [(v, s.as_payload()) for v, s in payload])
+                reply = [(v, s.as_payload()) for v, s in payload]
+                machine.send(
+                    self.coordinator.machine_id,
+                    "stats-reply",
+                    reply,
+                    words=closed_form_words("stats-reply", reply),
+                )
         self.cluster.exchange()
         coordinator.drain("stats-reply")
         return replies
@@ -319,11 +401,21 @@ class MatchingFabric:
         for v, stats in updates.items():
             targets.setdefault(self.partition.machine_for(v), []).append((v, stats))
         for machine_id, items in targets.items():
-            coordinator.send(machine_id, "stats-write", [(v, s.as_payload()) for v, s in items])
+            writes = [(v, s.as_payload()) for v, s in items]
+            coordinator.send(machine_id, "stats-write", writes, words=closed_form_words("stats-write", writes))
         self.cluster.exchange()
         for machine_id, items in targets.items():
             machine = self.cluster.machine(machine_id)
             machine.drain("stats-write")
+            if self.layout == "dict":
+                for v, stats in items:
+                    record = machine.load(("st", v))
+                    if record is None:
+                        record = VertexStats()
+                    if record is not stats:
+                        self._write_record(record, stats)
+                    machine.store(("st", v), record)
+                continue
             table = self._stats_table(machine_id)
             for v, stats in items:
                 record = table.ensure(v)
@@ -462,7 +554,7 @@ class MatchingFabric:
                 if len(pairs) >= self.threshold:
                     break
             reply["matched"] = pairs
-        machine.send(self.coordinator.machine_id, "vertex-reply", reply)
+        machine.send(self.coordinator.machine_id, "vertex-reply", reply, words=closed_form_words("vertex-reply", reply))
         self.cluster.exchange()
         coordinator.drain("vertex-reply")
         return reply
@@ -489,7 +581,12 @@ class MatchingFabric:
                 if w not in exclude and machine.load(("status", w)) is None:
                     candidate = w
                     break
-            machine.send(self.coordinator.machine_id, "suspended-reply", candidate)
+            machine.send(
+                self.coordinator.machine_id,
+                "suspended-reply",
+                candidate,
+                words=closed_form_words("suspended-reply", candidate),
+            )
         self.cluster.exchange()
         for msg in coordinator.drain("suspended-reply"):
             if msg.payload is not None and found is None:
@@ -537,7 +634,12 @@ class MatchingFabric:
                         break
                 replies.append((vertex, found))
                 results[vertex] = found
-            machine.send(self.coordinator.machine_id, "batch-free-reply", replies)
+            machine.send(
+                self.coordinator.machine_id,
+                "batch-free-reply",
+                replies,
+                words=closed_form_words("batch-free-reply", replies),
+            )
         self.cluster.exchange()
         coordinator.drain("batch-free-reply")
         return results
@@ -560,7 +662,12 @@ class MatchingFabric:
         self._apply_history_locally(machine, entries)
         self._mark_seen(machine_id)
         neighbors = sorted(machine.load(("adj", v), {}))
-        machine.send(self.coordinator.machine_id, "neighbor-list-reply", neighbors)
+        machine.send(
+            self.coordinator.machine_id,
+            "neighbor-list-reply",
+            neighbors,
+            words=closed_form_words("neighbor-list-reply", neighbors),
+        )
         self.cluster.exchange()
         coordinator.drain("neighbor-list-reply")
         return neighbors
@@ -578,7 +685,7 @@ class MatchingFabric:
         if not by_machine:
             return
         for machine_id, items in by_machine.items():
-            coordinator.send(machine_id, "counter-delta", items)
+            coordinator.send(machine_id, "counter-delta", items, words=closed_form_words("counter-delta", items))
         self.cluster.exchange()
         for machine_id, items in by_machine.items():
             machine = self.cluster.machine(machine_id)
@@ -623,7 +730,7 @@ class MatchingFabric:
                 self.move_vertex_edges(v, stats, self._light_machine_with_room(alive_count * 4 + 16))
                 target_id = stats.alive_machine
         target = self.cluster.machine(target_id)
-        self.coordinator.machine.send(target_id, "add-edge", (v, w))
+        self.coordinator.machine.send(target_id, "add-edge", (v, w), words=closed_form_words("add-edge", (v, w)))
         self.cluster.exchange()
         target.drain("add-edge")
         adj = dict(target.load(("adj", v), {}))
@@ -667,7 +774,7 @@ class MatchingFabric:
         self._mark_seen(source_id)
         adjacency = dict(source.load(("adj", v), {}))
         statuses = {w: source.load(("status", w)) for w in adjacency}
-        self.coordinator.machine.send(source_id, "move-request", v)
+        self.coordinator.machine.send(source_id, "move-request", v, words=closed_form_words("move-request", v))
         self.cluster.exchange()
         source.drain("move-request")
         source.send(target_id, "move-edges", {"vertex": v, "count": len(adjacency)}, words=2 * len(adjacency) + 4)
@@ -702,7 +809,9 @@ class MatchingFabric:
             if len(moved) >= need:
                 break
             moved[w] = True
-        self.coordinator.machine.send(top_id, "fetch-suspended", (v, need))
+        self.coordinator.machine.send(
+            top_id, "fetch-suspended", (v, need), words=closed_form_words("fetch-suspended", (v, need))
+        )
         self.cluster.exchange()
         top.drain("fetch-suspended")
         top.send(stats.alive_machine, "suspended-edges", {"vertex": v, "count": len(moved)}, words=2 * len(moved) + 4)

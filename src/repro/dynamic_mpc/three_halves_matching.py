@@ -35,8 +35,15 @@ class DMPCThreeHalvesMatching(DMPCMaximalMatching):
 
     kind = "three-halves-matching"
 
-    def __init__(self, config: DMPCConfig, *, check_invariants: bool = False) -> None:
-        super().__init__(config, check_invariants=check_invariants)
+    def __init__(
+        self,
+        config: DMPCConfig,
+        *,
+        check_invariants: bool = False,
+        layout: str | None = None,
+        coalesce: bool | None = None,
+    ) -> None:
+        super().__init__(config, check_invariants=check_invariants, layout=layout, coalesce=coalesce)
         # Matching-status changes observed during the current update:
         # vertex -> (was_matched, is_matched).  Used for counter maintenance.
         self._status_events: dict[int, tuple[bool, bool]] = {}

@@ -42,8 +42,19 @@ from repro.graph.graph import DynamicGraph, normalize_edge
 from repro.graph.updates import GraphUpdate
 from repro.graph.validation import is_matching
 from repro.mpc.partition import hash_partition
+from repro.mpc.sizing import closed_form_words, register_closed_form
 
 __all__ = ["DMPCTwoPlusEpsMatching"]
+
+# Closed forms for the owner/scheduler protocol messages (all fixed-shape
+# tuples, or flat lists of them); pinned equal to the recursive sizer in
+# ``tests/dynamic_mpc``.
+register_closed_form("edge-insert", lambda payload: 5)  # (x, y, level, matched)
+register_closed_form("edge-delete", lambda payload: 3)  # (x, y)
+register_closed_form("enqueue-free", lambda payload: 3)  # (v, level)
+register_closed_form("notify", lambda payload: 1 + 6 * len(payload))  # [(target, (v, level, matched))]
+register_closed_form("propose", lambda payload: 4)  # (v, candidate, level)
+register_closed_form("propose-reply", lambda payload: 1)  # bool
 
 
 class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
@@ -59,10 +70,12 @@ class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
         gamma: float = 4.0,
         seed: int = 2019,
         check_invariants: bool = False,
+        layout: str | None = None,
+        coalesce: bool | None = None,
     ) -> None:
         if epsilon <= 0:
             raise ValueError("epsilon must be positive")
-        super().__init__(config, check_invariants=check_invariants)
+        super().__init__(config, check_invariants=check_invariants, layout=layout, coalesce=coalesce)
         self.epsilon = epsilon
         self.gamma = max(2.0, gamma)
         self.rng = random.Random(seed)
@@ -160,9 +173,11 @@ class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
         owner_x, owner_y = self.owner(x), self.owner(y)
         mx, my = self.cluster.machine(owner_x), self.cluster.machine(owner_y)
         # The endpoints' owners exchange levels/status (O(1) words, 1 round).
-        mx.send(owner_y, "edge-insert", (x, y, sx["level"], sx["mate"] is not None))
+        payload_x = (x, y, sx["level"], sx["mate"] is not None)
+        mx.send(owner_y, "edge-insert", payload_x, words=closed_form_words("edge-insert", payload_x))
         if owner_y != owner_x:
-            my.send(owner_x, "edge-insert", (y, x, sy["level"], sy["mate"] is not None))
+            payload_y = (y, x, sy["level"], sy["mate"] is not None)
+            my.send(owner_x, "edge-insert", payload_y, words=closed_form_words("edge-insert", payload_y))
         self.cluster.exchange()
         mx.drain("edge-insert")
         my.drain("edge-insert")
@@ -183,9 +198,9 @@ class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
         sy = self._vertex(y, create=True)
         owner_x, owner_y = self.owner(x), self.owner(y)
         mx, my = self.cluster.machine(owner_x), self.cluster.machine(owner_y)
-        mx.send(owner_y, "edge-delete", (x, y))
+        mx.send(owner_y, "edge-delete", (x, y), words=closed_form_words("edge-delete", (x, y)))
         if owner_y != owner_x:
-            my.send(owner_x, "edge-delete", (y, x))
+            my.send(owner_x, "edge-delete", (y, x), words=closed_form_words("edge-delete", (y, x)))
         self.cluster.exchange()
         mx.drain("edge-delete")
         my.drain("edge-delete")
@@ -225,7 +240,7 @@ class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
     def _enqueue_free(self, v: int, level: int) -> None:
         """Send ``v`` to the level-``level`` queue on the scheduler machine (1 round)."""
         owner = self.cluster.machine(self.owner(v))
-        owner.send(self.scheduler_id, "enqueue-free", (v, level))
+        owner.send(self.scheduler_id, "enqueue-free", (v, level), words=closed_form_words("enqueue-free", (v, level)))
         self.cluster.exchange()
         scheduler = self.cluster.machine(self.scheduler_id)
         for msg in scheduler.drain("enqueue-free"):
@@ -270,7 +285,7 @@ class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
             for (target, payload) in batch:
                 by_owner.setdefault(self.owner(target), []).append((target, payload))
             for owner_id, items in by_owner.items():
-                scheduler.send(owner_id, "notify", items)
+                scheduler.send(owner_id, "notify", items, words=closed_form_words("notify", items))
             self.cluster.exchange()
             for owner_id, items in by_owner.items():
                 machine = self.cluster.machine(owner_id)
@@ -317,7 +332,8 @@ class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
         candidate = free_nbrs[self.rng.randrange(len(free_nbrs))]
         # Propose to the candidate's owner (2 rounds, 2 machines, O(1) words).
         owner_v = self.cluster.machine(self.owner(v))
-        owner_v.send(self.owner(candidate), "propose", (v, candidate, target))
+        proposal = (v, candidate, target)
+        owner_v.send(self.owner(candidate), "propose", proposal, words=closed_form_words("propose", proposal))
         self.cluster.exchange()
         owner_c = self.cluster.machine(self.owner(candidate))
         accepted = False
@@ -326,7 +342,7 @@ class DMPCTwoPlusEpsMatching(DynamicMPCAlgorithm):
             cstate = owner_c.load(("mv", target_vertex))
             if cstate is not None and cstate["mate"] is None:
                 accepted = True
-        owner_c.send(owner_v.machine_id, "propose-reply", accepted)
+        owner_c.send(owner_v.machine_id, "propose-reply", accepted, words=closed_form_words("propose-reply", accepted))
         self.cluster.exchange()
         owner_v.drain("propose-reply")
         if accepted:

@@ -9,12 +9,24 @@ well-formedness (no duplicate insertions, no deletions of absent edges).
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
-from typing import Iterable, Iterator
+from typing import Callable, Iterable, Iterator
 
 from repro.graph.graph import DynamicGraph, normalize_edge
 
-__all__ = ["GraphUpdate", "UpdateSequence", "batched"]
+__all__ = [
+    "GraphUpdate",
+    "UpdateSequence",
+    "batched",
+    "coalesce_updates",
+    "group_updates_by_owner",
+    "resolve_coalesce",
+    "COALESCE_ENV_VAR",
+]
+
+#: environment variable toggling update-stream coalescing (default: off)
+COALESCE_ENV_VAR = "REPRO_COALESCE_UPDATES"
 
 INSERT = "insert"
 DELETE = "delete"
@@ -79,6 +91,106 @@ def batched(seq: Iterable[GraphUpdate], size: int) -> Iterator[list[GraphUpdate]
             chunk = []
     if chunk:
         yield chunk
+
+
+def resolve_coalesce(flag: bool | None = None) -> bool:
+    """Resolve the coalescing toggle: argument > ``REPRO_COALESCE_UPDATES`` > off.
+
+    Coalescing defaults *off* because cancelling an insert/delete pair changes
+    which intermediate solutions an algorithm ever sees: the final graph is
+    identical, but a matching or spanning forest may legitimately differ from
+    the one reached by replaying the raw stream.  Callers that only care about
+    final-graph semantics opt in explicitly.
+    """
+    if flag is not None:
+        return bool(flag)
+    raw = os.environ.get(COALESCE_ENV_VAR, "")
+    return raw.strip().lower() in ("1", "true", "on", "yes")
+
+
+def coalesce_updates(updates: Iterable[GraphUpdate]) -> tuple[list[GraphUpdate], dict[str, int]]:
+    """Normalize a batch: cancel insert/delete pairs and dedupe no-op updates.
+
+    Per edge (in first-touch order) the per-edge subsequence collapses to its
+    *net effect* on the graph:
+
+    * consecutive same-op duplicates keep only the latest (an insert-over-
+      -insert or delete-over-delete is a structural no-op; the last weight
+      wins, matching ``DynamicGraph.insert_edge`` overwrite semantics);
+    * ``insert …  delete`` cancels to nothing,
+    * ``insert …  insert`` keeps only the final insert,
+    * ``delete …  delete`` keeps only the first delete,
+    * ``delete …  insert`` keeps the delete followed by the final insert.
+
+    Replaying the survivors from the batch's pre-state therefore yields the
+    exact same final graph as replaying the raw batch (property-tested in
+    ``tests/graph``) provided the batch is *well-formed* for that pre-state —
+    no insert of an already-present edge, no delete of an absent one — which
+    is what every algorithm here requires of its input stream anyway.  The
+    pass is idempotent.  Returns the survivor list
+    plus a stats dict (``input``/``output``/``cancelled_pairs``/``deduped``/
+    ``edges``) for bench provenance.
+    """
+    per_edge: dict[tuple[int, int], list[GraphUpdate]] = {}
+    order: list[tuple[int, int]] = []
+    total = 0
+    deduped = 0
+    for upd in updates:
+        total += 1
+        seq = per_edge.get(upd.edge)
+        if seq is None:
+            per_edge[upd.edge] = [upd]
+            order.append(upd.edge)
+        elif seq[-1].op == upd.op:
+            seq[-1] = upd  # structural no-op: keep the later weight
+            deduped += 1
+        else:
+            seq.append(upd)
+    survivors: list[GraphUpdate] = []
+    cancelled_pairs = 0
+    for edge in order:
+        seq = per_edge[edge]
+        if seq[0].is_insert:
+            net = [seq[-1]] if seq[-1].is_insert else []
+        else:
+            net = [seq[0]] if seq[-1].is_delete else [seq[0], seq[-1]]
+        cancelled_pairs += (len(seq) - len(net)) // 2
+        survivors.extend(net)
+    stats = {
+        "input": total,
+        "output": len(survivors),
+        "cancelled_pairs": cancelled_pairs,
+        "deduped": deduped,
+        "edges": len(order),
+    }
+    return survivors, stats
+
+
+def group_updates_by_owner(
+    updates: Iterable[GraphUpdate], owner: Callable[[int], str]
+) -> list[GraphUpdate]:
+    """Stable-group updates by the machines owning their endpoints.
+
+    Survivors of :func:`coalesce_updates` touching the same machine pair are
+    made adjacent so drivers can merge their communication.  The grouping is a
+    *stable* partition on the unordered ``(owner(u), owner(v))`` key: both
+    orientations of an edge share a key, so the relative order of any two
+    updates on the same edge (at most a delete followed by an insert after
+    coalescing) is preserved and the grouped stream replays to the same final
+    graph as the ungrouped one.
+    """
+    groups: dict[tuple[str, str], list[GraphUpdate]] = {}
+    order: list[tuple[str, str]] = []
+    for upd in updates:
+        a, b = owner(upd.u), owner(upd.v)
+        key = (a, b) if a <= b else (b, a)
+        bucket = groups.get(key)
+        if bucket is None:
+            groups[key] = [upd]
+            order.append(key)
+        else:
+            bucket.append(upd)
+    return [upd for key in order for upd in groups[key]]
 
 
 class UpdateSequence:

@@ -27,9 +27,13 @@ governs:
 * picklability hazards — program classes defined inside functions, or
   ``__init__`` storing cluster/machine/closure references (RP106);
 * declared-but-never-touched keys, which make resident sessions over-ship
-  every round (RP107); and
+  every round (RP107);
 * ``reads_inbox = False`` programs whose ``run`` body references the
-  inbox anyway (RP108).
+  inbox anyway (RP108); and
+* sends of a message tag with a registered closed form (see
+  :func:`repro.mpc.sizing.register_closed_form`) that omit ``words=`` and
+  so fall back to recursively sizing the payload (RP109 — the only
+  whole-file scan; everything else is per-program).
 
 Static analysis is necessarily approximate: only *constant* keys are
 checked, and a dynamic access (``shared[name]``) is reported as its own
@@ -916,11 +920,73 @@ def _check_program(registry: _Registry, info: ProgramInfo) -> "tuple[ProgramFact
     return facts, findings
 
 
+# ----------------------------------------------------- closed-form send scan
+def _closed_form_tags(trees: list[tuple[str, ast.Module]]) -> frozenset[str]:
+    """Message tags with a registered closed form, for the RP109 scan.
+
+    Two sources are merged: the live registry (importing
+    :mod:`repro.dynamic_mpc` runs every protocol module's registrations),
+    and ``register_closed_form("tag", ...)`` calls found statically in the
+    analyzed files themselves — so lint test fixtures and out-of-tree
+    protocol modules are covered without being importable.
+    """
+    tags: set[str] = set()
+    try:
+        import repro.dynamic_mpc  # noqa: F401  — registers the protocol closed forms
+        from repro.mpc.sizing import registered_closed_forms
+
+        tags.update(registered_closed_forms())
+    except Exception:  # pragma: no cover — lint must degrade, not crash
+        pass
+    for _path, tree in trees:
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (func.attr if isinstance(func, ast.Attribute) else None)
+            if name != "register_closed_form" or not node.args:
+                continue
+            tag = node.args[0]
+            if isinstance(tag, ast.Constant) and isinstance(tag.value, str):
+                tags.add(tag.value)
+    return frozenset(tags)
+
+
+def _scan_unsized_sends(path: str, tree: ast.Module, tags: frozenset[str]) -> list[Finding]:
+    """RP109 — ``*.send(_, "tag", payload)`` without ``words=`` for a registered tag."""
+    findings: list[Finding] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "send") or len(node.args) < 2:
+            continue
+        tag = node.args[1]
+        if not (isinstance(tag, ast.Constant) and isinstance(tag.value, str)) or tag.value not in tags:
+            continue
+        if any(kw.arg == "words" for kw in node.keywords):
+            continue
+        findings.append(
+            Finding(
+                "RP109",
+                path,
+                node.lineno,
+                node.col_offset,
+                "<module>",
+                f"send of {tag.value!r} has a registered closed form but no words= — "
+                "the recursive sizer walks the payload on every send",
+                hint=f'size the send with words=closed_form_words("{tag.value}", payload)',
+            )
+        )
+    return findings
+
+
 # ------------------------------------------------------------------ frontend
 def analyze_paths(paths: Iterable[str | Path]) -> AnalysisResult:
     """Lint every ``SuperstepProgram`` subclass reachable under ``paths``."""
     files = collect_python_files(paths)
     infos: list[ProgramInfo] = []
+    trees: list[tuple[str, ast.Module]] = []
     errors: list[str] = []
     for path in files:
         try:
@@ -928,6 +994,7 @@ def analyze_paths(paths: Iterable[str | Path]) -> AnalysisResult:
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             errors.append(f"{path}: {exc}")
             continue
+        trees.append((str(path), tree))
         infos.extend(_collect_classes(tree, str(path)))
 
     registry = _Registry(infos)
@@ -940,6 +1007,13 @@ def analyze_paths(paths: Iterable[str | Path]) -> AnalysisResult:
         if program_facts is not None:
             checked += 1
             facts[info.name] = program_facts
+
+    # RP109 is a whole-file scan, not a program-contract check: any send of a
+    # tag with a registered closed form should be sized by it.
+    tags = _closed_form_tags(trees)
+    if tags:
+        for path, tree in trees:
+            findings.extend(_scan_unsized_sends(path, tree, tags))
 
     findings.sort(key=Finding.sort_key)
     return AnalysisResult(

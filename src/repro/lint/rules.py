@@ -75,6 +75,12 @@ RULES: dict[str, Rule] = {
             "reads_inbox = False but run references its inbox argument — resident workers "
             "receive an empty inbox and diverge",
         ),
+        Rule(
+            "RP109",
+            "recursive-sizing-on-registered-tag",
+            "a send of a message tag with a registered closed form omits words= — the "
+            "hot path falls back to recursively sizing the payload",
+        ),
     )
 }
 

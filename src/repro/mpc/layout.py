@@ -63,6 +63,8 @@ __all__ = [
     "numpy_or_none",
     "resolve_static_layout",
     "STATIC_LAYOUTS",
+    "resolve_dynamic_layout",
+    "DYNAMIC_LAYOUTS",
     "VertexInterner",
     "MachineCSR",
     "build_machine_csr",
@@ -71,6 +73,8 @@ __all__ = [
     "StatsView",
     "OverflowStats",
     "StatsTableHandle",
+    "TourShard",
+    "TourShardHandle",
 ]
 
 #: whether the vectorized kernel paths are available in this interpreter.
@@ -81,6 +85,12 @@ STATIC_LAYOUTS = ("dict", "csr")
 
 #: environment override for the default static layout.
 LAYOUT_ENV_VAR = "REPRO_STATIC_LAYOUT"
+
+#: layouts :func:`resolve_dynamic_layout` accepts.
+DYNAMIC_LAYOUTS = ("dict", "csr")
+
+#: environment override for the default dynamic layout.
+DYNAMIC_LAYOUT_ENV_VAR = "REPRO_DYNAMIC_LAYOUT"
 
 
 def numpy_or_none():
@@ -100,6 +110,22 @@ def resolve_static_layout(layout: "str | None" = None) -> str:
         layout = os.environ.get(LAYOUT_ENV_VAR, "").strip() or "csr"
     if layout not in STATIC_LAYOUTS:
         raise ValueError(f"unknown static layout {layout!r}; expected one of {STATIC_LAYOUTS}")
+    return layout
+
+
+def resolve_dynamic_layout(layout: "str | None" = None) -> str:
+    """Resolve the dynamic state layout: argument, env var, default ``csr``.
+
+    The dynamic mirror of :func:`resolve_static_layout` — an explicit
+    argument wins, then ``REPRO_DYNAMIC_LAYOUT``, then the flat default.
+    ``dict`` selects the seed per-key layouts (one ``("st", v)`` /
+    ``("tour", v)`` store entry per vertex); ``csr`` selects the flat
+    per-machine tables (:class:`StatsTable`, :class:`TourShard`).
+    """
+    if layout is None:
+        layout = os.environ.get(DYNAMIC_LAYOUT_ENV_VAR, "").strip() or "csr"
+    if layout not in DYNAMIC_LAYOUTS:
+        raise ValueError(f"unknown dynamic layout {layout!r}; expected one of {DYNAMIC_LAYOUTS}")
     return layout
 
 
@@ -600,6 +626,169 @@ class StatsTableHandle:
 
     def __setstate__(self, state: tuple) -> None:
         self.table, self._words = state
+
+
+# --------------------------------------------------------------- tour shard
+#: dict-layout parity for one tour vertex: the ("tour", v) key cost 3 words
+#: and its {"comp", "indexes"} value 5 + len(indexes); the ("edges", v) key
+#: another 3 and the empty record dict 1.  12 words per vertex plus one per
+#: tour index, before edge records.
+_TOUR_WORDS_PER_VERTEX = 12
+
+
+def _edge_record_words(record: "dict[str, Any]") -> int:
+    # dict-layout parity for one record entry inside the ("edges", v) value:
+    # neighbor key (1) + {"tree": bool, "weight": float, "indexes": pair|None}
+    # = 8 words for a non-tree record, 10 when the index pair is present.
+    return 10 if record.get("indexes") is not None else 8
+
+
+class TourShard:
+    """One worker machine's slice of every Euler-tour forest, flattened.
+
+    The dynamic connectivity driver replicates tour state on every worker
+    (each holds the vertices it owns); the seed layout stored one
+    ``("tour", v)`` dict and one ``("edges", v)`` dict per vertex, which made
+    every link/cut re-store — and therefore re-size — O(degree) python dicts
+    per touched vertex.  The shard keeps the same information as four flat
+    maps mutated in place:
+
+    ``comp``
+        vertex → component id,
+    ``indexes``
+        vertex → set of Euler-tour occurrence indexes,
+    ``edges``
+        vertex → {neighbor → record dict} (records share the dict layout's
+        ``{"tree", "weight", "indexes"}`` shape),
+    ``by_comp``
+        component id → vertex set: the cross-batch broadcast index.  Link and
+        cut commits maintain it incrementally, so scalar-broadcast
+        application, replacement-edge scans and the MST path-maximum scan
+        iterate exactly the component's members instead of every key on the
+        machine — and the index survives across batches, invalidated only by
+        the structural change itself.
+
+    Word accounting is incremental (``live_words`` is O(1)) and kept in
+    parity with what the dict layout charged for the same state, so strict
+    capacity enforcement behaves identically under either layout.
+    """
+
+    __slots__ = ("comp", "indexes", "edges", "by_comp", "_words")
+
+    def __init__(self) -> None:
+        self.comp: "dict[int, int]" = {}
+        self.indexes: "dict[int, set[int]]" = {}
+        self.edges: "dict[int, dict[int, dict[str, Any]]]" = {}
+        self.by_comp: "dict[int, set[int]]" = {}
+        self._words = 0
+
+    # ------------------------------------------------------------------ tours
+    def has_vertex(self, vertex: int) -> bool:
+        return vertex in self.comp
+
+    def add_vertex(self, vertex: int, comp: int, indexes: "set[int] | None" = None) -> None:
+        """Place a fresh vertex in ``comp`` (empty edge row, empty tour)."""
+        idx = set() if indexes is None else set(indexes)
+        self.comp[vertex] = comp
+        self.indexes[vertex] = idx
+        self.edges[vertex] = {}
+        members = self.by_comp.get(comp)
+        if members is None:
+            members = self.by_comp[comp] = set()
+        members.add(vertex)
+        self._words += _TOUR_WORDS_PER_VERTEX + len(idx)
+
+    def set_indexes(self, vertex: int, indexes: "set[int]") -> None:
+        """Replace ``vertex``'s tour-index set (component unchanged)."""
+        self._words += len(indexes) - len(self.indexes[vertex])
+        self.indexes[vertex] = indexes
+
+    def retour(self, vertex: int, comp: int, indexes: "set[int]") -> None:
+        """Move ``vertex`` to ``comp`` with a new index set, keeping ``by_comp`` true."""
+        old_comp = self.comp[vertex]
+        self._words += len(indexes) - len(self.indexes[vertex])
+        self.indexes[vertex] = indexes
+        if comp != old_comp:
+            self.comp[vertex] = comp
+            members = self.by_comp[old_comp]
+            members.discard(vertex)
+            if not members:
+                del self.by_comp[old_comp]
+            target = self.by_comp.get(comp)
+            if target is None:
+                target = self.by_comp[comp] = set()
+            target.add(vertex)
+
+    def members(self, comp: int) -> "set[int]":
+        """The vertices of ``comp`` stored on this shard (empty set if none)."""
+        return self.by_comp.get(comp, set())
+
+    # ------------------------------------------------------------------ edges
+    def edge_row(self, vertex: int) -> "dict[int, dict[str, Any]]":
+        return self.edges.get(vertex, {})
+
+    def set_edge(self, vertex: int, neighbor: int, record: "dict[str, Any]") -> None:
+        row = self.edges.get(vertex)
+        if row is None:
+            # stragglers without a tour entry still get a row (4 words of
+            # dict-layout key+empty-value parity, same as add_vertex charges)
+            row = self.edges[vertex] = {}
+            self._words += 4
+        old = row.get(neighbor)
+        if old is not None:
+            self._words -= _edge_record_words(old)
+        row[neighbor] = record
+        self._words += _edge_record_words(record)
+
+    def pop_edge(self, vertex: int, neighbor: int) -> None:
+        row = self.edges.get(vertex)
+        if row is not None:
+            old = row.pop(neighbor, None)
+            if old is not None:
+                self._words -= _edge_record_words(old)
+
+    # ------------------------------------------------------------- accounting
+    def live_words(self) -> int:
+        """Current word footprint (incrementally maintained, O(1))."""
+        return self._words
+
+    # ------------------------------------------------------------ serialization
+    def __getstate__(self) -> tuple:
+        return (self.comp, self.indexes, self.edges, self.by_comp, self._words)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.comp, self.indexes, self.edges, self.by_comp, self._words = state
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"TourShard(vertices={len(self.comp)}, comps={len(self.by_comp)}, "
+            f"words={self._words})"
+        )
+
+
+class TourShardHandle:
+    """Frozen-charge commit handle for a :class:`TourShard`.
+
+    Same discipline as :class:`StatsTableHandle`: the shard mutates in place,
+    drivers commit a *fresh* handle after each mutating operation, and the
+    frozen ``dmpc_words`` makes the reference and cached storage backends
+    release the previous charge and record the new one identically.
+    """
+
+    __slots__ = ("shard", "_words")
+
+    def __init__(self, shard: TourShard) -> None:
+        self.shard = shard
+        self._words = max(1, shard.live_words())
+
+    def dmpc_words(self) -> int:
+        return self._words
+
+    def __getstate__(self) -> tuple:
+        return (self.shard, self._words)
+
+    def __setstate__(self, state: tuple) -> None:
+        self.shard, self._words = state
 
 
 # ------------------------------------------------------------ wire registry

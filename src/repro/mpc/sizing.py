@@ -24,9 +24,17 @@ from __future__ import annotations
 
 import math
 from array import array
-from typing import Any
+from typing import Any, Callable
 
-__all__ = ["word_size", "fast_word_size"]
+__all__ = [
+    "word_size",
+    "fast_word_size",
+    "string_words",
+    "register_closed_form",
+    "has_closed_form",
+    "closed_form_words",
+    "registered_closed_forms",
+]
 
 
 def word_size(payload: Any) -> int:
@@ -96,3 +104,55 @@ def fast_word_size(payload: Any) -> int:
         else:
             total += word_size(item)
     return total
+
+
+def string_words(text: str) -> int:
+    """Word cost of a string under the charging scheme (``ceil(len/8)``, min 1)."""
+    return (len(text) + 7) // 8 or 1
+
+
+# --------------------------------------------------------------- closed forms
+#
+# Recursive sizing is exact but shows up in profiles once a driver sends the
+# same payload *shape* thousands of times per update stream: the PR 8 static
+# recut found the Boruvka merge broadcast spending more time in word_size than
+# in the algorithm.  Protocol modules may therefore register a *closed form*
+# for a message tag — shape-specialised arithmetic that computes
+# ``word_size(payload)`` without walking the payload.  Every registered form
+# is pinned equal to the recursive sizer on randomized payloads in
+# ``tests/mpc``/``tests/dynamic_mpc``, so round records are bit-identical
+# whichever path sized the send; ``repro.lint`` rule RP109 flags sends of a
+# registered tag that fall back to the recursive sizer.
+
+_CLOSED_FORMS: dict[str, tuple[int, Callable[[Any], int]]] = {}
+
+
+def register_closed_form(tag: str, payload_words: Callable[[Any], int]) -> None:
+    """Register ``payload_words`` as the closed form for messages tagged ``tag``.
+
+    ``payload_words(payload)`` must return exactly ``word_size(payload)`` for
+    every payload the protocol ships under this tag.  The tag's own word cost
+    is precomputed here so :func:`closed_form_words` is pure arithmetic.
+    """
+    _CLOSED_FORMS[tag] = (word_size(tag), payload_words)
+
+
+def has_closed_form(tag: str) -> bool:
+    """True if a closed form has been registered for ``tag``."""
+    return tag in _CLOSED_FORMS
+
+
+def registered_closed_forms() -> tuple[str, ...]:
+    """All tags with a registered closed form (sorted, for lint and tests)."""
+    return tuple(sorted(_CLOSED_FORMS))
+
+
+def closed_form_words(tag: str, payload: Any) -> int:
+    """Total words for a ``(tag, payload)`` send via the registered closed form.
+
+    Equals ``word_size(tag) + word_size(payload)`` — the exact charge
+    ``Machine.send`` computes when no explicit ``words=`` is given — without
+    recursing into the payload.
+    """
+    tag_words, payload_words = _CLOSED_FORMS[tag]
+    return tag_words + payload_words(payload)

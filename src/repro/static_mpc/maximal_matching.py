@@ -108,7 +108,11 @@ class MatchingProposeProgram(VertexProgram):
             choice = candidates[_mix(self.seed, round_no, v) % len(candidates)]
             outgoing.setdefault(self.owner(choice), []).append((v, choice))
         for target, pairs in outgoing.items():
-            ctx.send(target, "propose", pairs)
+            # The "propose" closed form belongs to the dynamic Section 6
+            # protocol (a fixed 3-tuple); this static send ships a pair list,
+            # so it sizes its own shape explicitly: 1 tag word + 1 framing
+            # word + 3 words per (v, choice) pair.
+            ctx.send(target, "propose", pairs, words=2 + 3 * len(pairs))
         return pruned
 
     def apply(self, shared: MutableMapping[str, Any], machine_id: str, delta: dict[int, set[int]]) -> None:

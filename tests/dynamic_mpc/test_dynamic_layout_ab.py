@@ -1,0 +1,400 @@
+"""Dynamic hot-path recut: layout A/B, coalesced-batch equivalence, sizing pins.
+
+Three guarantees from the recut are locked down here:
+
+* **Layout A/B** — the ``dict`` (one object per vertex / per tour entry)
+  and ``csr`` (flat struct-of-arrays) state layouts are pure storage
+  choices: every dynamic algorithm reaches bit-identical solutions,
+  per-update round records and word totals under both.
+* **Coalesced batches** — with coalescing on, ``apply_batch`` reaches the
+  same solution as sequentially replaying the *normalized* stream
+  (:meth:`normalize_batch`), never spends more rounds, and this holds on
+  every execution backend including the two-slot resident configuration,
+  on plain mixed streams, churn-heavy streams and recorded adversarial
+  tree-edge streams.
+* **Closed-form sizing** — every message tag registered in
+  :mod:`repro.mpc.sizing` charges exactly what the recursive reference
+  sizer would on randomized representative payloads, so swapping the
+  recursive walk for the closed form cannot move a single word in the
+  round records.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.config import DMPCConfig
+from repro.dynamic_mpc import (
+    DMPCApproxMST,
+    DMPCConnectivity,
+    DMPCMaximalMatching,
+    DMPCThreeHalvesMatching,
+    DMPCTwoPlusEpsMatching,
+)
+from repro.dynamic_mpc.state import VertexStats
+from repro.graph import DynamicGraph, batched
+from repro.graph.generators import gnm_random_graph, random_weighted_graph
+from repro.graph.streams import mixed_stream, tree_edge_adversary_stream
+from repro.mpc.layout import DYNAMIC_LAYOUTS
+from repro.mpc.sizing import closed_form_words, registered_closed_forms, word_size
+
+BACKENDS = ("reference", "fast", "sharded", "parallel", "process", "resident", "resident-shm")
+SHARD_COUNT = 3
+MAX_WORKERS = 2
+
+
+def make_config(n: int, m: int, backend: str | None) -> DMPCConfig:
+    extra: dict = {}
+    real = backend
+    if backend in ("sharded", "parallel", "process", "resident", "resident-shm"):
+        extra["shard_count"] = SHARD_COUNT
+    if backend in ("parallel", "process", "resident", "resident-shm"):
+        extra["max_workers"] = MAX_WORKERS
+    if backend == "resident-shm":
+        real = "resident"
+        extra["resident_slots"] = 2
+    return DMPCConfig.for_graph(n, m, backend=real, **extra)
+
+
+def per_update_rounds(algorithm) -> list[tuple[str, int]]:
+    return [(u.label, u.num_rounds) for u in algorithm.ledger.updates]
+
+
+def canonical(components):
+    return sorted(sorted(c) for c in components)
+
+
+def churn_stream(n: int, num_updates: int, seed: int) -> list:
+    """A well-formed stream over few vertices, so batches cancel heavily."""
+    return list(mixed_stream(n, num_updates, seed=seed, insert_probability=0.5))
+
+
+def recorded_adversary(n: int, m: int, num_updates: int, seed: int):
+    """Record an adaptive tree-edge adversary stream once, for replays."""
+    graph = gnm_random_graph(n, m, seed=seed)
+    recorder = DMPCConnectivity(DMPCConfig.for_graph(n, 2 * m))
+    recorder.preprocess(graph.copy())
+    adaptive = tree_edge_adversary_stream(
+        n, num_updates, recorder.spanning_forest, seed=seed + 1, delete_probability=0.6
+    )
+    adaptive.seed_graph(graph.copy())
+    for update in adaptive:
+        recorder.apply(update)
+    return graph, list(adaptive.history)
+
+
+# --------------------------------------------------------------- layout A/B
+class TestLayoutAB:
+    """dict vs csr must be observationally identical on every algorithm."""
+
+    def run_layouts(self, make, graph, stream):
+        runs = {}
+        for layout in DYNAMIC_LAYOUTS:
+            algorithm = make(layout)
+            algorithm.preprocess(graph.copy() if graph is not None else DynamicGraph())
+            for update in stream:
+                algorithm.apply(update)
+            runs[layout] = algorithm
+        return runs
+
+    def assert_identical_costs(self, runs):
+        dict_run, csr_run = runs["dict"], runs["csr"]
+        assert per_update_rounds(dict_run) == per_update_rounds(csr_run)
+        assert dict_run.update_summary().as_dict() == csr_run.update_summary().as_dict()
+
+    def test_connectivity(self):
+        n, m = 32, 64
+        graph = gnm_random_graph(n, m, seed=11)
+        stream = list(mixed_stream(n, 90, seed=12, insert_probability=0.5, initial=graph))
+        runs = self.run_layouts(
+            lambda layout: DMPCConnectivity(
+                make_config(n, 2 * m, None), layout=layout, check_invariants=True
+            ),
+            graph,
+            stream,
+        )
+        assert canonical(runs["dict"].components()) == canonical(runs["csr"].components())
+        assert runs["dict"].spanning_forest() == runs["csr"].spanning_forest()
+        self.assert_identical_costs(runs)
+
+    def test_connectivity_adversarial(self):
+        n, m = 24, 36
+        graph, stream = recorded_adversary(n, m, 80, seed=13)
+        runs = self.run_layouts(
+            lambda layout: DMPCConnectivity(make_config(n, 4 * m, None), layout=layout),
+            graph,
+            stream,
+        )
+        assert canonical(runs["dict"].components()) == canonical(runs["csr"].components())
+        assert runs["dict"].spanning_forest() == runs["csr"].spanning_forest()
+        self.assert_identical_costs(runs)
+
+    def test_approx_mst(self):
+        n, m = 24, 48
+        graph = random_weighted_graph(n, m, seed=14)
+        stream = list(mixed_stream(n, 80, seed=15, insert_probability=0.5, initial=graph, weighted=True))
+        runs = self.run_layouts(
+            lambda layout: DMPCApproxMST(make_config(n, 2 * m, None), epsilon=0.1, layout=layout),
+            graph,
+            stream,
+        )
+        assert runs["dict"].spanning_forest() == runs["csr"].spanning_forest()
+        self.assert_identical_costs(runs)
+
+    def test_maximal_matching(self):
+        n, m = 32, 64
+        graph = gnm_random_graph(n, m, seed=16)
+        stream = list(mixed_stream(n, 90, seed=17, insert_probability=0.5, initial=graph))
+        runs = self.run_layouts(
+            lambda layout: DMPCMaximalMatching(
+                make_config(n, 2 * m, None), layout=layout, check_invariants=True
+            ),
+            graph,
+            stream,
+        )
+        assert runs["dict"].matching() == runs["csr"].matching()
+        self.assert_identical_costs(runs)
+
+    def test_three_halves_matching(self):
+        n = 24
+        stream = churn_stream(n, 100, seed=18)
+        runs = self.run_layouts(
+            lambda layout: DMPCThreeHalvesMatching(make_config(n, 140, None), layout=layout),
+            None,
+            stream,
+        )
+        assert runs["dict"].matching() == runs["csr"].matching()
+        self.assert_identical_costs(runs)
+
+    def test_two_plus_eps_matching(self):
+        n = 24
+        stream = churn_stream(n, 100, seed=19)
+        runs = self.run_layouts(
+            lambda layout: DMPCTwoPlusEpsMatching(make_config(n, 120, None), seed=7, layout=layout),
+            None,
+            stream,
+        )
+        assert runs["dict"].matching() == runs["csr"].matching()
+        self.assert_identical_costs(runs)
+
+
+# ------------------------------------------------- coalesced-batch replay
+def coalesced_pair(make, graph, stream, batch_size):
+    """Batched-with-coalescing vs sequential replay of the normalized stream."""
+    batch = make()
+    sequential = make()
+    for algorithm in (batch, sequential):
+        algorithm.preprocess(graph.copy() if graph is not None else DynamicGraph())
+    for chunk in batched(stream, batch_size):
+        chunk = list(chunk)
+        batch.apply_batch(chunk, coalesce=True)
+        for update in sequential.normalize_batch(chunk)[0]:
+            sequential.apply(update)
+    return sequential, batch
+
+
+class TestCoalescedBatchReplay:
+    def test_connectivity_bit_identical_to_normalized_replay(self):
+        n = 16  # few vertices → heavy churn → real cancellations
+        stream = churn_stream(n, 160, seed=21)
+        sequential, batch = coalesced_pair(
+            lambda: DMPCConnectivity(make_config(n, 120, None), check_invariants=True),
+            None,
+            stream,
+            16,
+        )
+        assert canonical(sequential.components()) == canonical(batch.components())
+        assert sequential.spanning_forest() == batch.spanning_forest()
+        assert batch.update_round_total() <= sequential.update_round_total()
+        assert batch.coalesce_totals["input"] == 160
+        assert batch.coalesce_totals["output"] < 160  # churn genuinely cancelled
+        assert batch.coalesce_totals["cancelled_pairs"] > 0
+
+    def test_connectivity_adversarial_stream(self):
+        n, m = 24, 36
+        graph, stream = recorded_adversary(n, m, 100, seed=22)
+        sequential, batch = coalesced_pair(
+            lambda: DMPCConnectivity(make_config(n, 4 * m, None)), graph, stream, 16
+        )
+        assert canonical(sequential.components()) == canonical(batch.components())
+        assert sequential.spanning_forest() == batch.spanning_forest()
+        assert batch.update_round_total() <= sequential.update_round_total()
+
+    def test_maximal_matching_bit_identical_to_normalized_replay(self):
+        n = 16
+        graph = gnm_random_graph(n, 24, seed=23)
+        stream = list(mixed_stream(n, 140, seed=24, insert_probability=0.5, initial=graph))
+        sequential, batch = coalesced_pair(
+            lambda: DMPCMaximalMatching(make_config(n, 120, None), check_invariants=True),
+            graph,
+            stream,
+            16,
+        )
+        assert sequential.matching() == batch.matching()
+        assert batch.update_round_total() <= sequential.update_round_total()
+
+    def test_three_halves_matching(self):
+        n = 16
+        stream = churn_stream(n, 120, seed=25)
+        sequential, batch = coalesced_pair(
+            lambda: DMPCThreeHalvesMatching(make_config(n, 100, None)), None, stream, 12
+        )
+        assert sequential.matching() == batch.matching()
+        assert batch.update_round_total() <= sequential.update_round_total()
+
+    def test_two_plus_eps_matching(self):
+        n = 16
+        stream = churn_stream(n, 120, seed=26)
+        sequential, batch = coalesced_pair(
+            lambda: DMPCTwoPlusEpsMatching(make_config(n, 100, None), seed=7), None, stream, 12
+        )
+        assert sequential.matching() == batch.matching()
+
+    def test_approx_mst(self):
+        n, m = 20, 40
+        graph = random_weighted_graph(n, m, seed=27)
+        stream = list(mixed_stream(n, 100, seed=28, insert_probability=0.5, initial=graph, weighted=True))
+        sequential, batch = coalesced_pair(
+            lambda: DMPCApproxMST(make_config(n, 2 * m, None), epsilon=0.1), graph, stream, 12
+        )
+        assert sequential.spanning_forest() == batch.spanning_forest()
+        assert canonical(sequential.components()) == canonical(batch.components())
+
+    def test_constructor_and_env_toggles(self, monkeypatch):
+        n = 12
+        stream = churn_stream(n, 40, seed=29)
+        explicit = DMPCConnectivity(make_config(n, 60, None), coalesce=True)
+        assert explicit.coalesce is True
+        monkeypatch.setenv("REPRO_COALESCE_UPDATES", "1")
+        from_env = DMPCConnectivity(make_config(n, 60, None))
+        assert from_env.coalesce is True
+        for chunk in batched(stream, 8):
+            from_env.apply_batch(chunk)  # no per-call flag: the env toggle drives it
+        assert from_env.last_coalesce_stats is not None
+        monkeypatch.delenv("REPRO_COALESCE_UPDATES")
+        default = DMPCConnectivity(make_config(n, 60, None))
+        assert default.coalesce is False
+
+
+# ------------------------------------------------ all seven backends
+class TestCoalescedAcrossBackends:
+    """Coalesced batches are backend-invariant: solutions, rounds and words."""
+
+    def run_all(self, make, graph, stream, batch_size):
+        runs = {}
+        for backend in BACKENDS:
+            algorithm = make(backend)
+            algorithm.preprocess(graph.copy() if graph is not None else DynamicGraph())
+            for chunk in batched(stream, batch_size):
+                algorithm.apply_batch(chunk, coalesce=True)
+            runs[backend] = algorithm
+        return runs
+
+    def assert_backend_invariant(self, runs, extract, what):
+        reference = extract(runs["reference"])
+        for backend in BACKENDS[1:]:
+            assert extract(runs[backend]) == reference, f"{backend} diverged: {what}"
+
+    def test_connectivity_churn(self):
+        n = 16
+        stream = churn_stream(n, 96, seed=31)
+        runs = self.run_all(
+            lambda backend: DMPCConnectivity(make_config(n, 96, backend)), None, stream, 12
+        )
+        self.assert_backend_invariant(runs, lambda a: canonical(a.components()), "components")
+        self.assert_backend_invariant(runs, lambda a: a.spanning_forest(), "spanning forest")
+        self.assert_backend_invariant(runs, per_update_rounds, "per-update rounds")
+        self.assert_backend_invariant(runs, lambda a: a.update_summary().as_dict(), "update summary")
+        self.assert_backend_invariant(runs, lambda a: a.coalesce_totals, "coalesce totals")
+
+    def test_connectivity_adversarial(self):
+        n, m = 20, 30
+        graph, stream = recorded_adversary(n, m, 80, seed=32)
+        runs = self.run_all(
+            lambda backend: DMPCConnectivity(make_config(n, 4 * m, backend)), graph, stream, 16
+        )
+        self.assert_backend_invariant(runs, lambda a: canonical(a.components()), "components")
+        self.assert_backend_invariant(runs, lambda a: a.spanning_forest(), "spanning forest")
+        self.assert_backend_invariant(runs, per_update_rounds, "per-update rounds")
+        self.assert_backend_invariant(runs, lambda a: a.update_summary().as_dict(), "update summary")
+
+    def test_maximal_matching_churn(self):
+        n = 16
+        graph = gnm_random_graph(n, 24, seed=33)
+        stream = list(mixed_stream(n, 96, seed=34, insert_probability=0.5, initial=graph))
+        runs = self.run_all(
+            lambda backend: DMPCMaximalMatching(make_config(n, 120, backend)), graph, stream, 12
+        )
+        self.assert_backend_invariant(runs, lambda a: a.matching(), "matching")
+        self.assert_backend_invariant(runs, per_update_rounds, "per-update rounds")
+        self.assert_backend_invariant(runs, lambda a: a.update_summary().as_dict(), "update summary")
+
+
+# --------------------------------------------------- closed-form sizing pins
+def _stats_entries(rng: random.Random, k: int):
+    entries = []
+    for _ in range(k):
+        stats = VertexStats(
+            degree=rng.randrange(10),
+            mate=rng.choice([None, rng.randrange(50)]),
+            heavy=rng.random() < 0.3,
+            alive_machine=rng.choice([None, f"edge-machine-{rng.randrange(12)}"]),
+            suspended_machines=[f"suspended-edge-{rng.randrange(40)}" for _ in range(rng.randrange(4))],
+            free_neighbors=rng.randrange(5),
+        )
+        entries.append((rng.randrange(100), stats.as_payload()))
+    return entries
+
+
+#: one randomized representative-payload builder per registered tag, shaped
+#: exactly like the payload each protocol send ships
+PAYLOAD_BUILDERS = {
+    "endpoint-info": lambda rng: tuple(rng.randrange(100) for _ in range(rng.randrange(1, 4))),
+    "endpoint-ack": lambda rng: None,
+    "path-max-offer": lambda rng: (rng.random(), rng.randrange(50), rng.randrange(50)),
+    "stats-query": lambda rng: sorted(rng.sample(range(100), rng.randrange(1, 9))),
+    "stats-reply": lambda rng: _stats_entries(rng, rng.randrange(1, 5)),
+    "stats-write": lambda rng: _stats_entries(rng, rng.randrange(1, 5)),
+    "vertex-reply": lambda rng: {
+        "free": rng.choice([None, rng.randrange(50)]),
+        "matched": [(rng.randrange(50), rng.randrange(50)) for _ in range(rng.randrange(4))],
+    },
+    "suspended-reply": lambda rng: rng.choice([None, rng.randrange(50)]),
+    "batch-free-reply": lambda rng: [
+        (rng.randrange(50), rng.choice([None, rng.randrange(50)])) for _ in range(rng.randrange(1, 7))
+    ],
+    "neighbor-list-reply": lambda rng: [rng.randrange(100) for _ in range(rng.randrange(7))],
+    "counter-delta": lambda rng: [
+        (rng.randrange(50), rng.randrange(-3, 4)) for _ in range(rng.randrange(1, 7))
+    ],
+    "add-edge": lambda rng: (rng.randrange(50), rng.randrange(50)),
+    "move-request": lambda rng: rng.randrange(50),
+    "fetch-suspended": lambda rng: (rng.randrange(50), rng.randrange(1, 9)),
+    "edge-insert": lambda rng: (rng.randrange(50), rng.randrange(50), rng.randrange(4), rng.random() < 0.5),
+    "edge-delete": lambda rng: (rng.randrange(50), rng.randrange(50)),
+    "enqueue-free": lambda rng: (rng.randrange(50), rng.randrange(4)),
+    "notify": lambda rng: [
+        (rng.randrange(50), (rng.randrange(50), rng.randrange(4), rng.random() < 0.5))
+        for _ in range(rng.randrange(1, 6))
+    ],
+    "propose": lambda rng: (rng.randrange(50), rng.randrange(50), rng.randrange(4)),
+    "propose-reply": lambda rng: rng.random() < 0.5,
+}
+
+
+class TestClosedFormPins:
+    def test_every_registered_tag_has_a_payload_builder(self):
+        assert set(registered_closed_forms()) == set(PAYLOAD_BUILDERS)
+
+    @pytest.mark.parametrize("tag", sorted(PAYLOAD_BUILDERS))
+    def test_closed_form_equals_reference_sizer(self, tag):
+        rng = random.Random(hash(tag) & 0xFFFF)
+        build = PAYLOAD_BUILDERS[tag]
+        for _ in range(50):
+            payload = build(rng)
+            expected = word_size(tag) + word_size(payload)
+            assert closed_form_words(tag, payload) == expected, (
+                f"{tag}: closed form diverged from the reference sizer on {payload!r}"
+            )

@@ -161,3 +161,16 @@ class InboxLiarProgram(SuperstepProgram):
 
     def run(self, ctx, inbox, shared):
         return [msg.payload for msg in inbox]
+
+
+def unsized_closed_form_send(machine, offers):
+    """RP109: ``fixture-offer`` has a registered closed form, send omits ``words=``.
+
+    The registration is in this file on purpose: the RP109 scan merges
+    statically-discovered ``register_closed_form`` calls with the live
+    registry, so the fixture stays self-contained.
+    """
+    from repro.mpc.sizing import register_closed_form
+
+    register_closed_form("fixture-offer", lambda payload: 1 + 3 * len(payload))
+    machine.send("aggregator", "fixture-offer", offers)

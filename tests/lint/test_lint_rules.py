@@ -117,6 +117,18 @@ class TestRuleFirings:
         assert "reads_inbox = False" in finding.message
         assert finding.line in class_line_range("InboxLiarProgram")
 
+    def test_rp109_unsized_closed_form_send(self, broken):
+        (finding,) = findings_for(broken, "RP109")
+        assert "'fixture-offer'" in finding.message
+        assert "recursive sizer" in finding.message
+        assert 'words=closed_form_words("fixture-offer"' in finding.hint
+        assert finding.line in class_line_range("unsized_closed_form_send")
+
+    def test_rp109_skips_sized_and_unregistered_sends(self, broken):
+        # the fixture tree contains sends of unregistered tags ("noise") and
+        # the registration call itself; only the unsized registered send fires
+        assert len(findings_for(broken, "RP109")) == 1
+
     def test_every_rule_has_a_firing_fixture(self, broken):
         fired = {f.code for f in broken.findings}
         assert fired == set(RULES), f"rules without a broken fixture: {sorted(set(RULES) - fired)}"
