@@ -180,6 +180,22 @@ def active_coalesce_flag() -> bool:
     return resolve_coalesce()
 
 
+def active_fuse_setting() -> str:
+    """The fused-round-block setting benchmark runs resolve (for the JSON record).
+
+    ``"auto"`` (fuse maximal spans, the default), ``"off"``, or the decimal
+    cap ``K`` — mirrors :func:`repro.config.resolve_fuse_rounds`.
+    """
+    from repro.config import resolve_fuse_rounds
+
+    resolved = resolve_fuse_rounds(None)
+    if resolved is None:
+        return "auto"
+    if resolved == 0:
+        return "off"
+    return str(resolved)
+
+
 def numpy_provenance() -> str | None:
     """numpy version the vectorized kernels ran against, ``None`` on fallback."""
     from repro.mpc.layout import numpy_or_none
@@ -201,6 +217,7 @@ def emit_bench_json(name: str, payload: dict, directory: str | None = None) -> s
     payload.setdefault("layout", active_layout_name())
     payload.setdefault("dynamic_layout", active_dynamic_layout_name())
     payload.setdefault("coalesce", active_coalesce_flag())
+    payload.setdefault("fuse", active_fuse_setting())
     payload.setdefault("numpy", numpy_provenance())
     path = os.path.join(directory or REPO_ROOT, f"BENCH_{name}.json")
     with open(path, "w", encoding="utf-8") as handle:
@@ -226,6 +243,12 @@ class RunResult:
     #: physical path messages took on slot-routing backends (all zeros on
     #: driver-delivered backends)
     traffic: dict = field(default_factory=dict)
+    #: rounds executed inside worker-driven fused blocks (resident backend
+    #: with fusion on; zero everywhere else)
+    fused_rounds: int = 0
+    #: driver round trips actually paid — with fusion a K-round block costs
+    #: one; equals the round count on every per-round backend
+    driver_round_trips: int = 0
 
 
 def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
@@ -269,6 +292,8 @@ def _dynamic_runner(algorithm_cls, graph, stream, solution, **algorithm_kwargs):
             elapsed=elapsed,
             replans=list(algorithm.cluster.replan_history),
             traffic=algorithm.cluster.ledger.traffic_totals(),
+            fused_rounds=algorithm.cluster.ledger.fused_rounds,
+            driver_round_trips=algorithm.cluster.ledger.driver_round_trips,
         )
 
     return run
@@ -350,6 +375,8 @@ def _static_runner(make_algorithm, solution, label: str):
             elapsed=elapsed,
             replans=list(algorithm.cluster.replan_history),
             traffic=ledger.traffic_totals(),
+            fused_rounds=ledger.fused_rounds,
+            driver_round_trips=ledger.driver_round_trips,
         )
 
     return run
@@ -514,6 +541,12 @@ def compare_backends(
             "wall_clock_samples": [round(sample, 6) for sample in samples[backend]],
             "rounds_total": last.rounds_total,
             "words_total": last.words_total,
+            # fusion provenance: how many rounds ran inside worker-driven
+            # fused blocks, and how many driver round trips were paid (the
+            # two are only interesting on the resident backend, but the
+            # zeros elsewhere make the records self-describing)
+            "fused_rounds": last.fused_rounds,
+            "driver_round_trips": last.driver_round_trips,
         }
         if last.replans:
             results[backend]["replans"] = last.replans
@@ -565,6 +598,7 @@ def compare_backends(
         # provenance: perf records are only comparable on like-for-like runs
         "warmup": warmup,
         "profiled": profile,
+        "fuse": active_fuse_setting(),
         "dynamic_layout": layout or active_dynamic_layout_name(),
         "coalesce": active_coalesce_flag() if coalesce is None else coalesce,
         "cpu_count": os.cpu_count(),
@@ -654,6 +688,14 @@ def main(argv: list[str] | None = None) -> int:
         help="coalesce each update batch before application (dynamic workloads; default off)",
     )
     parser.add_argument(
+        "--fuse",
+        default=None,
+        metavar="{auto,off,K}",
+        help="fused round blocks on the resident backend: 'auto' fuses maximal "
+        "spans (default), 'off' disables fusion, an integer K caps blocks at K "
+        "rounds; sets REPRO_FUSE_ROUNDS for the run and lands in the BENCH json",
+    )
+    parser.add_argument(
         "--profile",
         action="store_true",
         help="run one extra pass per backend under cProfile and record the top-20 "
@@ -671,6 +713,15 @@ def main(argv: list[str] | None = None) -> int:
         parser.error("--min-speedup needs at least two --backends (a baseline and a contender)")
     if args.quick:
         args.n, args.updates, args.repeat = 48, 60, 1
+    if args.fuse is not None:
+        # validate eagerly so a typo fails before minutes of timing runs
+        from repro.config import resolve_fuse_rounds
+
+        try:
+            resolve_fuse_rounds(args.fuse)
+        except ValueError as exc:
+            parser.error(str(exc))
+        os.environ["REPRO_FUSE_ROUNDS"] = args.fuse
 
     report = compare_backends(
         args.workload,

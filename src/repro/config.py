@@ -11,7 +11,35 @@ budget from a single declaration.
 from __future__ import annotations
 
 import math
+import os
 from dataclasses import dataclass, field
+
+#: environment variable consulted when ``DMPCConfig.fuse_rounds`` is unset —
+#: lets CI and benchmarks flip fused round blocks without touching configs.
+FUSE_ENV_VAR = "REPRO_FUSE_ROUNDS"
+
+
+def resolve_fuse_rounds(value: "str | int | None") -> int | None:
+    """Normalize a fuse-rounds setting to ``None`` (unlimited) / ``0`` (off) / cap.
+
+    Accepts the ``DMPCConfig.fuse_rounds`` field verbatim: ``None`` defers
+    to the ``REPRO_FUSE_ROUNDS`` environment variable and finally to
+    ``"auto"``; ``"auto"`` means fuse with no block-length cap; ``"off"``
+    (or ``0``) disables fusion; a positive integer caps each fused block at
+    that many rounds.
+    """
+    if value is None:
+        value = os.environ.get(FUSE_ENV_VAR) or "auto"
+    if isinstance(value, str):
+        text = value.strip().lower()
+        if text in ("auto", ""):
+            return None
+        if text == "off":
+            return 0
+        value = int(text)
+    if value < 0:
+        raise ValueError(f"fuse_rounds must be 'auto', 'off' or a non-negative int, got {value!r}")
+    return value
 
 
 @dataclass(frozen=True)
@@ -108,6 +136,17 @@ class DMPCConfig:
         traffic is capped by its machines' I/O budgets).  Rings that
         overflow fall back to the driver pipe, so undersizing is a
         performance choice, never a correctness one.
+    fuse_rounds:
+        Resident-backend knob: whether (and how far) consecutive
+        worker-drivable supersteps are fused into worker-driven round
+        blocks that skip the per-round driver pipe barrier.  ``"auto"``
+        fuses every statically fusable span with no length cap, ``"off"``
+        disables fusion, and a positive integer caps each fused block at
+        that many rounds.  ``None`` (the default) defers to the
+        ``REPRO_FUSE_ROUNDS`` environment variable and finally to
+        ``"auto"``.  Like every execution knob the simulation is
+        bit-for-bit identical under any value — the driver rebuilds the
+        exact per-round records from per-round worker aggregates.
     """
 
     capacity_n: int
@@ -123,6 +162,7 @@ class DMPCConfig:
     replan_every: int | None = None
     resident_slots: int | None = None
     resident_shm_ring_bytes: int | None = None
+    fuse_rounds: str | int | None = None
 
     def __post_init__(self) -> None:
         if self.capacity_n < 1:
@@ -147,6 +187,8 @@ class DMPCConfig:
             raise ValueError("resident_slots must be positive when given")
         if self.resident_shm_ring_bytes is not None and self.resident_shm_ring_bytes < 1024:
             raise ValueError("resident_shm_ring_bytes must be at least 1024 when given")
+        if self.fuse_rounds is not None:
+            resolve_fuse_rounds(self.fuse_rounds)  # raises on malformed values
 
     @property
     def capacity_N(self) -> int:
@@ -212,6 +254,7 @@ class DMPCConfig:
         replan_every: int | None = None,
         resident_slots: int | None = None,
         resident_shm_ring_bytes: int | None = None,
+        fuse_rounds: str | int | None = None,
     ) -> "DMPCConfig":
         """Convenience constructor sizing a deployment for an ``(n, m)`` graph."""
         return DMPCConfig(
@@ -228,6 +271,7 @@ class DMPCConfig:
             replan_every=replan_every,
             resident_slots=resident_slots,
             resident_shm_ring_bytes=resident_shm_ring_bytes,
+            fuse_rounds=fuse_rounds,
         )
 
 

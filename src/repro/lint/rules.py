@@ -81,6 +81,13 @@ RULES: dict[str, Rule] = {
             "a send of a message tag with a registered closed form omits words= — the "
             "hot path falls back to recursively sizing the payload",
         ),
+        Rule(
+            "RP110",
+            "fusion-contract-contradiction",
+            "driver_reads_sends = False (worker-drivable sends) contradicts driver_local "
+            "= True or delta_scope = 'driver' — a program cannot both run at/feed the "
+            "driver every round and be fused into a worker-driven block",
+        ),
     )
 }
 

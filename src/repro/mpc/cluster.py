@@ -150,7 +150,13 @@ class Cluster:
         self._rounds_delivered += 1
         every = getattr(self.config, "replan_every", None)
         if every and self._rounds_delivered % every == 0:
-            self.autotune_replan()
+            session = self._active_session
+            if session is not None and session.in_fused_block:
+                # Mid fused block the workers are looping on the old
+                # locality — the tick is deferred to the block boundary.
+                session.pending_autotune = True
+            else:
+                self.autotune_replan()
         return record
 
     def superstep(
@@ -185,6 +191,30 @@ class Cluster:
         """
         targets = self.machines() if machines is None else [self.machine(mid) for mid in machines]
         return self.backend.run_superstep(self, program, targets, shared if shared is not None else {})
+
+    def superstep_block(
+        self,
+        programs: "Iterable[SuperstepProgram | Callable[[Machine, list[Message]], None]]",
+        *,
+        machines: Iterable[str] | None = None,
+        shared: dict | None = None,
+    ) -> list[RoundRecord]:
+        """Run several consecutive supersteps with no driver work between them.
+
+        Semantically identical to calling :meth:`superstep` once per
+        program — same targets, same shared state, same barrier per round,
+        one :class:`RoundRecord` each — but the call itself is a promise
+        that the driver does nothing between the rounds.  Backends with
+        long-lived workers use that promise to *fuse* worker-drivable
+        spans (see :func:`repro.mpc.program.fusable_interior`) into a
+        single worker-driven block, eliding the per-round driver round
+        trip; every other backend just loops.  Returns the per-round
+        records in execution order.
+        """
+        targets = self.machines() if machines is None else [self.machine(mid) for mid in machines]
+        return self.backend.run_superstep_block(
+            self, list(programs), targets, shared if shared is not None else {}
+        )
 
     def discard_undelivered(self) -> None:
         """Drop any staged (outbox) and pending (inbox) messages on all machines."""

@@ -169,6 +169,15 @@ class MetricsLedger:
         #: *model's* communication, these measure which physical path each
         #: message took (worker-local, shm ring, pipe fallback).
         self._traffic: list[tuple[int, dict[str, int]]] = []
+        #: rounds executed inside worker-driven fused blocks (the resident
+        #: backend's barrier-elision path) — observability only, like the
+        #: wire-path traffic above; zero under every other backend.
+        self.fused_rounds = 0
+        #: driver↔worker pipe round trips that executed supersteps: one per
+        #: unfused resident superstep, one per fused *block* however many
+        #: rounds it covered.  ``fused_rounds`` over ``driver_round_trips``
+        #: is the barrier-elision win the benchmarks report.
+        self.driver_round_trips = 0
 
     def install_round_record_factory(self, factory, *, policy: str) -> None:
         """Adopt a backend accounting policy without clobbering an existing one.

@@ -108,6 +108,8 @@ __all__ = [
     "LiveMachineContext",
     "WorkerMachineContext",
     "store_subset",
+    "fusable_interior",
+    "fusable_terminal",
 ]
 
 
@@ -260,6 +262,23 @@ class SuperstepProgram(abc.ABC):
     #: slower.  When in doubt, leave the default.
     delta_scope: str = "global"
 
+    #: whether the *driver* reads the messages this program sends — i.e.
+    #: whether any machine's inbox is drained driver-side
+    #: (:meth:`Machine.drain` / :meth:`Machine.receive`) between this
+    #: program's round and the next superstep that would consume them.
+    #: The third fusability input (next to :attr:`driver_local` and
+    #: :attr:`delta_scope`): a phase whose sends only feed the *next
+    #: phase's* inboxes (``False``) can run entirely inside the resident
+    #: workers across several rounds without the driver ever seeing a
+    #: message body, so the resident backend may fuse it into a
+    #: worker-driven round block (see :func:`fusable_interior`).  ``True``
+    #: marks a phase whose sends the driver aggregates (proposal
+    #: accept/reject scans); such a phase can only ever *end* a fused
+    #: block, with its sends funneled back on the block reply.  ``None``
+    #: (the default) means unknown/dynamic — never fused, and resident
+    #: sessions keep the adaptive flush-then-demote behaviour.
+    driver_reads_sends: bool | None = None
+
     def session_keys(self) -> tuple[str, ...]:
         """All shared keys a resident session must keep in sync for this program.
 
@@ -307,3 +326,49 @@ def store_subset(items: "Iterator[tuple[Any, Any]]", prefixes: tuple[str, ...] |
     if not prefixes:
         return {}
     return {key: value for key, value in items if _key_matches(key, prefixes)}
+
+
+# ----------------------------------------------------------------- fusability
+def fusable_interior(program: "SuperstepProgram") -> bool:
+    """Whether a fused round block may run ``program`` *without* returning.
+
+    Worker-drivability, derived purely from the declared contract: the
+    driver must have nothing to do between this round and the next —
+
+    * no :attr:`~SuperstepProgram.driver_local` aggregation (that is
+      driver-side work by definition);
+    * the driver provably never reads this round's sends
+      (``driver_reads_sends is False``) — the messages only feed the next
+      round's inboxes, which live at the workers during a block;
+    * the barrier's delta merge is worker-reproducible: ``owner``-scoped
+      deltas are applied by the owning slot itself (owned shared slices
+      are disjoint across machines, so slot-local application in target
+      order equals the driver's global merge), and ``global``-scoped
+      programs qualify only with the default no-op ``apply`` (a real
+      global merge would have to reach *every* slot mid-block).
+    """
+    if program.driver_local or program.driver_reads_sends is not False:
+        return False
+    scope = program.delta_scope
+    if scope == "owner":
+        return True
+    return scope == "global" and type(program).apply is SuperstepProgram.apply
+
+
+def fusable_terminal(program: "SuperstepProgram") -> bool:
+    """Whether ``program`` may run as the *last* round of a fused block.
+
+    The terminal round still executes inside the workers (its inbox is
+    worker-held frames from the block's earlier rounds), but its sends may
+    return to the driver on the block reply — so ``driver_reads_sends``
+    may be ``True`` (declared driver-read phases funnel their sends), it
+    just must not be ``None`` (unknown means the adaptive driver-side
+    machinery must stay in charge).  Deltas are merged driver-side after
+    the block, exactly like an unfused round, so any worker-replayable
+    ``delta_scope`` qualifies.
+    """
+    return (
+        not program.driver_local
+        and program.driver_reads_sends is not None
+        and program.delta_scope in ("owner", "global")
+    )

@@ -268,6 +268,12 @@ class ExecutionSession:
         #: machine ids moved between workers by the most recent
         #: :meth:`migrate`; ``None`` until a live re-plan happens.
         self.last_migration: "list[str] | None" = None
+        #: True while a fused round block is executing (including its
+        #: driver-side finish loop): live re-plans are rejected and
+        #: ``replan_every`` autotune ticks are deferred to the boundary.
+        self.in_fused_block = False
+        #: a deferred ``replan_every`` tick waiting for the block boundary
+        self.pending_autotune = False
 
     def touch(self, *keys: str) -> None:
         """Mark shared keys as mutated out-of-band; resident copies re-ship."""
@@ -381,6 +387,27 @@ class ExecutionBackend(abc.ABC):
             inbox = machine.drain()
             program(machine, inbox)
         return cluster.exchange()
+
+    def run_superstep_block(
+        self,
+        cluster: "Cluster",
+        programs: "list[SuperstepHandler]",
+        targets: "list[Machine]",
+        shared: "dict[str, Any]",
+    ) -> "list[RoundRecord]":
+        """Execute several consecutive supersteps with no driver work between.
+
+        The block form of :meth:`run_superstep`, behind
+        :meth:`~repro.mpc.cluster.Cluster.superstep_block`: by calling it
+        the driver *promises* it has nothing to do between the rounds — no
+        shared-state mutation, no inbox read, no message staging — which is
+        what lets backends with long-lived workers (the ``resident``
+        backend) elide the per-round driver barrier and run fusable spans
+        entirely worker-side.  The default strategy simply runs the
+        programs one superstep at a time, so the delivered rounds are
+        bit-for-bit the same sequence under every backend.
+        """
+        return [self.run_superstep(cluster, program, targets, shared) for program in programs]
 
     def open_session(self, cluster: "Cluster", shared: "dict[str, Any]") -> ExecutionSession:
         """Open an execution session for a superstep round loop over ``shared``.

@@ -48,11 +48,29 @@ simulator's own execution substrate:
   worker-held frame back into driver inboxes in exactly the reference
   delivery order.
 
-The worker-session protocol has six operations, all executed inside the
+* **fused round blocks elide the per-round driver barrier** — a span of
+  consecutive supersteps whose contract declarations prove the driver has
+  no work between them (no ``driver_local`` aggregation, sends never read
+  driver-side before their consuming round, deltas ``owner``-scoped or
+  no-op — see :func:`~repro.mpc.program.fusable_interior`) ships as ONE
+  ``run_block`` request.  Workers then loop locally: each round they
+  ingest rings, serve due frames, run their machines, *self-apply* their
+  own machines' owner-scoped deltas, and synchronize on a lightweight
+  shared-memory cursor barrier
+  (:class:`~repro.runtime.wire.ShmRoundBarrier`) instead of a driver
+  round trip.  Per-round aggregates come back once per block, and the
+  driver replays them through the exact unfused finish path — every
+  :class:`~repro.mpc.metrics.RoundRecord` is rebuilt bit-identically, in
+  order.  A ring overflow mid-block stops every slot at the same round
+  boundary (the barrier's stop bit); the overflowed frames take the pipe
+  forward path and the remaining supersteps run unfused.
+
+The worker-session protocol has seven operations, all executed inside the
 slot's worker process: :func:`_session_open` (create the resident state),
-:func:`_session_attach_shm` (map the cross-slot rings),
-:func:`_session_run_round` (replay deltas, refresh invalidated keys and
-stale stores, run the machines, route their frames),
+:func:`_session_attach_shm` (map the cross-slot rings and the round
+barrier), :func:`_session_run_round` (replay deltas, refresh invalidated
+keys and stale stores, run the machines, route their frames),
+:func:`_session_run_block` (the fused multi-round worker loop),
 :func:`_session_flush` (surrender every held frame to the driver),
 :func:`_session_migrate` (drop shard state that a live re-plan moved to
 another worker) and :func:`_session_close` (release everything).
@@ -89,12 +107,29 @@ import pickle
 import threading
 from typing import TYPE_CHECKING, Any
 
+from repro.config import resolve_fuse_rounds
+from repro.exceptions import ProtocolError
+from repro.mpc.contract import checked_apply_view, contract_checking_enabled
 from repro.mpc.message import Message
-from repro.mpc.program import LiveMachineContext, SuperstepProgram, WorkerMachineContext
+from repro.mpc.program import (
+    LiveMachineContext,
+    SuperstepProgram,
+    WorkerMachineContext,
+    fusable_interior,
+    fusable_terminal,
+)
 from repro.mpc.sizing import fast_word_size
 from repro.runtime.base import ExecutionSession, register_backend
 from repro.runtime.process import ProcessBackend
-from repro.runtime.wire import FRAME_HEADER, ShmRing, decode_obj, encode_obj, pack_inbox, unpack_inbox
+from repro.runtime.wire import (
+    FRAME_HEADER,
+    ShmRing,
+    ShmRoundBarrier,
+    decode_obj,
+    encode_obj,
+    pack_inbox,
+    unpack_inbox,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.connection import Connection
@@ -136,6 +171,7 @@ class _SessionState:
         "rings_in",
         "rings_out",
         "machine_slots",
+        "barrier",
     )
 
     def __init__(self) -> None:
@@ -162,12 +198,17 @@ class _SessionState:
         #: machine id -> (registration index, worker slot): the routing map,
         #: re-shipped whenever the driver's map version moves
         self.machine_slots: dict[str, tuple[int, int]] = {}
+        #: the fused-block round barrier this worker announces/waits on
+        self.barrier: "ShmRoundBarrier | None" = None
 
     def release_rings(self) -> None:
         for ring in (*self.rings_in.values(), *self.rings_out.values()):
             ring.close()
         self.rings_in.clear()
         self.rings_out.clear()
+        if self.barrier is not None:
+            self.barrier.close()
+            self.barrier = None
 
 
 _EMPTY_STORE: dict = {}
@@ -259,13 +300,17 @@ def _session_attach_shm(
     session_id: str,
     rings_in: "list[tuple[int, str]]",
     rings_out: "list[tuple[int, str]]",
+    barrier: "tuple[str, int] | None" = None,
 ) -> int:
     """Protocol op: attach the cross-slot shared-memory rings by name.
 
     Best-effort by design: a ring that cannot be attached (shm unavailable,
     unlinked early) is simply absent from the worker's map, so every frame
     for that destination takes the pipe-fallback path — slower, never
-    wrong.  Returns how many rings are attached afterwards.
+    wrong.  ``barrier`` is the fused-block round barrier as ``(shm name,
+    slot count)``; attaching it is best-effort too — a fused block arriving
+    without one fails loudly instead of running unsynchronized.  Returns
+    how many rings are attached afterwards.
     """
     state = sessions.get(session_id)
     if state is None:
@@ -282,6 +327,11 @@ def _session_attach_shm(
                 state.rings_out[dst_slot] = ShmRing.attach(name)
             except Exception:  # pragma: no cover - environment dependent
                 pass
+    if barrier is not None and state.barrier is None:
+        try:
+            state.barrier = ShmRoundBarrier.attach(barrier[0], barrier[1])
+        except Exception:  # pragma: no cover - environment dependent
+            pass
     return len(state.rings_in) + len(state.rings_out)
 
 
@@ -301,6 +351,46 @@ def _session_flush(sessions: "dict[str, _SessionState]", session_id: str) -> "li
     for receiver in list(state.pending):
         frames.extend(state.pending.pop(receiver))
     return frames
+
+
+def _sync_session_state(
+    sessions: "dict[str, _SessionState]",
+    session_id: str,
+    new_programs: "dict[int, bytes]",
+    replay: "list[tuple[int, list[tuple[str, Any]]]]",
+    shared_init: "dict[str, Any]",
+    store_updates: "list[tuple[str, tuple[str, ...] | None, int, bytes]]",
+) -> _SessionState:
+    """Bring one session's resident state up to date (round and block ops).
+
+    Ordering is the heart of the sync: (1) replay the previous barriers'
+    merged deltas — the same ``(machine_id, delta)`` sequence, in the same
+    target order, through the same ``program.apply`` the driver ran — then
+    (2) overwrite with ``shared_init``, the fresh values of keys the driver
+    invalidated (whose snapshots already contain every merged delta), then
+    (3) refresh store snapshots whose version epoch moved.  Step 2 after
+    step 1 makes refreshes idempotent with replay; a key is never left
+    reflecting a delta the driver's copy has superseded.
+    """
+    state = sessions.get(session_id)
+    if state is None:  # open lost to a worker restart — start clean
+        state = sessions[session_id] = _SessionState()
+    for key, blob in new_programs.items():
+        state.programs[key] = pickle.loads(blob)
+    shared = state.shared
+    for pkey, entries in replay:
+        program = state.programs[pkey]
+        for machine_id, delta in entries:
+            program.apply(shared, machine_id, delta)
+    if shared_init:
+        shared.update(shared_init)
+    for machine_id, prefixes, version, blob in store_updates:
+        if state.store_versions.get(machine_id) != version:
+            for key in [k for k in state.stores if k[0] == machine_id]:
+                del state.stores[key]
+            state.store_versions[machine_id] = version
+        state.stores[(machine_id, prefixes)] = pickle.loads(blob)
+    return state
 
 
 def _session_run_round(
@@ -356,25 +446,9 @@ def _session_run_round(
     *this* round's frames into our ring, and those must wait one round,
     exactly like every other message sent in round ``epoch``.
     """
-    state = sessions.get(session_id)
-    if state is None:  # open lost to a worker restart — start clean
-        state = sessions[session_id] = _SessionState()
-    for key, blob in new_programs.items():
-        state.programs[key] = pickle.loads(blob)
-    shared = state.shared
-    for pkey, entries in replay:
-        program = state.programs[pkey]
-        for machine_id, delta in entries:
-            program.apply(shared, machine_id, delta)
-    if shared_init:
-        shared.update(shared_init)
-    for machine_id, prefixes, version, blob in store_updates:
-        if state.store_versions.get(machine_id) != version:
-            for key in [k for k in state.stores if k[0] == machine_id]:
-                del state.stores[key]
-            state.store_versions[machine_id] = version
-        state.stores[(machine_id, prefixes)] = pickle.loads(blob)
-
+    state = _sync_session_state(
+        sessions, session_id, new_programs, replay, shared_init, store_updates
+    )
     program = state.programs[program_key]
     prefixes = program.store_reads
     if routing is None:
@@ -382,7 +456,7 @@ def _session_run_round(
         for machine_id, packed_inbox in batch:
             store = state.stores.get((machine_id, prefixes), _EMPTY_STORE)
             ctx = _SizingMachineContext(machine_id, store)
-            delta = program.run(ctx, _unpack_inbox(packed_inbox), shared)
+            delta = program.run(ctx, _unpack_inbox(packed_inbox), state.shared)
             results.append((machine_id, ctx.sent, delta))
         return results
     return _run_routed(state, program, prefixes, batch, routing)
@@ -496,6 +570,195 @@ def _run_routed(
     )
 
 
+def _session_run_block(
+    sessions: "dict[str, _SessionState]",
+    session_id: str,
+    new_programs: "dict[int, bytes]",
+    replay: "list[tuple[int, list[tuple[str, Any]]]]",
+    shared_init: "dict[str, Any]",
+    store_updates: "list[tuple[str, tuple[str, ...] | None, int, bytes]]",
+    batch: "list[tuple[str, Any]]",
+    block: "dict[str, Any]",
+) -> tuple:
+    """Protocol op: run a fused span of rounds without driver round trips.
+
+    One sync (exactly :func:`_sync_session_state`), then up to
+    ``len(block["rounds"])`` consecutive rounds executed entirely inside
+    the worker.  Each round ``r`` (global epoch ``epoch0 + r``):
+
+    1. ingest the inbound rings and serve this round's *due* frames
+       (``epoch < epoch0 + r``) in global sort order — round 0 also serves
+       the driver-shipped inboxes, later rounds have none by construction
+       (the driver does no work between fused rounds);
+    2. run the machines — :class:`_RoutingMachineContext` for routed
+       rounds, :class:`_SizingMachineContext` for a terminal *funnel*
+       round whose sends the driver reads;
+    3. commit: same-slot frames to pending, cross-slot frames to the shm
+       rings; a ring overflow sets the *stop* flag — those frames need the
+       driver's pipe forward path, so the block must end at this boundary;
+    4. self-apply this slot's own machines' deltas (``owner`` scope makes
+       that sufficient; ``global``-scoped interior programs have no-op
+       applies) — except on the span's final round, whose deltas the
+       driver replays through the normal barrier instead.  Under
+       ``REPRO_CHECK_CONTRACTS`` the apply runs against the same
+       :func:`~repro.mpc.contract.checked_apply_view` the driver uses;
+    5. announce ``base + r + 1`` on the round barrier (stop bit included)
+       and wait for every participating peer — a peer's stop at exactly
+       this boundary ends our block too, so all slots commit the same
+       number of rounds.  Single-slot sessions skip the barrier entirely.
+
+    Returns ``("block", completed, per_round, stopped)`` where
+    ``per_round[r]`` is the exact per-round reply shape of
+    :func:`_session_run_round` (``("routed", ...)`` or
+    ``("funneled", ...)``), letting the driver rebuild every
+    :class:`RoundRecord` through the unfused finish paths.
+    """
+    state = _sync_session_state(
+        sessions, session_id, new_programs, replay, shared_init, store_updates
+    )
+    my_slot = block["slot"]
+    epoch0 = block["epoch0"]
+    new_map = block.get("map")
+    if new_map is not None:
+        state.machine_slots = new_map
+    machine_slots = state.machine_slots
+    pending = state.pending
+    for frame in block["forward"]:
+        pending.setdefault(frame[4], []).append(frame)
+    rounds = block["rounds"]
+    barrier: "ShmRoundBarrier | None" = None
+    base = 0
+    peers: "list[int]" = []
+    barrier_spec = block.get("barrier")
+    if barrier_spec is not None:
+        base, participants = barrier_spec
+        barrier = state.barrier
+        if barrier is None:
+            raise RuntimeError(
+                f"resident worker slot {my_slot} has no round barrier attached "
+                f"for a fused block"
+            )
+        peers = [slot for slot in participants if slot != my_slot]
+    checking = contract_checking_enabled()
+    shared = state.shared
+    rings_out = state.rings_out
+    last_round = len(rounds) - 1
+    per_round: "list[tuple]" = []
+    completed = 0
+    stopped = False
+    for r, (program_key, drop_inbox, funnel) in enumerate(rounds):
+        epoch = epoch0 + r
+        program = state.programs[program_key]
+        prefixes = program.store_reads
+        _ingest_rings(state)
+        deltas: "list[tuple[str, Any]]" = []
+        staged: "list[list[tuple]]" = []
+        funneled: "list[tuple[str, list[tuple[str, str, Any, int]], Any]]" = []
+        for machine_id, packed_inbox in batch:
+            held = pending.get(machine_id)
+            ready: "list[tuple]" = []
+            if held:
+                ready = [f for f in held if f[0] < epoch]
+                if ready:
+                    later = [f for f in held if f[0] >= epoch]
+                    if later:
+                        pending[machine_id] = later
+                    else:
+                        del pending[machine_id]
+            if drop_inbox:
+                inbox: "list[Message]" = []
+            else:
+                # Driver-shipped inboxes exist only for round 0; every
+                # later round's messages are worker frames by construction.
+                inbox = _unpack_inbox(packed_inbox) if r == 0 else []
+                if ready:
+                    ready.sort(key=_frame_sort_key)
+                    inbox.extend(_frame_message(f) for f in ready)
+            store = state.stores.get((machine_id, prefixes), _EMPTY_STORE)
+            if funnel:
+                sctx = _SizingMachineContext(machine_id, store)
+                funneled.append((machine_id, sctx.sent, program.run(sctx, inbox, shared)))
+                continue
+            ctx = _RoutingMachineContext(machine_id, store, epoch, machine_slots[machine_id][0])
+            deltas.append((machine_id, program.run(ctx, inbox, shared)))
+            staged.append(ctx.sent)
+        if funnel:
+            # A funnel round is always the span's terminal round: it stages
+            # nothing worker-side, so there is no commit and no stop risk.
+            per_round.append(("funneled", funneled))
+            completed = r + 1
+            if barrier is not None:
+                barrier.announce(my_slot, base + r + 1)
+            break
+        # Commit — identical accounting to _run_routed's phase 2.
+        pairs: "dict[tuple[str, str], list[int]]" = {}
+        local_count = 0
+        ring_frames = 0
+        ring_bytes = 0
+        overflow: "list[tuple[int, tuple]]" = []
+        fallback: "list[tuple]" = []
+        for frames in staged:
+            for frame in frames:
+                receiver = frame[4]
+                words = frame[7]
+                key = (frame[3], receiver)
+                stats = pairs.get(key)
+                if stats is None:
+                    pairs[key] = [words, 1, words]
+                else:
+                    stats[0] += words
+                    stats[1] += 1
+                    if words > stats[2]:
+                        stats[2] = words
+                info = machine_slots.get(receiver)
+                if info is None:
+                    fallback.append(frame)
+                elif info[1] == my_slot:
+                    pending.setdefault(receiver, []).append(frame)
+                    local_count += 1
+                else:
+                    ring = rings_out.get(info[1])
+                    if ring is not None and words * 8 + FRAME_HEADER <= ring.capacity + 64:
+                        blob = encode_obj(frame)
+                        if ring.write(blob):
+                            ring_frames += 1
+                            ring_bytes += len(blob) + FRAME_HEADER
+                            continue
+                    overflow.append((info[1], frame))
+        per_round.append(
+            (
+                "routed",
+                deltas,
+                [(s, rcv, v[0], v[1], v[2]) for (s, rcv), v in pairs.items()],
+                (local_count, ring_frames, ring_bytes, len(overflow)),
+                overflow,
+                fallback,
+            )
+        )
+        completed = r + 1
+        if overflow:
+            # Overflowed frames need the driver's pipe forward path before
+            # their consuming round — the block ends at this boundary.
+            stopped = True
+        if r < last_round:
+            # Interior rounds self-apply this slot's own deltas so the next
+            # round's runs read current owned state; the final round leaves
+            # its deltas to the driver's normal barrier replay (the formula
+            # is deterministic, so the driver knows which rounds to queue).
+            if type(program).apply is not SuperstepProgram.apply and program.delta_scope != "driver":
+                view = checked_apply_view(program, shared) if checking else shared
+                for machine_id, delta in deltas:
+                    program.apply(view, machine_id, delta)
+        if barrier is not None:
+            barrier.announce(my_slot, base + r + 1, stop=stopped)
+            if not stopped and r < last_round:
+                if barrier.wait(base + r + 1, peers, poll=lambda: _ingest_rings(state)):
+                    stopped = True  # a peer ended the block at this boundary
+        if stopped:
+            break
+    return ("block", completed, per_round, stopped)
+
+
 def _session_migrate(
     sessions: "dict[str, _SessionState]", session_id: str, machine_ids: "list[str]"
 ) -> int:
@@ -537,6 +800,7 @@ def _worker_main(conn: "Connection") -> None:
         "open": _session_open,
         "attach_shm": _session_attach_shm,
         "round": _session_run_round,
+        "run_block": _session_run_block,
         "flush": _session_flush,
         "migrate": _session_migrate,
         "close": _session_close,
@@ -713,6 +977,7 @@ class _SlotState:
         "store_versions",
         "map_version",
         "rings_attached",
+        "barrier_attached",
     )
 
     def __init__(self) -> None:
@@ -735,6 +1000,8 @@ class _SlotState:
         self.map_version = -1
         #: whether the cross-slot rings were attached at this worker
         self.rings_attached = False
+        #: whether the fused-block round barrier was attached at this worker
+        self.barrier_attached = False
 
     def reset_for(self, generation: int) -> None:
         """Forget everything shipped to a previous (dead) worker process.
@@ -753,6 +1020,7 @@ class _SlotState:
         self.store_versions.clear()
         self.map_version = -1
         self.rings_attached = False
+        self.barrier_attached = False
 
 
 class ResidentSession(ExecutionSession):
@@ -808,6 +1076,16 @@ class ResidentSession(ExecutionSession):
         #: cross-slot shm rings as a [src][dst] matrix; ``None`` = not
         #: created yet, ``[]`` = shm unavailable (pipe fallback for all)
         self._rings: "list[list[ShmRing | None]] | None" = None
+        # ---- fused round blocks -------------------------------------------
+        #: the shm round barrier multi-slot fused blocks synchronize on;
+        #: created lazily on the first fused attempt
+        self._barrier: "ShmRoundBarrier | None" = None
+        #: barrier creation failed (shm unavailable) — stop trying to fuse
+        self._barrier_failed = False
+        #: monotone barrier count base across this session's fused blocks —
+        #: a cell left stopped by one block then reads as *behind* every
+        #: threshold of the next
+        self._barrier_base = 0
         #: session-total wire-path counters (per-round numbers go to the
         #: metrics ledger through the transport deposit)
         self.local_messages = 0
@@ -985,7 +1263,12 @@ class ResidentSession(ExecutionSession):
         # round could slip younger messages into driver inboxes ahead of
         # older worker-held frames, and we must flush first instead.
         can_route = ledger.record_policy is not None and not self.transport.has_staged()
-        route_sends = can_route and self._route_programs.get(program_key, True)
+        # The adaptive lesson (_route_programs) wins when learned; otherwise
+        # a declared ``driver_reads_sends=True`` skips the wasted
+        # route-then-flush first round and funnels immediately.
+        route_sends = can_route and self._route_programs.get(
+            program_key, program.driver_reads_sends is not True
+        )
         funnel = (
             can_route
             and not route_sends
@@ -1032,12 +1315,22 @@ class ResidentSession(ExecutionSession):
                 for slot_index, worker in slot_workers:
                     slot = self._slots[slot_index]
                     if slot.worker_generation != worker.generation:
-                        if self._remote_pending[slot_index]:
-                            # the old process held undelivered routed frames
-                            raise ResidentWorkerError(
-                                f"resident worker slot {slot_index} was respawned "
-                                f"while holding undelivered slot-routed messages"
-                            )
+                        rp = self._remote_pending[slot_index]
+                        if rp:
+                            # The old process held undelivered routed frames.
+                            # Recoverable only when this very round would
+                            # have *discarded* every one of them anyway:
+                            # the program drops its inbox and every pending
+                            # receiver participates (held frames are always
+                            # due by the receiver's next round).
+                            participants = {m.machine_id for m in by_slot[slot_index]}
+                            if not program.reads_inbox and rp <= participants:
+                                rp.clear()
+                            else:
+                                raise ResidentWorkerError(
+                                    f"resident worker slot {slot_index} was respawned "
+                                    f"while holding undelivered slot-routed messages"
+                                )
                         # the slot's process was (re)spawned underneath
                         # this session: nothing previously shipped survives
                         slot.reset_for(worker.generation)
@@ -1117,6 +1410,9 @@ class ResidentSession(ExecutionSession):
             for _, worker in slot_workers:
                 worker.lock.release()
 
+        # One pipe round trip happened for this superstep (fused blocks pay
+        # one per whole block instead — the counter the fusion win shows up in).
+        ledger.driver_round_trips += 1
         if route_sends:
             return self._finish_routed_round(
                 cluster, program, program_key, targets, shared, slot_replies
@@ -1136,11 +1432,24 @@ class ResidentSession(ExecutionSession):
             self._recompute_pending_ids()
             if not self._pending_ids:
                 self._pending_keys = set()
+        return self._finish_replayed_round(cluster, program, program_key, targets, shared, results)
 
-        # Bulk replay: workers already sized every send with the exact
-        # sizer the transport charges (fast_word_size), so the staged
-        # messages are constructed directly — content, order and charged
-        # words identical to Machine.send staging them one by one.
+    def _finish_replayed_round(
+        self,
+        cluster: "Cluster",
+        program: SuperstepProgram,
+        program_key: int,
+        targets: "list[Machine]",
+        shared: "dict[str, Any]",
+        results: "dict[str, tuple[list[tuple[str, str, Any, int]], Any]]",
+    ) -> "RoundRecord":
+        """Finish a legacy/funnel round: driver-side replay, apply, exchange.
+
+        Bulk replay: workers already sized every send with the exact sizer
+        the transport charges (fast_word_size), so the staged messages are
+        constructed directly — content, order and charged words identical
+        to Machine.send staging them one by one.
+        """
         transport = self.transport
         for machine in targets:
             sent = results[machine.machine_id][0]
@@ -1161,6 +1470,398 @@ class ResidentSession(ExecutionSession):
         self.worker_rounds += 1
         self.backend.last_superstep_mode = "resident"
         return cluster.exchange()
+
+    # ------------------------------------------------------------ fused blocks
+    def run_block(
+        self,
+        cluster: "Cluster",
+        programs: "list[SuperstepProgram]",
+        targets: "list[Machine]",
+        shared: "dict[str, Any]",
+    ) -> "list[RoundRecord]":
+        """Run a program span, fusing maximal worker-drivable sub-spans.
+
+        Segmentation is static — from the programs' contract declarations
+        (:func:`fusable_interior` / :func:`fusable_terminal`) capped by
+        ``DMPCConfig.fuse_rounds`` — and greedy: the longest eligible
+        prefix at each position ships as one ``run_block``; everything
+        else (including a mid-block stop's remainder) runs unfused through
+        :meth:`run_round`, so the delivered rounds are bit-identical either
+        way.
+        """
+        records: "list[RoundRecord]" = []
+        i = 0
+        count = len(programs)
+        while i < count:
+            span = 0 if self._broken else self._fusable_span(programs, i)
+            if span >= 2:
+                fused = self._run_fused(cluster, programs[i : i + span], targets, shared)
+                if fused:
+                    records.extend(fused)
+                    i += len(fused)
+                    continue
+            # Not fusable here (or fusion unavailable): one unfused round.
+            # Going through the backend re-checks the session gate, so a
+            # mid-block breakage falls back to the process path cleanly.
+            records.append(self.backend.run_superstep(cluster, programs[i], targets, shared))
+            i += 1
+        return records
+
+    def _fusable_span(self, programs: "list[SuperstepProgram]", start: int) -> int:
+        """Length of the longest fusable span at ``start`` (0 = don't fuse).
+
+        A span is ``interior* terminal?``: interior rounds are worker-
+        drivable by declaration *and* not runtime-demoted to the funnel
+        path; one driver-read (or demoted) phase may end the span as its
+        terminal round.
+        """
+        limit = resolve_fuse_rounds(self.cluster.config.fuse_rounds)
+        if limit == 0:
+            return 0
+        cap = len(programs) - start
+        if limit is not None:
+            cap = min(cap, limit)
+        span = 0
+        while span < cap:
+            program = programs[start + span]
+            if not isinstance(program, SuperstepProgram):
+                break
+            routed = self._route_programs.get(
+                self._program_key(program), program.driver_reads_sends is not True
+            )
+            if fusable_interior(program) and routed:
+                span += 1
+                continue
+            if fusable_terminal(program) and (program.driver_reads_sends is True or routed):
+                span += 1  # a driver-read phase can end the block
+            break
+        return span
+
+    def _block_request(
+        self,
+        slot: _SlotState,
+        slot_index: int,
+        programs: "list[SuperstepProgram]",
+        program_keys: "list[int]",
+        specs: "list[tuple[int, bool, bool]]",
+        machines: "list[Machine]",
+        shared: "dict[str, Any]",
+        epoch0: int,
+        barrier_spec: "tuple[int, list[int]] | None",
+    ) -> tuple:
+        """Assemble one slot's ``run_block`` request (cf. :meth:`_round_request`).
+
+        The sync payload covers the whole span: programs, shared keys and
+        store snapshots are the union over every round's declarations, the
+        inbox batch belongs to round 0 (later rounds have worker frames
+        only — the driver does no work in between), and the block payload
+        carries the per-round specs plus the barrier base.
+        """
+        backend = self.backend
+        needed_programs = set(program_keys)
+        needed_programs.update(pkey for pkey, _ in slot.pending)
+        new_programs = {
+            key: self._programs[key][1] for key in sorted(needed_programs - slot.shipped_programs)
+        }
+        needed: "set[str]" = set()
+        for program in programs:
+            needed.update(program.session_keys())
+        for pkey, _ in slot.pending:
+            needed.update(self._programs[pkey][0].session_keys())
+        new_keys = needed - slot.resident_keys
+        if slot.pending and new_keys:
+            replay: "list[tuple[int, list[tuple[str, Any]]]]" = []
+            init_keys = set(needed)
+        else:
+            replay = slot.pending
+            init_keys = new_keys | (slot.dirty & needed)
+        slot.pending = []
+        try:
+            shared_init = {key: shared[key] for key in sorted(init_keys)}
+        except KeyError as exc:
+            raise KeyError(
+                f"{type(programs[0]).__name__} session needs shared key {exc.args[0]!r} "
+                f"but the session's shared state only has {sorted(shared)!r}"
+            ) from None
+        slot.resident_keys |= init_keys
+        slot.dirty -= init_keys
+
+        store_updates = []
+        seen_prefixes: "set[tuple[str, ...] | None]" = set()
+        for program in programs:
+            prefixes = program.store_reads
+            if (prefixes is None or prefixes) and prefixes not in seen_prefixes:
+                seen_prefixes.add(prefixes)
+                for machine in machines:
+                    version = machine.storage.version
+                    store_key = (machine.machine_id, prefixes)
+                    if slot.store_versions.get(store_key) != version:
+                        store_updates.append(
+                            (machine.machine_id, prefixes, version, backend._store_blob(machine, prefixes))
+                        )
+                        slot.store_versions[store_key] = version
+
+        if programs[0].reads_inbox:
+            batch = [(machine.machine_id, _pack_inbox(machine.drain())) for machine in machines]
+        else:
+            batch = []
+            for machine in machines:
+                machine.drain()
+                batch.append((machine.machine_id, ()))
+        slot.shipped_programs.update(new_programs)
+
+        map_update = None
+        if slot.map_version != self._map_version:
+            map_update = self._machine_info
+            slot.map_version = self._map_version
+        forward = self._forward[slot_index]
+        if forward:
+            self._forward[slot_index] = []
+            rp = self._remote_pending[slot_index]
+            for frame in forward:
+                rp.add(frame[4])
+        block = {
+            "epoch0": epoch0,
+            "slot": slot_index,
+            "map": map_update,
+            "forward": forward,
+            "rounds": specs,
+            "barrier": barrier_spec,
+        }
+        return (
+            "run_block",
+            self.session_id,
+            new_programs,
+            replay,
+            shared_init,
+            store_updates,
+            batch,
+            block,
+        )
+
+    def _run_fused(
+        self,
+        cluster: "Cluster",
+        programs: "list[SuperstepProgram]",
+        targets: "list[Machine]",
+        shared: "dict[str, Any]",
+    ) -> "list[RoundRecord] | None":
+        """One fused block: one pipe round trip for up to ``len(programs)`` rounds.
+
+        Returns the delivered records (possibly fewer than requested when a
+        ring overflow stopped the block early), or ``None`` when fusion is
+        unavailable right now (staged driver sends, no accounting policy,
+        shm rings/barrier unavailable) — the caller then runs the span
+        unfused.  The finish loop replays each completed round through the
+        exact unfused merge paths, so records, deltas and traffic are
+        bit-identical to per-round execution.
+        """
+        ledger = cluster.ledger
+        if ledger.record_policy is None or self.transport.has_staged():
+            return None
+        by_slot: "dict[int, list[Machine]]" = {}
+        for machine in targets:
+            by_slot.setdefault(self._slot_of(machine), []).append(machine)
+        participating = sorted(by_slot)
+        multi = len(participating) > 1
+        self._refresh_machine_info()
+        if multi:
+            if self._rings is None:
+                self._ensure_rings()
+            if not self._rings:
+                return None  # no shm: every round would need the pipe anyway
+            if self._barrier is None and not self._barrier_failed:
+                try:
+                    self._barrier = ShmRoundBarrier.create(self.slot_count)
+                except Exception:  # pragma: no cover - shm unavailable
+                    self._barrier_failed = True
+            if self._barrier is None:
+                return None
+
+        program_keys = [self._program_key(program) for program in programs]
+        # Per-round worker specs: (program key, drop_inbox, funnel).  Only a
+        # declared driver-read terminal funnels; demoted-but-declared-False
+        # programs never enter a span (see _fusable_span).
+        specs = [
+            (key, not program.reads_inbox, program.driver_reads_sends is True)
+            for key, program in zip(program_keys, programs)
+        ]
+        epoch0 = ledger.next_round_index
+        base = self._barrier_base
+
+        slot_workers = [(slot_index, _slot_worker(slot_index)) for slot_index in participating]
+        for _, worker in slot_workers:
+            worker.lock.acquire()
+        self._suppress_sync = True
+        self.in_fused_block = True
+        block_replies: "dict[int, tuple]" = {}
+        try:
+            try:
+                active: "list[list]" = []
+                slot_index, worker = -1, None
+                try:
+                    for slot_index, worker in slot_workers:
+                        slot = self._slots[slot_index]
+                        if slot.worker_generation != worker.generation:
+                            if self._remote_pending[slot_index]:
+                                raise ResidentWorkerError(
+                                    f"resident worker slot {slot_index} was respawned "
+                                    f"while holding undelivered slot-routed messages"
+                                )
+                            slot.reset_for(worker.generation)
+                        request = self._block_request(
+                            slot,
+                            slot_index,
+                            programs,
+                            program_keys,
+                            specs,
+                            by_slot[slot_index],
+                            shared,
+                            epoch0,
+                            (base, participating) if multi else None,
+                        )
+                        entry = [slot_index, worker, 0]
+                        active.append(entry)
+                        if not slot.opened:
+                            worker.request(("open", self.session_id))
+                            entry[2] += 1
+                            slot.opened = True
+                        if multi and (
+                            (self._rings and not slot.rings_attached) or not slot.barrier_attached
+                        ):
+                            worker.request(
+                                (
+                                    "attach_shm",
+                                    self.session_id,
+                                    self._ring_specs(slot_index, "in"),
+                                    self._ring_specs(slot_index, "out"),
+                                    (self._barrier.name, self.slot_count),
+                                )
+                            )
+                            entry[2] += 1
+                            slot.rings_attached = True
+                            slot.barrier_attached = True
+                        worker.request(request)
+                        entry[2] += 1
+                except BaseException as exc:
+                    if isinstance(exc, ResidentWorkerError) and worker is not None:
+                        _evict_slot_worker(slot_index, worker)
+                    self._abort_round(active)
+                    raise
+
+                error: "BaseException | None" = None
+                for slot_index, worker, expected in active:
+                    value: Any = None
+                    failed = False
+                    for _ in range(expected):
+                        try:
+                            value = worker.reply()
+                        except ResidentWorkerError as exc:
+                            self._mark_broken(slot_index, worker)
+                            if error is None:
+                                error = exc
+                            failed = True
+                            break
+                        except BaseException as exc:  # noqa: BLE001 - worker raised
+                            if error is None:
+                                error = exc
+                            failed = True
+                    if not failed:
+                        block_replies[slot_index] = value
+                if error is not None:
+                    # slots that did run already committed fused rounds;
+                    # driver and worker views have diverged
+                    self._broken = True
+                    raise error
+            finally:
+                self._suppress_sync = False
+                for _, worker in slot_workers:
+                    worker.lock.release()
+
+            # Validate: every slot speaks the block protocol and committed
+            # the same number of rounds (the barrier's stop-bit guarantee).
+            completed: "int | None" = None
+            for slot_index, value in sorted(block_replies.items()):
+                if not (isinstance(value, tuple) and len(value) == 4 and value[0] == "block"):
+                    self._broken = True
+                    raise ResidentWorkerError(
+                        f"resident worker slot {slot_index} replied out of protocol "
+                        f"to a fused block request"
+                    )
+                if completed is None:
+                    completed = value[1]
+                elif value[1] != completed:
+                    self._broken = True
+                    raise ResidentWorkerError(
+                        f"resident worker slots disagree on fused rounds completed "
+                        f"({completed} vs {value[1]} at slot {slot_index})"
+                    )
+            assert completed is not None and completed >= 1
+            if multi:
+                self._barrier_base = base + completed
+
+            # Finish loop: replay each completed round through the exact
+            # unfused merge paths, in order — deposit-then-exchange per
+            # round rebuilds every RoundRecord bit-identically.
+            per_slot_rounds = {si: value[2] for si, value in block_replies.items()}
+            records: "list[RoundRecord]" = []
+            for r in range(completed):
+                program = programs[r]
+                program_key = program_keys[r]
+                funnel = specs[r][2]
+                # This round's batch consumed the due frames each slot held
+                # for its participating machines (same bookkeeping run_round
+                # does at request-build time, replayed here per round).
+                for si in participating:
+                    rp = self._remote_pending[si]
+                    if rp:
+                        for machine in by_slot[si]:
+                            rp.discard(machine.machine_id)
+                entries = [(si, per_slot_rounds[si][r]) for si in participating]
+                if funnel:
+                    results: "dict[str, tuple[list, Any]]" = {}
+                    for si, entry in entries:
+                        if not (isinstance(entry, tuple) and len(entry) == 2 and entry[0] == "funneled"):
+                            self._broken = True
+                            raise ResidentWorkerError(
+                                "resident worker returned a malformed funneled round "
+                                "inside a fused block"
+                            )
+                        for machine_id, sent, delta in entry[1]:
+                            results[machine_id] = (sent, delta)
+                    self._recompute_pending_ids()
+                    if not self._pending_ids:
+                        self._pending_keys = set()
+                    records.append(
+                        self._finish_replayed_round(cluster, program, program_key, targets, shared, results)
+                    )
+                else:
+                    # Workers self-applied every round but the span's final
+                    # one (same deterministic formula both sides) — queueing
+                    # those for replay would double-apply at the owner slot.
+                    records.append(
+                        self._finish_routed_round(
+                            cluster,
+                            program,
+                            program_key,
+                            targets,
+                            shared,
+                            entries,
+                            queue_replay=(r == len(specs) - 1),
+                        )
+                    )
+            ledger.fused_rounds += completed
+            ledger.driver_round_trips += 1
+            self.backend.last_superstep_mode = "resident-fused"
+        finally:
+            self.in_fused_block = False
+        if self.pending_autotune:
+            # replan_every fired during the finish loop's exchanges — the
+            # deferred tick lands here, on the block boundary.
+            self.pending_autotune = False
+            if not self._broken:
+                cluster.autotune_replan()
+        return records
 
     # ------------------------------------------------------------ slot routing
     def _refresh_machine_info(self) -> None:
@@ -1266,12 +1967,16 @@ class ResidentSession(ExecutionSession):
         targets: "list[Machine]",
         shared: "dict[str, Any]",
         slot_replies: "list[tuple[int, tuple]]",
+        queue_replay: bool = True,
     ) -> "RoundRecord":
         """Merge routed-round replies and deposit the round at the transport.
 
         Message *bodies* stayed in the workers (or their rings); only the
         per-(sender, receiver) word aggregates cross the pipe, and the
         transport rebuilds the identical :class:`RoundRecord` from them.
+        ``queue_replay=False`` is the fused-block interior case: the owning
+        workers already self-applied these deltas, so queueing them for
+        replay would double-apply.
         """
         info = self._machine_info
         pair_totals: "dict[tuple[str, str], list[int]]" = {}
@@ -1319,7 +2024,8 @@ class ResidentSession(ExecutionSession):
         # applies in target order, then one exchange.
         for machine in targets:
             program.apply(shared, machine.machine_id, deltas[machine.machine_id])
-        self._queue_replay(program, program_key, [(m, deltas[m.machine_id]) for m in targets])
+        if queue_replay:
+            self._queue_replay(program, program_key, [(m, deltas[m.machine_id]) for m in targets])
         self.rounds_run += 1
         self.worker_rounds += 1
         self.local_messages += local_count
@@ -1564,9 +2270,15 @@ class ResidentSession(ExecutionSession):
         if getattr(transport, "inbox_router", None) is self:
             transport.inbox_router = None
         for slot_index, slot in enumerate(self._slots):
-            if not slot.opened:
+            # A slot that holds *any* per-session worker state — opened, or
+            # merely attached to the session's shm rings/barrier — must see
+            # the close op, or its ring mappings leak until worker shutdown
+            # (shm segments cannot be reclaimed while a mapping survives).
+            if not (slot.opened or slot.rings_attached or slot.barrier_attached):
                 continue
             slot.opened = False
+            slot.rings_attached = False
+            slot.barrier_attached = False
             worker = _peek_slot_worker(slot_index)
             if worker is None or slot.worker_generation != worker.generation:
                 continue  # dead or respawned: nothing of ours to release
@@ -1581,6 +2293,10 @@ class ResidentSession(ExecutionSession):
                         ring.close()
                         ring.unlink()
         self._rings = None
+        if self._barrier is not None:
+            self._barrier.close()
+            self._barrier.unlink()
+            self._barrier = None
 
 
 @register_backend
@@ -1648,9 +2364,33 @@ class ResidentBackend(ProcessBackend):
             return session.run_round(cluster, program, targets, shared)
         return super().run_superstep(cluster, program, targets, shared)
 
-    def replan(self, cluster: "Cluster", plan: "ShardPlan") -> bool:
-        applied = super().replan(cluster, plan)
+    def run_superstep_block(
+        self,
+        cluster: "Cluster",
+        programs: "list[SuperstepHandler]",
+        targets: "list[Machine]",
+        shared: "dict[str, Any]",
+    ) -> "list[RoundRecord]":
         session = cluster._active_session
+        if (
+            isinstance(session, ResidentSession)
+            and not session._broken
+            and session.backend is self
+            and shared is session.shared
+            and all(isinstance(program, SuperstepProgram) for program in programs)
+        ):
+            return session.run_block(cluster, list(programs), targets, shared)
+        return super().run_superstep_block(cluster, programs, targets, shared)
+
+    def replan(self, cluster: "Cluster", plan: "ShardPlan") -> bool:
+        session = cluster._active_session
+        if session is not None and session.in_fused_block:
+            raise ProtocolError(
+                "live re-plan inside a fused round block: workers are mid-loop "
+                "and hold the old locality; replans must land on block boundaries "
+                "(replan_every ticks are deferred there automatically)"
+            )
+        applied = super().replan(cluster, plan)
         if applied and isinstance(session, ResidentSession) and not session._broken:
             session.migrate(plan)
         return applied

@@ -43,6 +43,7 @@ which proposes an explicitly-pinned plan that flattens observed skew.
 
 from __future__ import annotations
 
+from collections import deque
 from heapq import merge as heap_merge
 from typing import TYPE_CHECKING, Callable, Iterable, Mapping
 
@@ -186,7 +187,7 @@ class ShardedTransport(Transport):
         "_shard_words",
         "_machine_words",
         "inbox_router",
-        "_worker_round",
+        "_worker_rounds",
     )
 
     message_sizer = staticmethod(fast_word_size)
@@ -202,10 +203,13 @@ class ShardedTransport(Transport):
         #: slot-routing hook (see :attr:`Transport.inbox_router`); shadowed
         #: into a slot because resident sessions flip it per session.
         self.inbox_router = None
-        #: pre-aggregated round deposited by a slot-routed worker superstep,
-        #: consumed by the next :meth:`exchange` (see
-        #: :meth:`deposit_worker_round`).
-        self._worker_round: "dict | None" = None
+        #: pre-aggregated rounds deposited by slot-routed worker supersteps,
+        #: consumed FIFO by subsequent :meth:`exchange` calls (see
+        #: :meth:`deposit_worker_round`).  A plain routed round deposits
+        #: one entry and exchanges immediately; a fused round block
+        #: deposits one entry per worker-driven round, then the driver
+        #: replays one exchange per round to rebuild the identical records.
+        self._worker_rounds: "deque[dict]" = deque()
 
     def shard_of(self, machine: "Machine") -> int:
         """Memoised :meth:`ShardPlan.shard_of` (plans are pure; machines are hot)."""
@@ -276,16 +280,17 @@ class ShardedTransport(Transport):
             delivery order;
         ``"traffic"``
             the wire-path counters for :meth:`MetricsLedger.record_traffic`.
+
+        Deposits queue FIFO: a fused round block deposits every
+        worker-driven round at once and the driver then calls
+        :meth:`exchange` once per round, oldest first, so the record
+        stream is indistinguishable from per-round deposits.
         """
-        if self._worker_round is not None:
-            raise ProtocolError("a slot-routed round is already deposited and undelivered")
-        self._worker_round = stats
+        self._worker_rounds.append(stats)
 
     def exchange(self) -> "RoundRecord":
-        deposit = self._worker_round
-        if deposit is not None:
-            self._worker_round = None
-            return self._deliver_deposit(deposit)
+        if self._worker_rounds:
+            return self._deliver_deposit(self._worker_rounds.popleft())
         router = self.inbox_router
         if router is not None and any(self._staged):
             # Driver code staged real messages while workers may still hold
@@ -493,7 +498,7 @@ class ShardedTransport(Transport):
 
     def discard_undelivered(self) -> None:
         super().discard_undelivered()
-        self._worker_round = None
+        self._worker_rounds.clear()
         for staged in self._staged:
             staged.clear()
 

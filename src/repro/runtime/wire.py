@@ -61,6 +61,7 @@ __all__ = [
     "pack_inbox",
     "unpack_inbox",
     "ShmRing",
+    "ShmRoundBarrier",
     "TornFrameError",
     "FRAME_HEADER",
 ]
@@ -207,8 +208,6 @@ def unpack_inbox(packed: "Iterable[tuple[str, str, str, Any, int]]") -> "list[Me
 FRAME_HEADER = 8
 #: bytes reserved at the start of the block for the two u64 cursors.
 _CURSORS = 16
-#: length sentinel marking "rest of the ring is padding, wrap to offset 0".
-_WRAP = 0xFFFFFFFF
 
 
 def _frame_check(length: int) -> int:
@@ -232,10 +231,11 @@ class ShmRing:
     Layout: ``[tail u64][head u64][data x capacity]``.  ``tail`` (total
     bytes written) is owned by the single writer, ``head`` (total bytes
     read) by the single reader; both are monotone, so ``tail - head`` is
-    the backlog and ``capacity - (tail - head)`` the free space.  Frames
-    are never split across the wrap: a writer that would split pads to the
-    end (emitting a wrap marker when the tail gap still fits a header) and
-    restarts at offset 0, and the reader skips the same padding.
+    the backlog and ``capacity - (tail - head)`` the free space.  Frame
+    bytes straddle the wrap (written and read as two modular slices), so
+    the fit test is exactly ``need <= free`` — in particular a drained
+    ring accepts *any* frame up to its capacity, regardless of where the
+    cursors happen to sit.
 
     :meth:`write` returns ``False`` instead of blocking when a frame does
     not fit — the caller falls back to the pipe path (counted as a
@@ -319,6 +319,22 @@ class ShmRing:
         return self._load(0) - self._load(8)
 
     # ------------------------------------------------------------------ frames
+    def _copy_in(self, pos: int, chunk: bytes) -> None:
+        """Store ``chunk`` at data offset ``pos``, straddling the wrap."""
+        data = self._data
+        first = min(len(chunk), self.capacity - pos)
+        data[pos : pos + first] = chunk[:first]
+        if first < len(chunk):
+            data[: len(chunk) - first] = chunk[first:]
+
+    def _copy_out(self, pos: int, length: int) -> bytes:
+        """Load ``length`` bytes from data offset ``pos``, straddling the wrap."""
+        data = self._data
+        first = min(length, self.capacity - pos)
+        if first >= length:
+            return bytes(data[pos : pos + length])
+        return bytes(data[pos : pos + first]) + bytes(data[: length - first])
+
     def write(self, body: bytes) -> bool:
         """Append one frame; ``False`` (not blocking) when it does not fit."""
         cap = self.capacity
@@ -327,19 +343,11 @@ class ShmRing:
             return False
         tail = self._load(0)
         head = self._load(8)
-        pos = tail % cap
-        room = cap - pos
-        pad = room if need > room else 0
-        if cap - (tail - head) < pad + need:
+        if cap - (tail - head) < need:
             return False
-        data = self._data
-        if pad:
-            if room >= FRAME_HEADER:
-                struct.pack_into("<II", data, pos, _WRAP, _frame_check(_WRAP))
-            tail += pad
-            pos = 0
-        struct.pack_into("<II", data, pos, len(body), _frame_check(len(body)))
-        data[pos + FRAME_HEADER : pos + need] = body
+        pos = tail % cap
+        self._copy_in(pos, struct.pack("<II", len(body), _frame_check(len(body))))
+        self._copy_in((pos + FRAME_HEADER) % cap, body)
         self._store(0, tail + need)
         return True
 
@@ -348,18 +356,10 @@ class ShmRing:
         cap = self.capacity
         tail = self._load(0)
         head = self._load(8)
-        data = self._data
         out: list[bytes] = []
         while head < tail:
             pos = head % cap
-            room = cap - pos
-            if room < FRAME_HEADER:
-                head += room  # tail gap too small for a wrap marker: skip
-                continue
-            length, check = struct.unpack_from("<II", data, pos)
-            if length == _WRAP and check == _frame_check(_WRAP):
-                head += room
-                continue
+            length, check = struct.unpack("<II", self._copy_out(pos, FRAME_HEADER))
             if (
                 check != _frame_check(length)
                 or length > cap - FRAME_HEADER
@@ -368,7 +368,144 @@ class ShmRing:
                 raise TornFrameError(
                     f"torn ring frame at offset {pos} (length={length}, backlog={tail - head})"
                 )
-            out.append(bytes(data[pos + FRAME_HEADER : pos + FRAME_HEADER + length]))
+            out.append(self._copy_out((pos + FRAME_HEADER) % cap, length))
             head += FRAME_HEADER + length
         self._store(8, head)
         return out
+
+
+# ------------------------------------------------------------- round barrier
+class ShmRoundBarrier:
+    """Per-slot round cursors for worker-driven fused round blocks.
+
+    One u64 cell per worker slot over a shared-memory block.  A slot that
+    finished committing fused round ``r`` of its session announces the
+    monotone round count ``c`` by storing ``c * 2 + stop`` into its own
+    cell; before starting the next round it waits until every *peer* cell
+    has reached ``c`` — a spin-wait over plain little-endian loads, no
+    locks, no atomics.  Single-writer cells plus monotone counts make this
+    sound under the same store-ordering assumption :class:`ShmRing` makes
+    (a writer's ring-cursor store lands before its barrier announce, so a
+    reader that passed the barrier sees every due frame).
+
+    The low bit is a *stop* flag: a slot that must end the block early
+    (ring overflow forced a pipe fallback) announces its final count with
+    the bit set and breaks out of its loop.  Peer slots only honour a
+    stop announced *at the count they are waiting for* — a faster slot's
+    later stop belongs to a later round boundary and is picked up when
+    the waiter reaches it — so every participant exits the block having
+    committed exactly the same number of rounds.
+
+    Counts are monotone across the blocks of a session (the driver ships
+    each block's base count), so a cell left stopped by one block reads
+    as *behind* every threshold of the next and can never satisfy — or
+    falsely stop — a later wait.  When shared memory is unavailable the
+    session simply does not fuse: every round takes the driver-mediated
+    pipe barrier instead.
+    """
+
+    __slots__ = ("shm", "slots", "_view")
+
+    def __init__(self, buf: Any, slots: int, shm: "SharedMemory | None" = None) -> None:
+        view = memoryview(buf)
+        if len(view) < slots * 8:
+            raise ValueError("barrier buffer too small for the slot count")
+        self.shm = shm
+        self.slots = slots
+        self._view = view
+
+    @classmethod
+    def create(cls, slots: int) -> "ShmRoundBarrier":
+        """Driver side: allocate (and zero) a fresh barrier block."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(create=True, size=slots * 8)
+        shm.buf[: slots * 8] = b"\x00" * (slots * 8)
+        return cls(shm.buf, slots, shm)
+
+    @classmethod
+    def attach(cls, name: str, slots: int) -> "ShmRoundBarrier":
+        """Worker side: map an existing barrier by shared-memory name."""
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=name)
+        return cls(shm.buf, slots, shm)
+
+    @property
+    def name(self) -> str | None:
+        """Shared-memory block name (``None`` for local test buffers)."""
+        return self.shm.name if self.shm is not None else None
+
+    def close(self) -> None:
+        """Release the local mapping (both sides); idempotent."""
+        if self._view is None:
+            return
+        self._view.release()
+        self._view = None
+        if self.shm is not None:
+            self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the backing block — creator (driver) side only."""
+        if self.shm is not None:
+            try:
+                self.shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+
+    def _cell(self, slot: int) -> int:
+        return int.from_bytes(self._view[slot * 8 : slot * 8 + 8], "little")
+
+    def announce(self, slot: int, count: int, *, stop: bool = False) -> None:
+        """Publish that ``slot`` committed its round numbered ``count``."""
+        self._view[slot * 8 : slot * 8 + 8] = (count * 2 + (1 if stop else 0)).to_bytes(8, "little")
+
+    def wait(
+        self,
+        count: int,
+        peers: "Iterable[int]",
+        *,
+        poll: "Callable[[], None] | None" = None,
+        timeout: float = 60.0,
+    ) -> bool:
+        """Spin until every peer cell reaches ``count``; ``True`` = stop seen.
+
+        ``peers`` are the participating slot indices to await (skip your
+        own — announce first).  ``poll`` runs on every spin iteration so a
+        waiting worker keeps draining its inbound rings (frees ring space
+        for slower peers; never required for progress — ring writes fail
+        over to the pipe instead of blocking).  A peer that cannot arrive
+        within ``timeout`` raises: with the block request already accepted
+        on every participating pipe, a missing announce means a dead or
+        wedged worker, and failing loudly lets the driver abort the block.
+        """
+        import time
+
+        want = count * 2
+        stopped = want + 1
+        waiting = list(peers)
+        stop_seen = False
+        deadline = time.monotonic() + timeout
+        spins = 0
+        while waiting:
+            still = []
+            for slot in waiting:
+                cell = self._cell(slot)
+                if cell >= want:
+                    if cell == stopped:
+                        stop_seen = True
+                    continue
+                still.append(slot)
+            waiting = still
+            if not waiting:
+                break
+            if poll is not None:
+                poll()
+            spins += 1
+            if spins > 200:
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"fused-round barrier: peers {waiting} never reached count {count}"
+                    )
+                time.sleep(0.0002)
+        return stop_seen

@@ -51,6 +51,9 @@ class LabelProposeProgram(VertexProgram):
     #: the inbox only ever holds the previous round's stale termination
     #: flags (on the leader) — never read, so never shipped to workers
     reads_inbox = False
+    #: the proposals are consumed by the next superstep's machines, never
+    #: by the driver — worker-drivable inside a fused round block
+    driver_reads_sends = False
 
     def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> None:
         # inbox: only stale termination flags (on the leader) — ignored.
@@ -85,6 +88,9 @@ class CSRLabelProposeProgram(VertexProgram):
     #: the inbox only ever holds the previous round's stale termination
     #: flags (on the leader) — never read, so never shipped to workers
     reads_inbox = False
+    #: the proposals are consumed by the next superstep's machines, never
+    #: by the driver — worker-drivable inside a fused round block
+    driver_reads_sends = False
 
     def run(self, ctx: MachineContext, inbox: list, shared: Mapping[str, Any]) -> None:
         csr = ctx.load("csr")
@@ -130,17 +136,25 @@ class LabelApplyProgram(VertexProgram):
     ``apply`` also writes the via-pointer and termination-flag maps, so
     they are declared in ``shared_writes`` — the delta-replay contract that
     lets resident worker sessions replay the merged deltas against their
-    own copy of the shared state.  The per-machine work is a single fold
-    over the inbox, so ``driver_local`` keeps it out of the worker round
-    trip under resident sessions — the proposal traffic then crosses the
-    process boundary once (as staged sends) instead of twice (again as
-    shipped inboxes), which is where the process backend lost its
-    static-connectivity race.
+    own copy of the shared state.
+
+    The program is fully worker-drivable: the proposal inboxes it folds
+    already live at the workers (slot-routed from the propose round), its
+    delta is owner-scoped, and its only sends — the constant-size
+    termination flags to the leader — are never read by the driver (the
+    loop reads the merged ``changed_flags`` instead; the leader's inbox is
+    a drained audit trail).  Declaring ``driver_reads_sends=False`` lets
+    resident sessions fuse ``[propose, apply]`` into one worker-driven
+    block: the proposal traffic then never crosses the process boundary at
+    all, which is strictly better than the historical ``driver_local``
+    shortcut (one crossing as staged sends) this program used before.
     """
 
     shared_reads = ("labels",)
     shared_writes = ("via", "changed_flags")
-    driver_local = True
+    #: the termination flags go to the leader *machine*; the driver reads
+    #: the merged changed_flags deltas, never these messages
+    driver_reads_sends = False
     #: owner scope: machine m's delta lowers labels of vertices m owns —
     #: which only m's own later runs read (propose ships owned labels, the
     #: next fold reads owned labels); via/changed_flags are driver-only.
@@ -244,10 +258,15 @@ class StaticConnectedComponents:
             rounds = 0
             while changed and rounds < self.max_rounds:
                 rounds += 1
-                # Every owner ships its owned labels along every incident edge.
-                cluster.superstep(propose, machines=worker_ids, shared=state)
-                # Owners lower labels to the minimum proposal.
-                cluster.superstep(apply_min, machines=worker_ids, shared=state)
+                # One iteration = one fused block: every owner ships its
+                # owned labels along every incident edge, then owners lower
+                # labels to the minimum proposal.  Both programs are
+                # worker-drivable, so resident backends run the pair as a
+                # single worker-driven block (one driver round trip); every
+                # other backend runs them as two plain supersteps.  The
+                # block ends here because the loop must read the merged
+                # changed_flags before deciding on another iteration.
+                cluster.superstep_block([propose, apply_min], machines=worker_ids, shared=state)
                 changed = any(state["changed_flags"].values())
             cluster.machine(leader_id).drain("changed")
             self.rounds_used = rounds

@@ -78,6 +78,10 @@ class MatchingProposeProgram(VertexProgram):
     """
 
     shared_reads = ("free_adj", "matched", "round_no")
+    #: the driver drains every "propose" message right after the round (the
+    #: acceptance phase is a global driver decision) — this phase can only
+    #: *end* a fused block, as its funneled terminal round
+    driver_reads_sends = True
     #: owner scope: machine m's delta prunes free-neighbour sets of vertices
     #: m owns, and only m's own later runs (propose/announce over owned
     #: vertices) read them; the driver's has_free_edge check reads its own
@@ -135,6 +139,9 @@ class MatchingAnnounceProgram(VertexProgram):
     #: announcements are derived from shared state alone; the inbox (stale
     #: proposals already drained by the driver) is never read
     reads_inbox = False
+    #: the "matched-status" messages feed the *next* propose round's
+    #: machines only — worker-drivable inside a fused round block
+    driver_reads_sends = False
     #: owner scope: machine m's delta clears free-neighbour sets of vertices
     #: m owns, and only m's own later runs (propose/announce over owned
     #: vertices) read them — same locality argument as the propose pruning.
@@ -179,6 +186,10 @@ class CSRMatchingProposeProgram(VertexProgram):
 
     shared_reads = ("edge_alive", "matched", "round_no")
     store_reads = ("csr",)
+    #: the driver drains every "propose" message right after the round (the
+    #: acceptance phase is a global driver decision) — this phase can only
+    #: *end* a fused block, as its funneled terminal round
+    driver_reads_sends = True
     #: owner scope: machine m's delta masks entries of m's own alive row,
     #: and only m's own later runs (propose/announce over owned rows) read
     #: it; the driver's has_free_edge check reads its own current copy.
@@ -294,6 +305,9 @@ class CSRMatchingAnnounceProgram(VertexProgram):
     #: announcements are derived from shared state alone; the inbox (stale
     #: proposals already drained by the driver) is never read
     reads_inbox = False
+    #: the "matched-status" messages feed the *next* propose round's
+    #: machines only — worker-drivable inside a fused round block
+    driver_reads_sends = False
     #: owner scope: machine m's delta zeroes slices of m's own alive row —
     #: same locality argument as the propose pruning.
     delta_scope = "owner"
@@ -485,6 +499,7 @@ class StaticMaximalMatching:
         # replay covers without any re-shipping.
         with cluster.update(label), cluster.session(state) as session:
             rounds = 0
+            pending_announce = False
             while rounds < self.max_rounds and has_free_edge():
                 rounds += 1
                 state["round_no"] = rounds
@@ -493,8 +508,20 @@ class StaticMaximalMatching:
                 # propose program's own deltas, clearing via the guarded
                 # touch in the round epilogue).
                 session.touch("round_no")
-                # Phase 1: prune dead edges, then propose along chosen edges.
-                cluster.superstep(propose, machines=worker_ids, shared=state)
+                # Phase 1: announce the previous round's new statuses (so
+                # machines prune dead edges first), then prune and propose
+                # along chosen edges.  The announce phase is deferred from
+                # the previous iteration so resident backends can fuse
+                # ``[announce, propose]`` into one worker-driven block —
+                # safe because has_free_edge masks matched endpoints
+                # itself, so its answer is invariant to announce's
+                # clears/prunes.  Propose ends the block: the driver must
+                # drain the proposals for the global acceptance phase.
+                if pending_announce:
+                    cluster.superstep_block([announce, propose], machines=worker_ids, shared=state)
+                else:
+                    cluster.superstep(propose, machines=worker_ids, shared=state)
+                pending_announce = True
                 proposals_by_target: dict[int, list[int]] = {}
                 for machine_id in worker_ids:
                     for msg in cluster.machine(machine_id).drain("propose"):
@@ -521,13 +548,16 @@ class StaticMaximalMatching:
                     newly_matched.append(normalize_edge(target, chosen))
                 matching.update(newly_matched)
                 # The acceptance decisions mutated the matched set
-                # out-of-band; the announce program reads it.
+                # out-of-band; the announce program reads it.  The announce
+                # superstep itself runs at the top of the next iteration
+                # (fused with its propose) — or below, after the loop ends.
                 session.touch("matched")
-
-                # Phase 3: announce new statuses so machines prune dead edges
-                # at the start of the next round.  The announcers' own
-                # free-neighbour sets are cleared by the program's delta at
-                # the barrier — no driver epilogue, no touch, no re-ship.
+            if pending_announce:
+                # Final announcement round: machines prune the last batch of
+                # dead edges so the delivered message trace matches the
+                # historical propose/announce alternation exactly.  The
+                # announcers' own free-neighbour sets are cleared by the
+                # program's delta at the barrier — no driver epilogue.
                 cluster.superstep(announce, machines=worker_ids, shared=state)
             self.rounds_used = rounds
 

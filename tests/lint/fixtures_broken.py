@@ -163,6 +163,32 @@ class InboxLiarProgram(SuperstepProgram):
         return [msg.payload for msg in inbox]
 
 
+class FusionDriverLocalLiarProgram(SuperstepProgram):
+    """RP110: worker-drivable sends declaration on a driver-local program."""
+
+    shared_reads = ("totals",)
+    driver_local = True
+    driver_reads_sends = False
+
+    def run(self, ctx, inbox, shared):
+        return len(shared["totals"])
+
+
+class FusionDriverScopeLiarProgram(SuperstepProgram):
+    """RP110: worker-drivable sends declaration with driver-scoped deltas."""
+
+    shared_reads = ()
+    shared_writes = ("audit",)
+    delta_scope = "driver"
+    driver_reads_sends = False
+
+    def run(self, ctx, inbox, shared):
+        return 1
+
+    def apply(self, shared, machine_id, delta):
+        shared["audit"][machine_id] = delta
+
+
 def unsized_closed_form_send(machine, offers):
     """RP109: ``fixture-offer`` has a registered closed form, send omits ``words=``.
 

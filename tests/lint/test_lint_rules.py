@@ -129,6 +129,20 @@ class TestRuleFirings:
         # the registration call itself; only the unsized registered send fires
         assert len(findings_for(broken, "RP109")) == 1
 
+    def test_rp110_driver_local_contradiction(self, broken):
+        (finding,) = findings_for(broken, "RP110", "FusionDriverLocalLiarProgram")
+        assert "driver_reads_sends = False" in finding.message
+        assert "driver_local = True" in finding.message
+        assert "drop driver_local = True" in finding.hint
+        assert finding.line in class_line_range("FusionDriverLocalLiarProgram")
+
+    def test_rp110_driver_scope_contradiction(self, broken):
+        (finding,) = findings_for(broken, "RP110", "FusionDriverScopeLiarProgram")
+        assert "delta_scope = 'driver'" in finding.message
+        assert "fused block" in finding.message
+        assert 'widen delta_scope to "owner" or "global"' in finding.hint
+        assert finding.line in class_line_range("FusionDriverScopeLiarProgram")
+
     def test_every_rule_has_a_firing_fixture(self, broken):
         fired = {f.code for f in broken.findings}
         assert fired == set(RULES), f"rules without a broken fixture: {sorted(set(RULES) - fired)}"

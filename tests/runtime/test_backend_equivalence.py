@@ -210,6 +210,7 @@ class TestStaticAlgorithmEquivalence:
                 "resident",
                 "resident-routed",
                 "resident-inline",
+                "resident-fused",
             )
             assert resident_backend.last_session_worker_rounds >= 2
         # The shm row must be non-vacuous: with two slots on these
